@@ -1,0 +1,230 @@
+package repro
+
+// One benchmark target per experiment in the DESIGN.md index (E1–E12): each
+// runs the corresponding experiment in Quick mode, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table's workload with timing. cmd/experiments prints
+// the full-size tables. Additional micro-benchmarks cover the core
+// algorithms on their own.
+
+import (
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/gkm"
+	"repro/internal/graph/gen"
+	"repro/internal/ldd"
+	"repro/internal/packing"
+	"repro/internal/problems"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := expt.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl := e.Run(expt.Config{Seed: uint64(i) + 1, Quick: true})
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1LDDQuality(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2WHPFailure(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3MPXFailure(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4PackingRatio(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkE5CoveringRatio(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6RoundScaling(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7RoundScalingN(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE8Blackbox(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9SparseCover(b *testing.B)   { benchExperiment(b, "E9") }
+func BenchmarkE10LowerBound(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11KDomSet(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12Concentration(b *testing.B) {
+	benchExperiment(b, "E12")
+}
+
+// --- Micro-benchmarks: the core algorithms in isolation -------------------
+
+func BenchmarkAlgoElkinNeiman(b *testing.B) {
+	g := gen.Cycle(4000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ElkinNeiman(g, nil, ldd.ENParams{Lambda: 0.2, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkAlgoChangLiPaperConstants(b *testing.B) {
+	g := gen.Grid(30, 30)
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ChangLi(g, ldd.Params{Epsilon: 0.2, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkAlgoChangLiScaled(b *testing.B) {
+	g := gen.Cycle(3000)
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ChangLi(g, ldd.Params{Epsilon: 0.2, Seed: uint64(i), Scale: 0.001})
+	}
+}
+
+func BenchmarkAlgoBlackbox(b *testing.B) {
+	g := gen.Cycle(2000)
+	for i := 0; i < b.N; i++ {
+		_ = ldd.Blackbox(g, ldd.BlackboxParams{Epsilon: 0.2, Seed: uint64(i), Scale: 0.01})
+	}
+}
+
+func BenchmarkAlgoSparseCover(b *testing.B) {
+	g := gen.Cycle(3000)
+	for i := 0; i < b.N; i++ {
+		_ = ldd.SparseCover(g, nil, ldd.ENParams{Lambda: 0.3, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkAlgoPackingMIS(b *testing.B) {
+	g := gen.Cycle(300)
+	inst, err := problems.Build(problems.MIS, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = packing.Solve(inst, packing.Params{Epsilon: 0.25, Seed: uint64(i), PrepRuns: 2})
+	}
+}
+
+func BenchmarkAlgoGKMPackingMIS(b *testing.B) {
+	g := gen.Cycle(120)
+	inst, err := problems.Build(problems.MIS, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gkm.SolvePacking(inst, gkm.Params{Epsilon: 0.25, Seed: uint64(i), Scale: 0.4})
+	}
+}
+
+// --- Ablation benchmarks (the design-choice studies listed in DESIGN.md) --
+
+// Ablation 1: two executors, one semantics — oracle vs message passing
+// (sequential and parallel) on the same Elkin–Neiman instance.
+func BenchmarkAblationExecutorOracle(b *testing.B) {
+	g := gen.Torus(20, 20)
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ElkinNeiman(g, nil, ldd.ENParams{Lambda: 0.25, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkAblationExecutorMsgSequential(b *testing.B) {
+	g := gen.Torus(20, 20)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ldd.ElkinNeimanDistributed(g, ldd.ENParams{Lambda: 0.25, Seed: uint64(i)}, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationExecutorMsgParallel(b *testing.B) {
+	g := gen.Torus(20, 20)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ldd.ElkinNeimanDistributed(g, ldd.ENParams{Lambda: 0.25, Seed: uint64(i)}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 2: the Scale knob — quality/round trade-off of Chang-Li on a
+// long cycle. ReportMetric exposes rounds and deleted fraction per scale.
+func benchScale(b *testing.B, scale float64) {
+	g := gen.Cycle(3000)
+	rounds, deleted := 0, 0.0
+	for i := 0; i < b.N; i++ {
+		d := ldd.ChangLi(g, ldd.Params{Epsilon: 0.2, Seed: uint64(i), Scale: scale})
+		rounds = d.Rounds
+		deleted = d.UnclusteredFraction()
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(deleted, "deletedFrac")
+}
+
+func BenchmarkAblationScale0001(b *testing.B) { benchScale(b, 0.001) }
+func BenchmarkAblationScale001(b *testing.B)  { benchScale(b, 0.01) }
+func BenchmarkAblationScale01(b *testing.B)   { benchScale(b, 0.1) }
+
+// Ablation 3: exact vs greedy local solves for the packing solver.
+func BenchmarkAblationPackingExactLocal(b *testing.B) {
+	g := gen.Cycle(200)
+	inst, err := problems.Build(problems.MIS, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = packing.Solve(inst, packing.Params{Epsilon: 0.25, Seed: uint64(i), PrepRuns: 2})
+	}
+}
+
+func BenchmarkAblationPackingGreedyLocal(b *testing.B) {
+	g := gen.Cycle(200)
+	inst, err := problems.Build(problems.MIS, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := packing.Params{Epsilon: 0.25, PrepRuns: 2}
+	p.Solve.ForceGreedy = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i)
+		_ = packing.Solve(inst, p)
+	}
+}
+
+// Ablation 4: Phase 2 on/off for the decomposition (covering-style t).
+func BenchmarkAblationPhase2On(b *testing.B) {
+	g := gen.Cycle(2000)
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ChangLi(g, ldd.Params{Epsilon: 0.2, Seed: uint64(i), Scale: 0.002})
+	}
+}
+
+func BenchmarkAblationPhase2Off(b *testing.B) {
+	g := gen.Cycle(2000)
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ChangLi(g, ldd.Params{Epsilon: 0.2, Seed: uint64(i), Scale: 0.002, SkipPhase2: true})
+	}
+}
+
+// Extension: the Section-4 alternative packing pipeline vs the main one.
+func BenchmarkExtensionAlternativePacking(b *testing.B) {
+	g := gen.Cycle(200)
+	inst, err := problems.Build(problems.MIS, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = packing.SolveAlternative(inst, packing.Params{Epsilon: 0.25, Seed: uint64(i)}, 6)
+	}
+}
+
+// Extension: weighted decomposition.
+func BenchmarkExtensionWeightedLDD(b *testing.B) {
+	g := gen.Cycle(2000)
+	w := make([]int64, g.N())
+	for i := range w {
+		w[i] = int64(1 + i%7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ChangLiWeighted(g, w, ldd.Params{Epsilon: 0.25, Seed: uint64(i), Scale: 0.002})
+	}
+}
+
+func BenchmarkE13SpannerTail(b *testing.B) { benchExperiment(b, "E13") }

@@ -1,0 +1,58 @@
+// Command experiments regenerates the reproduction's experiment tables
+// (E1–E13 in DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-id E4] [-seed 1] [-quick]
+//
+// Without -id, every experiment runs in order. -quick shrinks the sweeps to
+// the sizes used by the benchmark targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	id := fs.String("id", "", "experiment id (E1..E13); empty runs all")
+	seed := fs.Uint64("seed", 1, "root random seed")
+	quick := fs.Bool("quick", false, "shrink sweeps (benchmark-sized)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := expt.Config{Seed: *seed, Quick: *quick}
+	var selected []expt.Experiment
+	if *id == "" {
+		selected = expt.All()
+	} else {
+		for _, one := range strings.Split(*id, ",") {
+			e, ok := expt.Lookup(strings.TrimSpace(one))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (valid: E1..E13)", one)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tbl := e.Run(cfg)
+		tbl.Note("elapsed: %v", time.Since(start).Round(time.Millisecond))
+		tbl.Render(w)
+	}
+	return nil
+}

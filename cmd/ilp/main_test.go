@@ -1,0 +1,48 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunProblems(t *testing.T) {
+	cases := [][]string{
+		{"-problem", "mis", "-graph", "cycle", "-n", "80", "-prep", "2"},
+		{"-problem", "vc", "-graph", "btree", "-n", "63", "-prep", "2"},
+		{"-problem", "mds", "-graph", "tree", "-n", "60", "-prep", "2"},
+		{"-problem", "matching", "-graph", "path", "-n", "40", "-prep", "2"},
+		{"-problem", "kdom", "-graph", "cycle", "-n", "60", "-k", "2", "-prep", "2"},
+		{"-problem", "mis", "-graph", "cycle", "-n", "60", "-algo", "gkm", "-scale", "0.4"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	bad := [][]string{
+		{"-problem", "tsp"},
+		{"-graph", "moebius"},
+		{"-algo", "quantum"},
+		{"-problem", "kdom", "-k", "0"},
+	}
+	for _, args := range bad {
+		if err := run(args, io.Discard); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+func TestBuildGraphILP(t *testing.T) {
+	for _, kind := range []string{"cycle", "path", "grid", "torus", "tree", "btree", "gnp"} {
+		g, err := buildGraph(kind, 50, 2)
+		if err != nil || g.N() < 2 {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildGraph("x", 50, 2); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

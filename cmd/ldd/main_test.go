@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestBuildGraphFamilies(t *testing.T) {
+	for _, kind := range []string{
+		"cycle", "path", "grid", "torus", "complete", "tree",
+		"gnp", "regular", "cliquepath", "hypercube",
+	} {
+		g, err := buildGraph(kind, 64, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() < 2 {
+			t.Fatalf("%s: degenerate graph n=%d", kind, g.N())
+		}
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := buildGraph("nope", 10, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := buildGraph("cycle", 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"chang-li", "elkin-neiman", "blackbox", "mpx"} {
+		args := []string{"-graph", "cycle", "-n", "200", "-eps", "0.3", "-algo", algo, "-scale", "0.05"}
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-algo", "quantum"}, io.Discard); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	if err := run([]string{"-graph", "nonsense"}, io.Discard); err == nil {
+		t.Fatal("bad graph accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "flag") {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunWithRepair(t *testing.T) {
+	if err := run([]string{"-graph", "cycle", "-n", "300", "-eps", "0.3", "-repair"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

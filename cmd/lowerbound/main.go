@@ -1,0 +1,70 @@
+// Command lowerbound runs the Appendix B indistinguishability experiment
+// behind Theorem 1.4: a t-round LOCAL algorithm cannot distinguish two
+// high-girth regular graphs below the girth radius, so its per-vertex MIS
+// inclusion rate is identical on both — even though their independence
+// numbers differ. It also demonstrates the Theorem B.3 subdivision scaling:
+// at a fixed round budget, approximation quality degrades linearly in the
+// subdivision parameter x ~ 1/ε.
+//
+// Usage:
+//
+//	lowerbound [-n 400] [-trials 200] [-maxt 6] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/graph/gen"
+	"repro/internal/lower"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
+	n := fs.Int("n", 400, "cycle length (even); the odd twin has n+1 vertices")
+	trials := fs.Int("trials", 200, "trials per rate estimate")
+	maxT := fs.Int("maxt", 6, "largest round budget to test")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n%2 != 0 {
+		*n++
+	}
+	bip := gen.Cycle(*n)
+	odd := gen.Cycle(*n + 1)
+	fmt.Fprintf(w, "graphs: C%d (alpha/n = 0.5) vs C%d (alpha/n = %.4f)\n",
+		*n, *n+1, float64(*n/2)/float64(*n+1))
+	fmt.Fprintf(w, "%4s  %12s  %12s  %10s  %14s\n", "t", "rate(even)", "rate(odd)", "|diff|", "deficit vs opt")
+	for t := 1; t <= *maxT; t++ {
+		if !lower.BallIsomorphic(bip, t) || !lower.BallIsomorphic(odd, t) {
+			fmt.Fprintf(w, "%4d  (t exceeds girth/2; balls no longer trees)\n", t)
+			continue
+		}
+		rateA := lower.InclusionRate(bip, t, *trials, *seed+uint64(t))
+		rateB := lower.InclusionRate(odd, t, *trials, *seed+uint64(t)+1000)
+		fmt.Fprintf(w, "%4d  %12.4f  %12.4f  %10.4f  %14.4f\n",
+			t, rateA, rateB, math.Abs(rateA-rateB), 0.5-rateA)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "subdivision scaling (Theorem B.3): 3-round MIS rate on C60 subdivided by 2x")
+	base := gen.Cycle(60)
+	for _, x := range []int{0, 1, 2, 4, 8} {
+		gx := lower.SubdivideForMIS(base, x)
+		rate := lower.InclusionRate(gx, 3, *trials/2, *seed+uint64(x)*77)
+		fmt.Fprintf(w, "  x=%d: n=%d rate=%.4f ratio-to-opt=%.4f\n", x, gx.N(), rate, rate/0.5)
+	}
+	fmt.Fprintln(w, "interpretation: fixed-round algorithms fall further from optimal as x ~ 1/eps grows,")
+	fmt.Fprintln(w, "matching the Omega(log n / eps) lower bound of Theorem 1.4.")
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-n", "60", "-trials", "20", "-maxt", "2"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOddNRoundsUp(t *testing.T) {
+	if err := run([]string{"-n", "61", "-trials", "10", "-maxt", "1"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a full reproduction of Chang & Li, "The Complexity of
+// Distributed Approximation of Packing and Covering Integer Linear
+// Programs" (PODC 2023, arXiv:2305.01324): low-diameter decompositions with
+// with-high-probability guarantees (Theorem 1.1), (1±ε)-approximate packing
+// and covering ILPs in the LOCAL model (Theorems 1.2/1.3), the Ω(log n / ε)
+// lower bounds (Theorem 1.4), the prior algorithms they improve on
+// (Elkin–Neiman, Miller–Peng–Xu, Linial–Saks, GKM17), and the Appendix C
+// adversarial families.
+//
+// The public API lives in internal/core; see README.md for the map and
+// bench_test.go for the experiment regeneration targets (E1–E12).
+package repro

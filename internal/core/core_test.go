@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/ilp"
+	"repro/internal/problems"
+)
+
+func TestDecomposeDefault(t *testing.T) {
+	g := gen.Grid(15, 15)
+	d, err := Decompose(g, DecomposeOptions{Epsilon: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, u, v := d.ValidateSeparation(g); !ok {
+		t.Fatalf("adjacent clusters %d-%d", u, v)
+	}
+	if d.UnclusteredFraction() > 0.25 {
+		t.Fatalf("unclustered fraction %v", d.UnclusteredFraction())
+	}
+}
+
+func TestDecomposeAlgorithms(t *testing.T) {
+	g := gen.Cycle(500)
+	for _, algo := range []Decomposer{DecomposerChangLi, DecomposerElkinNeiman, DecomposerBlackbox} {
+		d, err := Decompose(g, DecomposeOptions{Epsilon: 0.3, Algorithm: algo, Seed: 2, Scale: 0.01})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if ok, _, _ := d.ValidateSeparation(g); !ok {
+			t.Fatalf("%v: separation violated", algo)
+		}
+		if algo.String() == "" {
+			t.Fatal("empty algorithm name")
+		}
+	}
+}
+
+func TestDecomposeRepair(t *testing.T) {
+	g := gen.Cycle(800)
+	d, err := Decompose(g, DecomposeOptions{Epsilon: 0.3, Seed: 3, RepairDiameter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd := d.MaxStrongDiameter(g); sd == -1 {
+		t.Fatal("repaired cluster disconnected")
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	if _, err := Decompose(nil, DecomposeOptions{Epsilon: 0.5}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("nil graph accepted")
+	}
+	g := gen.Path(5)
+	if _, err := Decompose(g, DecomposeOptions{Epsilon: 0}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := Decompose(g, DecomposeOptions{Epsilon: 0.5, Algorithm: Decomposer(42)}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("unknown decomposer accepted")
+	}
+}
+
+func TestSolveMISWithRatio(t *testing.T) {
+	g := gen.Cycle(200)
+	rep, err := Solve(problems.MIS, g, Options{Epsilon: 0.25, Seed: 4, PrepRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatal("infeasible")
+	}
+	if rep.Optimum != 100 {
+		t.Fatalf("optimum = %d, want 100", rep.Optimum)
+	}
+	if rep.Ratio < 0.75 {
+		t.Fatalf("ratio %v < 1-eps", rep.Ratio)
+	}
+	if rep.Kind != ilp.Packing {
+		t.Fatal("wrong kind")
+	}
+}
+
+func TestSolveCoveringWithRatio(t *testing.T) {
+	g := gen.Cycle(200)
+	rep, err := Solve(problems.MinVertexCover, g, Options{Epsilon: 0.25, Seed: 5, PrepRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatal("infeasible")
+	}
+	if rep.Ratio > 1.25 {
+		t.Fatalf("ratio %v > 1+eps", rep.Ratio)
+	}
+	if rep.Kind != ilp.Covering {
+		t.Fatal("wrong kind")
+	}
+}
+
+func TestSolveGKM(t *testing.T) {
+	g := gen.Cycle(100)
+	rep, err := Solve(problems.MIS, g, Options{Epsilon: 0.3, Algorithm: SolverGKM, Seed: 6, Scale: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible || rep.Algorithm != SolverGKM {
+		t.Fatalf("GKM report wrong: %+v", rep)
+	}
+	if rep.Ratio < 0.7 {
+		t.Fatalf("GKM ratio %v", rep.Ratio)
+	}
+	if SolverGKM.String() != "gkm" || SolverChangLi.String() != "chang-li" {
+		t.Fatal("solver names")
+	}
+}
+
+func TestSolveNoOracle(t *testing.T) {
+	// Odd cycle MDS: no exact oracle -> Optimum = -1, Ratio = 0.
+	g := gen.Cycle(51)
+	rep, err := Solve(problems.MinDominatingSet, g, Options{Epsilon: 0.3, Seed: 7, PrepRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatal("infeasible")
+	}
+	if rep.Optimum != -1 || rep.Ratio != 0 {
+		t.Fatalf("oracle fields: opt=%d ratio=%v", rep.Optimum, rep.Ratio)
+	}
+}
+
+func TestSolveILPValidation(t *testing.T) {
+	if _, err := SolveILP(nil, Options{Epsilon: 0.5}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("nil instance accepted")
+	}
+	g := gen.Path(4)
+	inst, _ := problems.Build(problems.MIS, g, nil)
+	if _, err := SolveILP(inst, Options{Epsilon: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("bad epsilon accepted")
+	}
+	if _, err := SolveILP(inst, Options{Epsilon: 0.5, Algorithm: Solver(42)}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestSolveILPDirect(t *testing.T) {
+	// A general (non-graph-problem) packing ILP through the facade.
+	b := ilp.NewBuilder(ilp.Packing, []int64{3, 2, 2})
+	b.AddConstraint([]ilp.Term{{Var: 0, Coeff: 2}, {Var: 1, Coeff: 1}, {Var: 2, Coeff: 1}}, 3)
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SolveILP(inst, Options{Epsilon: 0.2, Seed: 8, PrepRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatal("infeasible")
+	}
+	// OPT = 5 (vars 0 and 1, or 0 and 2); one cluster covers everything, so
+	// the exact local solve should find it.
+	if rep.Value < 4 {
+		t.Fatalf("value = %d", rep.Value)
+	}
+}

@@ -1,0 +1,507 @@
+// Package covering implements the paper's Theorem 1.3: a distributed
+// (1+ε)-approximation for any covering integer linear program in the LOCAL
+// model, running in O((log log n + log(1/ε))³·log(n)/ε) rounds with
+// probability 1 - 1/poly(n).
+//
+// Structure (Section 5):
+//
+//   - Preparation: Θ(log ñ) independent sparse covers (Lemma C.2) of the
+//     communication (primal) graph with λ = ln(21/20); every cluster C
+//     computes W(Q^local_C, C) and the value of its (8tR)-radius
+//     neighborhood, driving its sampling rate.
+//   - Phase 1: t = ⌈log log n + log(1/ε) + 8⌉ iterations (no Phase-2
+//     shortcut — bad vertices cannot be tolerated for covering);
+//     Grow-and-Carve-Covering (Algorithm 7) finds the odd layer pair
+//     S_{j*} ∪ S_{j*+1} with the cheapest local covering weight, FIXES the
+//     local solution on that pair (permanently assigning those variables
+//     1), which satisfies — and therefore deletes — every constraint
+//     crossing the removal boundary, then removes the interior.
+//   - Phase 2 (final): a sparse cover with λ = ln(1+ε/5) on the residual;
+//     every cover cluster solves its local covering instance (Lemma C.3)
+//     against the residual demands, the removed components do the same, and
+//     the union (bitwise OR) of all local solutions is returned.
+package covering
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ilp"
+	"repro/internal/ldd"
+	"repro/internal/local"
+	"repro/internal/solve"
+	"repro/internal/xrand"
+)
+
+// coverLabel salts the per-cluster sampling streams.
+const coverLabel = 0xc04e4
+
+// Params configures a Theorem 1.3 run.
+type Params struct {
+	// Epsilon is the approximation parameter: the output is a feasible
+	// solution of weight <= (1+ε)·OPT w.h.p. (given exact local solves).
+	Epsilon float64
+	// NTilde is the known polynomial upper bound on max(|V|, W(Q*, V));
+	// zero means n.
+	NTilde int
+	// Seed drives all randomness.
+	Seed uint64
+	// Scale multiplies the paper's radius constant (see ldd.Params.Scale).
+	Scale float64
+	// PrepRuns overrides the number of preparation covers (paper: 16 ln ñ).
+	PrepRuns int
+	// Solve tunes the local optimizers.
+	Solve solve.Options
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Solution ilp.Solution
+	Value    int64
+	Rounds   int
+	// Exact reports whether every local solve used an exact method.
+	Exact bool
+	// FixedWeight is the weight committed during Phase-1 carving (the
+	// ε/2-loss term of Lemma 5.3).
+	FixedWeight int64
+	// NumRegions is the number of final regions solved in Phase 2.
+	NumRegions int
+}
+
+type derived struct {
+	t         int
+	r         int
+	nTilde    int
+	ln        float64
+	intervals [][2]int // length-2R intervals, i = 1..t
+	prepRuns  int
+	estRadius int
+}
+
+func derive(n int, p Params) derived {
+	nTilde := p.NTilde
+	if nTilde < n {
+		nTilde = n
+	}
+	eps := clampEps(p.Epsilon)
+	scale := p.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	ln := math.Log(float64(nTilde) + 3)
+	t := int(math.Ceil(math.Log2(ln) + math.Log2(1/eps) + 8))
+	if t < 1 {
+		t = 1
+	}
+	r := int(math.Ceil(200 * float64(t) * ln / eps * scale))
+	if r < 2 {
+		r = 2
+	}
+	d := derived{t: t, r: r, nTilde: nTilde, ln: ln, estRadius: 8 * t * r}
+	// I_i = [(t-i+1)·2R + 1, (t-i+2)·2R], i = 1..t.
+	for i := 1; i <= t; i++ {
+		a := (t-i+1)*2*r + 1
+		b := (t - i + 2) * 2 * r
+		d.intervals = append(d.intervals, [2]int{a, b})
+	}
+	d.prepRuns = p.PrepRuns
+	if d.prepRuns <= 0 {
+		d.prepRuns = int(math.Ceil(16 * ln))
+	}
+	return d
+}
+
+func clampEps(eps float64) float64 {
+	if eps <= 0 || eps > 1 {
+		return 0.5
+	}
+	return eps
+}
+
+type prepCluster struct {
+	members []int32
+	wC      int64
+	wSC     int64
+}
+
+// state carries the mutable run state shared by the carving steps.
+type state struct {
+	inst     *ilp.Instance
+	g        *graph.Graph
+	alive    []bool
+	removed  []bool
+	solution ilp.Solution
+	used     []float64 // committed coverage per constraint
+	exact    bool
+	opt      solve.Options
+}
+
+// fix permanently assigns variable v = 1 and updates the residual demands.
+func (s *state) fix(v int32) {
+	if s.solution[v] {
+		return
+	}
+	s.solution[v] = true
+	for _, cj := range s.inst.ConstraintsOf(int(v)) {
+		s.used[cj] += coeffOf(s.inst, int(cj), int(v))
+	}
+}
+
+// Solve runs the Theorem 1.3 algorithm on a covering instance.
+func Solve(inst *ilp.Instance, p Params) (*Result, error) {
+	g := inst.Hypergraph().Primal()
+	n := g.N()
+	d := derive(n, p)
+	eps := clampEps(p.Epsilon)
+	rootRNG := xrand.New(p.Seed)
+	var rc local.RoundCounter
+
+	st := &state{
+		inst:     inst,
+		g:        g,
+		alive:    make([]bool, n),
+		removed:  make([]bool, n),
+		solution: inst.NewSolution(),
+		used:     make([]float64, inst.NumConstraints()),
+		exact:    true,
+		opt:      p.Solve,
+	}
+	for i := range st.alive {
+		st.alive[i] = true
+	}
+
+	// --- Preparation: sparse covers for weight estimates ------------------
+	lambdaPrep := math.Log(21.0 / 20.0)
+	var clusters []prepCluster
+	rc.StartPhase()
+	for run := 0; run < d.prepRuns; run++ {
+		cov := ldd.SparseCover(g, nil, ldd.ENParams{
+			Lambda: lambdaPrep,
+			NTilde: d.nTilde,
+			Seed:   rootRNG.Split(uint64(run) + 0xc0e).Uint64(),
+		})
+		rc.Charge(cov.Rounds)
+		for _, members := range cov.Clusters {
+			if len(members) == 0 {
+				continue
+			}
+			pc := prepCluster{members: members}
+			var err error
+			pc.wC, err = st.localValue(members)
+			if err != nil {
+				return nil, err
+			}
+			sc := ballFromSet(g, members, d.estRadius, nil)
+			rc.Charge(min(d.estRadius, n))
+			pc.wSC, err = st.localValue(sc)
+			if err != nil {
+				return nil, err
+			}
+			clusters = append(clusters, pc)
+		}
+	}
+	rc.EndPhase()
+
+	// --- Phase 1: t carving iterations -------------------------------------
+	for i := 1; i <= d.t; i++ {
+		interval := d.intervals[i-1]
+		rc.StartPhase()
+		for ci, pc := range clusters {
+			if pc.wSC <= 0 || pc.wC <= 0 {
+				continue
+			}
+			prob := math.Exp2(float64(i)) * float64(pc.wC) / float64(pc.wSC)
+			if prob > 1 {
+				prob = 1
+			}
+			if !xrand.Stream(p.Seed, ci, uint64(coverLabel+i)).Bernoulli(prob) {
+				continue
+			}
+			if err := st.growCarveCovering(pc.members, interval[0], interval[1]); err != nil {
+				return nil, err
+			}
+			rc.Charge(interval[1])
+		}
+		rc.EndPhase()
+	}
+	fixedWeight := inst.Value(st.solution)
+
+	// --- Phase 2: sparse cover + per-region local solves --------------------
+	lambdaFinal := math.Log1p(eps / 5)
+	cov := ldd.SparseCover(g, st.alive, ldd.ENParams{
+		Lambda: lambdaFinal,
+		NTilde: d.nTilde,
+		Seed:   rootRNG.Split(0xf17a1).Uint64(),
+	})
+	rc.Charge(cov.Rounds)
+
+	// Regions: residual sparse-cover clusters plus removed components. All
+	// local solves run against the Phase-1 residual demands and are OR-ed
+	// (Lemma C.3); overlap cost is the geometric multiplicity.
+	var regions [][]int32
+	regions = append(regions, cov.Clusters...)
+	comp, count := g.ComponentsAlive(st.removed)
+	removedRegions := make([][]int32, count)
+	for v := 0; v < n; v++ {
+		if st.removed[v] {
+			removedRegions[comp[v]] = append(removedRegions[comp[v]], int32(v))
+		}
+	}
+	regions = append(regions, removedRegions...)
+
+	usedSnapshot := append([]float64(nil), st.used...)
+	var chosen [][]int32
+	rc.StartPhase()
+	for _, region := range regions {
+		picks, err := st.localCoverAgainst(region, usedSnapshot)
+		if err != nil {
+			return nil, err
+		}
+		chosen = append(chosen, picks)
+		rc.Charge(cov.Rounds)
+	}
+	rc.EndPhase()
+	for _, picks := range chosen {
+		for _, v := range picks {
+			st.fix(v)
+		}
+	}
+
+	return &Result{
+		Solution:    st.solution,
+		Value:       inst.Value(st.solution),
+		Rounds:      rc.Total(),
+		Exact:       st.exact,
+		FixedWeight: fixedWeight,
+		NumRegions:  len(regions),
+	}, nil
+}
+
+// localValue computes W(Q^local_S, S): the optimal covering weight of the
+// constraints fully inside S (against the original demands — preparation
+// happens before any fixing).
+func (s *state) localValue(members []int32) (int64, error) {
+	_, val, m, err := solve.CoveringLocal(s.inst, members, s.opt)
+	if err != nil {
+		return 0, err
+	}
+	if !m.Exact() {
+		s.exact = false
+	}
+	return val, nil
+}
+
+// growCarveCovering implements Algorithm 7 for a cluster seed set.
+func (s *state) growCarveCovering(seed []int32, a, b int) error {
+	layers := ballLayersFromSet(s.g, seed, b, s.alive)
+	if layers == nil {
+		return nil
+	}
+	if len(layers) <= a {
+		// Component exhausted before the window: remove it whole; its
+		// constraints are handled by the removed-region solve in Phase 2.
+		for _, l := range layers {
+			for _, v := range l {
+				s.alive[v] = false
+				s.removed[v] = true
+			}
+		}
+		return nil
+	}
+	var ball []int32
+	for _, l := range layers {
+		ball = append(ball, l...)
+	}
+	// Q^local of the gathered ball, against current residual demands.
+	sol, err := s.localCoverAgainst(ball, s.used)
+	if err != nil {
+		return err
+	}
+	inSol := make(map[int32]bool, len(sol))
+	for _, v := range sol {
+		inSol[v] = true
+	}
+	pairWeight := func(j int) int64 {
+		var w int64
+		for _, idx := range []int{j, j + 1} {
+			if idx >= len(layers) {
+				continue
+			}
+			for _, v := range layers[idx] {
+				if inSol[v] {
+					w += s.inst.Weight(int(v))
+				}
+			}
+		}
+		return w
+	}
+	// Odd j* in [a, b] minimizing the pair weight.
+	jStar, best := -1, int64(-1)
+	start := a
+	if start%2 == 0 {
+		start++
+	}
+	for j := start; j <= b && j < len(layers); j += 2 {
+		w := pairWeight(j)
+		if best == -1 || w < best {
+			best = w
+			jStar = j
+		}
+	}
+	if jStar == -1 {
+		for _, l := range layers {
+			for _, v := range l {
+				s.alive[v] = false
+				s.removed[v] = true
+			}
+		}
+		return nil
+	}
+	// Fix the local solution on S_{j*} ∪ S_{j*+1}: every constraint crossing
+	// the removal boundary lies inside the pair (constraints are cliques in
+	// the primal graph) and is satisfied by the fixed assignment.
+	for _, idx := range []int{jStar, jStar + 1} {
+		if idx >= len(layers) {
+			continue
+		}
+		for _, v := range layers[idx] {
+			if inSol[v] {
+				s.fix(v)
+			}
+		}
+	}
+	// Remove the interior N^{j*}.
+	for j := 0; j <= jStar && j < len(layers); j++ {
+		for _, v := range layers[j] {
+			s.alive[v] = false
+			s.removed[v] = true
+		}
+	}
+	return nil
+}
+
+// localCoverAgainst solves the covering problem restricted to the region:
+// constraints with positive residual demand (w.r.t. used) whose variables
+// all lie inside region ∪ {already-fixed vertices}; fixed vertices are free
+// (weight 0). Returns the chosen vertices (global ids).
+func (s *state) localCoverAgainst(region []int32, used []float64) ([]int32, error) {
+	inRegion := make(map[int32]int, len(region))
+	vars := make([]int32, 0, len(region))
+	for _, v := range region {
+		if _, dup := inRegion[v]; dup {
+			continue
+		}
+		inRegion[v] = len(vars)
+		vars = append(vars, v)
+	}
+	weights := make([]int64, len(vars))
+	for i, v := range vars {
+		weights[i] = s.inst.Weight(int(v))
+		if s.solution[v] {
+			weights[i] = 0
+		}
+	}
+	b := ilp.NewBuilder(ilp.Covering, weights)
+	seen := make(map[int32]bool)
+	for _, v := range vars {
+		for _, cj := range s.inst.ConstraintsOf(int(v)) {
+			if seen[cj] {
+				continue
+			}
+			seen[cj] = true
+			res := s.inst.Constraint(int(cj)).B - used[cj]
+			if res <= 1e-9 {
+				continue
+			}
+			inside := true
+			var terms []ilp.Term
+			for _, t := range s.inst.Constraint(int(cj)).Terms {
+				idx, ok := inRegion[int32(t.Var)]
+				if !ok {
+					inside = false
+					break
+				}
+				terms = append(terms, ilp.Term{Var: idx, Coeff: t.Coeff})
+			}
+			if inside && len(terms) > 0 {
+				b.AddConstraint(terms, res)
+			}
+		}
+	}
+	localInst, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int32, len(vars))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	sol, _, m, err := solve.CoveringLocal(localInst, all, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Exact() {
+		s.exact = false
+	}
+	var out []int32
+	for i, set := range sol {
+		if set {
+			out = append(out, vars[i])
+		}
+	}
+	return out, nil
+}
+
+func coeffOf(inst *ilp.Instance, j, v int) float64 {
+	for _, t := range inst.Constraint(j).Terms {
+		if t.Var == v {
+			return t.Coeff
+		}
+	}
+	return 0
+}
+
+// ballFromSet and ballLayersFromSet mirror the packing package's helpers.
+func ballFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) []int32 {
+	layers := ballLayersFromSet(g, seed, radius, alive)
+	var out []int32
+	for _, l := range layers {
+		out = append(out, l...)
+	}
+	return out
+}
+
+func ballLayersFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) [][]int32 {
+	seen := make(map[int32]bool, len(seed)*4)
+	var layer0 []int32
+	for _, s := range seed {
+		if seen[s] || (alive != nil && !alive[s]) {
+			continue
+		}
+		seen[s] = true
+		layer0 = append(layer0, s)
+	}
+	if len(layer0) == 0 {
+		return nil
+	}
+	layers := [][]int32{layer0}
+	frontier := layer0
+	for dd := 0; dd < radius && len(frontier) > 0; dd++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(int(u)) {
+				if seen[w] || (alive != nil && !alive[w]) {
+					continue
+				}
+				seen[w] = true
+				next = append(next, w)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		layers = append(layers, next)
+		frontier = next
+	}
+	return layers
+}

@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	exps := All()
+	if len(exps) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(exps))
+	}
+	// IDs are E1..E12 in numeric order.
+	for i, e := range exps {
+		want := "E" + itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("position %d: id %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("%s: incomplete entry", e.ID)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return "1" + string(rune('0'+i-10))
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e4"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Headers: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Note("hello %d", 5)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "333", "hello 5", "a", "bb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment in Quick mode and asserts
+// the structural invariants: rows exist, row widths match headers, and no
+// experiment reports a SHAPE VIOLATION.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds; skipped with -short")
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(cfg)
+			if tbl == nil || len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Fatalf("%s: row width %d != headers %d", e.ID, len(row), len(tbl.Headers))
+				}
+			}
+			for _, n := range tbl.Notes {
+				if strings.Contains(n, "SHAPE VIOLATION") {
+					t.Fatalf("%s: %s", e.ID, n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,343 @@
+// Package gen provides graph generators for the experiment harness: standard
+// topologies (paths, cycles, grids, tori, trees, hypercubes), random models
+// (G(n,p), random d-regular, random trees), high-girth regular graphs for
+// the lower-bound experiments, and the two adversarial families from
+// Appendix C of Chang–Li (PODC 2023) on which the in-expectation
+// low-diameter decompositions of Elkin–Neiman and Miller–Peng–Xu fail with
+// probability Ω(ε).
+package gen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Path returns the path graph on n vertices: 0-1-2-...-(n-1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices (n >= 3 for a true cycle;
+// smaller n degenerates to a path).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	if n >= 3 {
+		b.AddEdge(n-1, 0)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} with sides {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *graph.Graph {
+	bb := graph.NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bb.AddEdge(i, a+j)
+		}
+	}
+	return bb.Build()
+}
+
+// Grid returns the rows x cols grid graph; vertex (r, c) has id r*cols+c.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows x cols torus (grid with wraparound in both
+// dimensions). Degenerate dimensions (< 3) avoid duplicate wrap edges by the
+// builder's dedup.
+func Torus(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, c+1))
+			b.AddEdge(id(r, c), id(r+1, c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *graph.Graph {
+	n := 1 << d
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			b.AddEdge(v, v^(1<<bit))
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// CompleteDAryTree returns the complete rooted tree of the given arity and
+// depth (root at vertex 0; depth 0 is a single vertex).
+func CompleteDAryTree(arity, depth int) *graph.Graph {
+	// Count vertices: 1 + a + a^2 + ... + a^depth.
+	n := 1
+	levelSize := 1
+	for d := 0; d < depth; d++ {
+		levelSize *= arity
+		n += levelSize
+	}
+	b := graph.NewBuilder(n)
+	// BFS-order ids: children of node i start after all previously placed.
+	next := 1
+	frontier := []int{0}
+	for d := 0; d < depth; d++ {
+		var newFrontier []int
+		for _, v := range frontier {
+			for c := 0; c < arity; c++ {
+				b.AddEdge(v, next)
+				newFrontier = append(newFrontier, next)
+				next++
+			}
+		}
+		frontier = newFrontier
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random Prüfer-like attachment: vertex i attaches to a uniform earlier
+// vertex. (This is the random recursive tree, not uniform over all labeled
+// trees; it has the logarithmic height useful for the experiments.)
+func RandomTree(n int, rng *xrand.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, rng.Intn(i))
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of length spine with legs pendant vertices
+// attached to every spine vertex.
+func Caterpillar(spine, legs int) *graph.Graph {
+	n := spine * (1 + legs)
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < spine; i++ {
+		b.AddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(i, next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n, p) random graph.
+func GNP(n int, p float64, rng *xrand.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if p <= 0 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Geometric skipping over the implicit edge enumeration would be faster,
+	// but the quadratic loop is clear and fine at laptop scale.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Bernoulli(p) {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices using
+// the configuration model with restart on collision. n*d must be even and
+// d < n; otherwise it returns the closest achievable graph by dropping the
+// violating constraint (an empty graph for nonsensical input). The result is
+// approximately uniform for the small d used in the experiments.
+func RandomRegular(n, d int, rng *xrand.RNG) *graph.Graph {
+	if n <= 0 || d <= 0 || d >= n {
+		return graph.NewBuilder(max(n, 0)).Build()
+	}
+	if n*d%2 != 0 {
+		n++ // round up to make the pairing feasible
+	}
+	stubs := make([]int, 0, n*d)
+	for attempt := 0; attempt < 200; attempt++ {
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		xrand.Shuffle(rng, stubs)
+		ok := true
+		seen := make(map[[2]int]bool, n*d/2)
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				ok = false
+				break
+			}
+			seen[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+		}
+		if ok {
+			return b.Build()
+		}
+	}
+	// Fall back to a d-connected circulant, which is d-regular and simple.
+	return Circulant(n, d)
+}
+
+// Circulant returns the circulant graph C_n(1, 2, ..., ceil(d/2)); it is
+// d-regular when n > d (for even d; for odd d the last offset n/2 is used
+// when available).
+func Circulant(n, d int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	half := d / 2
+	for v := 0; v < n; v++ {
+		for k := 1; k <= half; k++ {
+			b.AddEdge(v, (v+k)%n)
+		}
+		if d%2 == 1 && n%2 == 0 {
+			b.AddEdge(v, (v+n/2)%n)
+		}
+	}
+	return b.Build()
+}
+
+// HighGirthRegular returns a d-regular graph on ~n vertices with girth at
+// least the requested value, built by repeatedly sampling random d-regular
+// graphs and locally rewiring short cycles; if the girth target cannot be
+// met within the attempt budget it returns the best graph found along with
+// its girth. This substitutes for the LPS Ramanujan graphs X^{p,q} in the
+// Appendix B experiments: the lower-bound argument only needs girth
+// Ω(log n), which random regular graphs achieve for small d.
+func HighGirthRegular(n, d, girthTarget int, rng *xrand.RNG) (*graph.Graph, int) {
+	var best *graph.Graph
+	bestGirth := -1
+	for attempt := 0; attempt < 30; attempt++ {
+		g := RandomRegular(n, d, rng)
+		gg := g.Girth()
+		if gg < 0 {
+			gg = 1 << 30 // forest: infinite girth
+		}
+		if gg > bestGirth {
+			best, bestGirth = g, gg
+		}
+		if bestGirth >= girthTarget {
+			break
+		}
+	}
+	return best, bestGirth
+}
+
+// CliquePlusPath is the Claim C.1 adversarial family: a clique on
+// cliqueSize vertices with a path of pathLen extra vertices appended to
+// clique vertex 0. On the bare clique, the Elkin–Neiman decomposition
+// deletes at least cliqueSize-1 vertices whenever the top two exponential
+// shifts are within 1 of each other, which happens with probability Ω(ε);
+// the path padding raises the diameter without changing that event.
+func CliquePlusPath(cliqueSize, pathLen int) *graph.Graph {
+	n := cliqueSize + pathLen
+	b := graph.NewBuilder(n)
+	for i := 0; i < cliqueSize; i++ {
+		for j := i + 1; j < cliqueSize; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		b.AddEdge(prev, cliqueSize+i)
+		prev = cliqueSize + i
+	}
+	return b.Build()
+}
+
+// MPXBad is the Claim C.2 adversarial family for the Miller–Peng–Xu edge
+// decomposition, on n = 4t+2 vertices and t^2+4t edges: vertex sets SL, SR,
+// L, R each of size t, a complete bipartite graph between L and R, a hub u
+// adjacent to SL ∪ L and a hub v adjacent to SR ∪ R. When the two largest
+// shifts land in SL and SR with a gap, all t^2 (L, R) edges are cut.
+//
+// Vertex layout: u = 0, v = 1, SL = [2, 2+t), SR = [2+t, 2+2t),
+// L = [2+2t, 2+3t), R = [2+3t, 2+4t).
+func MPXBad(t int) *graph.Graph {
+	n := 4*t + 2
+	b := graph.NewBuilder(n)
+	u, v := 0, 1
+	sl := func(i int) int { return 2 + i }
+	sr := func(i int) int { return 2 + t + i }
+	l := func(i int) int { return 2 + 2*t + i }
+	r := func(i int) int { return 2 + 3*t + i }
+	for i := 0; i < t; i++ {
+		b.AddEdge(u, sl(i))
+		b.AddEdge(u, l(i))
+		b.AddEdge(v, sr(i))
+		b.AddEdge(v, r(i))
+		for j := 0; j < t; j++ {
+			b.AddEdge(l(i), r(j))
+		}
+	}
+	return b.Build()
+}
+
+// MPXBadParts returns the index ranges of the L and R sides of MPXBad(t),
+// so experiments can count how many of the t^2 cross edges were cut.
+func MPXBadParts(t int) (lo1, hi1, lo2, hi2 int) {
+	return 2 + 2*t, 2 + 3*t, 2 + 3*t, 2 + 4*t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

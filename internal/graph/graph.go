@@ -1,0 +1,547 @@
+// Package graph provides the undirected-graph substrate used by every
+// algorithm in this repository: a compact immutable adjacency structure,
+// breadth-first searches (single-source, multi-source, and radius-bounded),
+// ball queries N^k(v), connected components, induced subgraphs with vertex
+// remapping, graph powers, edge subdivision, and structural predicates
+// (bipartiteness, girth, diameter).
+//
+// Vertices are dense integers 0..N-1. Graphs are simple (no self-loops, no
+// multi-edges) and immutable after construction; algorithms that "delete"
+// vertices operate on an alive-mask or build induced subgraphs, which keeps
+// the base structure shareable across goroutines without locks.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in compressed adjacency
+// form. Construct one with NewBuilder / Build. The zero value is an empty
+// graph with no vertices.
+type Graph struct {
+	offsets []int32 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32 // concatenated sorted neighbor lists
+	m       int     // number of edges
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge. O(log deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// Edges calls fn for every edge {u, v} with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// EdgeList returns all edges as [2]int pairs with u < v.
+func (g *Graph) EdgeList() [][2]int {
+	out := make([][2]int, 0, g.m)
+	g.Edges(func(u, v int) { out = append(out, [2]int{u, v}) })
+	return out
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are silently dropped, so builders can be fed redundant edge
+// streams (e.g. from generators) without pre-deduplication.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Out-of-range endpoints and
+// self-loops are ignored.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// Build finalizes the graph. The builder can be reused afterwards, but any
+// further AddEdge calls do not affect already-built graphs.
+func (b *Builder) Build() *Graph {
+	// Sort and deduplicate edge list.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	dedup := b.edges[:0]
+	var prev [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e != prev {
+			dedup = append(dedup, e)
+			prev = e
+		}
+	}
+	b.edges = dedup
+
+	deg := make([]int32, b.n)
+	for _, e := range b.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offsets := make([]int32, b.n+1)
+	for i := 0; i < b.n; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	adj := make([]int32, offsets[b.n])
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range b.edges {
+		adj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		adj[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	// Neighbor lists are already sorted because edges were emitted in sorted
+	// order for the first endpoint, but second-endpoint insertions interleave;
+	// sort each list to guarantee the invariant HasEdge relies on.
+	g := &Graph{offsets: offsets, adj: adj, m: len(b.edges)}
+	for v := 0; v < b.n; v++ {
+		nb := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g
+}
+
+// FromEdges builds a graph on n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Unreachable is the distance value reported for vertices not reached by a
+// bounded or disconnected BFS.
+const Unreachable = int32(-1)
+
+// BFS computes single-source distances from src. dist[v] == Unreachable for
+// vertices in other components.
+func (g *Graph) BFS(src int) []int32 {
+	return g.BFSBounded(src, -1)
+}
+
+// BFSBounded computes distances from src up to the given radius (inclusive).
+// A negative radius means unbounded.
+func (g *Graph) BFSBounded(src, radius int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := dist[v]
+		if radius >= 0 && int(d) >= radius {
+			continue
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiBFS computes, for every vertex, the distance to the nearest source
+// and the identity of that source (ties broken toward the earlier BFS
+// settlement, which for equal distances is the smaller queue position).
+// Vertices unreachable from any source get distance Unreachable and source
+// -1.
+func (g *Graph) MultiBFS(sources []int) (dist []int32, from []int32) {
+	dist = make([]int32, g.N())
+	from = make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+		from[i] = -1
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= g.N() || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		from[s] = int32(s)
+		queue = append(queue, int32(s))
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				from[w] = from[v]
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist, from
+}
+
+// Ball returns the vertices of N^k(v) = {u : dist(u,v) <= k}, in BFS order
+// (hence sorted by distance), including v itself.
+func (g *Graph) Ball(v, k int) []int32 {
+	return g.BallAlive(v, k, nil)
+}
+
+// BallAlive returns N^k(v) restricted to the subgraph induced by vertices u
+// with alive[u] == true. A nil alive mask means all vertices are alive. If v
+// itself is dead the ball is empty.
+func (g *Graph) BallAlive(v, k int, alive []bool) []int32 {
+	if v < 0 || v >= g.N() {
+		return nil
+	}
+	if alive != nil && !alive[v] {
+		return nil
+	}
+	// Reuse a visited map sized to the graph only when cheap; for large
+	// graphs with small balls a map would be slower than a slice, and the
+	// slice is O(n) per call. We use an epoch-free local slice: acceptable
+	// because callers batch balls per phase and n is laptop-scale.
+	seen := make([]bool, g.N())
+	seen[v] = true
+	ball := []int32{int32(v)}
+	frontier := []int32{int32(v)}
+	for d := 0; d < k && len(frontier) > 0; d++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(int(u)) {
+				if seen[w] || (alive != nil && !alive[w]) {
+					continue
+				}
+				seen[w] = true
+				next = append(next, w)
+				ball = append(ball, w)
+			}
+		}
+		frontier = next
+	}
+	return ball
+}
+
+// BallLayers returns the layers S_0, S_1, ..., S_k of the BFS from v in the
+// alive-induced subgraph: S_j is the set of alive vertices at distance
+// exactly j from v. Trailing empty layers are trimmed.
+func (g *Graph) BallLayers(v, k int, alive []bool) [][]int32 {
+	if v < 0 || v >= g.N() || (alive != nil && !alive[v]) {
+		return nil
+	}
+	seen := make([]bool, g.N())
+	seen[v] = true
+	layers := [][]int32{{int32(v)}}
+	frontier := []int32{int32(v)}
+	for d := 0; d < k && len(frontier) > 0; d++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(int(u)) {
+				if seen[w] || (alive != nil && !alive[w]) {
+					continue
+				}
+				seen[w] = true
+				next = append(next, w)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		layers = append(layers, next)
+		frontier = next
+	}
+	return layers
+}
+
+// Components returns the connected-component id of each vertex (ids are
+// dense, 0-based, in order of first discovery) and the number of components.
+func (g *Graph) Components() (comp []int32, count int) {
+	return g.ComponentsAlive(nil)
+}
+
+// ComponentsAlive is Components restricted to the alive-induced subgraph.
+// Dead vertices get component id -1.
+func (g *Graph) ComponentsAlive(alive []bool) (comp []int32, count int) {
+	comp = make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 || (alive != nil && !alive[s]) {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(int(v)) {
+				if comp[w] == -1 && (alive == nil || alive[w]) {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Induced builds the subgraph induced by the given vertex set. It returns
+// the new graph and the mapping newID -> oldID (the inverse mapping can be
+// derived by the caller). Duplicate vertices in the input are collapsed.
+func (g *Graph) Induced(vertices []int32) (*Graph, []int32) {
+	oldToNew := make(map[int32]int32, len(vertices))
+	newToOld := make([]int32, 0, len(vertices))
+	for _, v := range vertices {
+		if _, ok := oldToNew[v]; ok {
+			continue
+		}
+		oldToNew[v] = int32(len(newToOld))
+		newToOld = append(newToOld, v)
+	}
+	b := NewBuilder(len(newToOld))
+	for newU, oldU := range newToOld {
+		for _, w := range g.Neighbors(int(oldU)) {
+			if newW, ok := oldToNew[w]; ok && int32(newU) < newW {
+				b.AddEdge(newU, int(newW))
+			}
+		}
+	}
+	return b.Build(), newToOld
+}
+
+// Power returns the k-th power graph G^k: same vertex set, an edge between
+// any two distinct vertices at distance <= k in G. Quadratic in ball sizes;
+// intended for the moderate k used by the GKM baseline.
+func (g *Graph) Power(k int) *Graph {
+	if k <= 1 {
+		// G^1 == G; return a copy-free alias (Graph is immutable).
+		return g
+	}
+	b := NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Ball(v, k) {
+			if int(u) > v {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Subdivide returns the graph obtained by replacing every edge {u, v} with a
+// path u - w_1 - ... - w_{extra} - v of extra new internal vertices (so the
+// path has length extra+1). extra = 0 returns an isomorphic copy. This is
+// the reduction used in Theorems B.3 and B.7 with extra = 2x.
+func (g *Graph) Subdivide(extra int) *Graph {
+	if extra < 0 {
+		extra = 0
+	}
+	n := g.N()
+	b := NewBuilder(n + extra*g.M())
+	next := n
+	g.Edges(func(u, v int) {
+		if extra == 0 {
+			b.AddEdge(u, v)
+			return
+		}
+		prev := u
+		for i := 0; i < extra; i++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, v)
+	})
+	return b.Build()
+}
+
+// IsBipartite reports whether the graph is bipartite, and if so returns a
+// valid 2-coloring (side[v] in {0, 1}); otherwise side is nil.
+func (g *Graph) IsBipartite() (bool, []int8) {
+	side := make([]int8, g.N())
+	for i := range side {
+		side[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < g.N(); s++ {
+		if side[s] != -1 {
+			continue
+		}
+		side[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(int(v)) {
+				if side[w] == -1 {
+					side[w] = 1 - side[v]
+					queue = append(queue, w)
+				} else if side[w] == side[v] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, side
+}
+
+// Girth returns the length of a shortest cycle, or -1 for a forest.
+// O(n·m) BFS-based bound; fine at laptop scale.
+func (g *Graph) Girth() int {
+	best := -1
+	dist := make([]int32, g.N())
+	parent := make([]int32, g.N())
+	for s := 0; s < g.N(); s++ {
+		for i := range dist {
+			dist[i] = Unreachable
+			parent[i] = -1
+		}
+		dist[s] = 0
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if best >= 0 && int(dist[v])*2 >= best {
+				// No shorter cycle through s can be found beyond this depth.
+				continue
+			}
+			for _, w := range g.Neighbors(int(v)) {
+				if w == parent[v] {
+					// Skip the tree edge back to the parent once; parallel
+					// edges are impossible in a simple graph.
+					parent[v] = -2 // consume the single back-edge allowance
+					continue
+				}
+				if dist[w] == Unreachable {
+					dist[w] = dist[v] + 1
+					parent[w] = v
+					queue = append(queue, w)
+				} else {
+					// Non-tree edge closes a cycle of length d(v)+d(w)+1.
+					c := int(dist[v] + dist[w] + 1)
+					if best < 0 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Diameter returns the maximum eccentricity over all vertices, treating each
+// connected component separately and returning the max over components.
+// Returns 0 for an empty or edgeless graph.
+func (g *Graph) Diameter() int {
+	best := 0
+	for s := 0; s < g.N(); s++ {
+		dist := g.BFS(s)
+		for _, d := range dist {
+			if int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best
+}
+
+// Eccentricity returns max_u dist(v, u) within v's component.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFS(v)
+	best := 0
+	for _, d := range dist {
+		if int(d) > best {
+			best = int(d)
+		}
+	}
+	return best
+}
+
+// WeakDiameter returns max over u,v in S of dist_G(u, v): distances are
+// measured in the whole graph g, not the induced subgraph. Returns -1 if
+// some pair of S is disconnected in g.
+func (g *Graph) WeakDiameter(s []int32) int {
+	best := 0
+	for _, v := range s {
+		dist := g.BFS(int(v))
+		for _, u := range s {
+			d := dist[u]
+			if d == Unreachable {
+				return -1
+			}
+			if int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best
+}
+
+// StrongDiameter returns the diameter of the subgraph induced by S, or -1 if
+// that subgraph is disconnected.
+func (g *Graph) StrongDiameter(s []int32) int {
+	sub, _ := g.Induced(s)
+	comp, count := sub.Components()
+	_ = comp
+	if count > 1 {
+		return -1
+	}
+	return sub.Diameter()
+}

@@ -1,0 +1,185 @@
+package ldd
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/xrand"
+)
+
+// BlackboxParams configures the Section 1.6 construction of Coiteux-Roy et
+// al., which turns any (1/2, g(n)) low-diameter decomposition into an
+// (ε, O(g(n)/ε)) one in O((f(n)+g(n))·log(1/ε)/ε) rounds — improving the
+// log³(1/ε) factor of Theorem 1.1 to log(1/ε).
+type BlackboxParams struct {
+	// Epsilon is the target unclustered fraction.
+	Epsilon float64
+	// NTilde is the known upper bound on n; zero means n.
+	NTilde int
+	// Seed drives all randomness.
+	Seed uint64
+	// Scale is forwarded to the inner ChangLi(1/2) runs.
+	Scale float64
+	// UseElkinNeimanBase swaps the inner whp base (ChangLi at ε = 1/2) for
+	// plain Elkin–Neiman — the in-expectation ablation.
+	UseElkinNeimanBase bool
+}
+
+// Blackbox runs the boost:
+//
+//  1. run the (1/2, O(log n)) base decomposition on the power graph G^k of
+//     the remaining vertices, k = Θ(1/ε); its clusters are > k-hop
+//     separated in G;
+//  2. each cluster grows a ball in G for ⌊k/2⌋ hops and deletes its
+//     thinnest layer (≤ 2/k ≈ O(ε) of the ball); the ball interior is
+//     carved out as a final cluster;
+//  3. repeat on the unclustered remainder O(log(1/ε)) times; whatever is
+//     left at the end (≤ O(εn) in expectation/whp, per the proof sketch)
+//     is deleted.
+func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
+	n := g.N()
+	eps := p.Epsilon
+	if eps <= 0 {
+		eps = 0.5
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	nTilde := p.NTilde
+	if nTilde < n {
+		nTilde = n
+	}
+	k := int(math.Ceil(2 / eps))
+	if k < 2 {
+		k = 2
+	}
+	reps := int(math.Ceil(math.Log2(1/eps))) + 1
+	if reps < 1 {
+		reps = 1
+	}
+
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	clusterOf := make([]int32, n)
+	for i := range clusterOf {
+		clusterOf[i] = Unclustered
+	}
+	nextID := int32(0)
+	var rc local.RoundCounter
+	rootRNG := xrand.New(p.Seed)
+
+	for rep := 0; rep < reps; rep++ {
+		// Materialize the alive-induced subgraph and its k-th power.
+		var aliveList []int32
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				aliveList = append(aliveList, int32(v))
+			}
+		}
+		if len(aliveList) == 0 {
+			break
+		}
+		sub, back := g.Induced(aliveList)
+		power := sub.Power(k)
+		rc.Charge(k) // simulating one power-graph round costs k rounds
+
+		// Base (1/2, O(log n)) decomposition on the power graph.
+		seed := rootRNG.Split(uint64(rep) + 0xb1ac).Uint64()
+		var base *Decomposition
+		if p.UseElkinNeimanBase {
+			base = ElkinNeiman(power, nil, ENParams{Lambda: 0.5, NTilde: nTilde, Seed: seed})
+		} else {
+			base = ChangLi(power, Params{Epsilon: 0.5, NTilde: nTilde, Seed: seed, Scale: p.Scale})
+		}
+		rc.Charge(base.Rounds * k) // power-graph rounds simulated in G
+
+		// Ball-grow each base cluster ⌊k/2⌋ hops in G (clusters are > k
+		// apart in G, so the grown balls stay disjoint) and carve.
+		grow := k / 2
+		if grow < 1 {
+			grow = 1
+		}
+		rc.StartPhase()
+		carved := 0
+		for _, cluster := range base.Clusters() {
+			// Map power-graph ids back to g's ids.
+			seedSet := make([]int32, len(cluster))
+			for i, v := range cluster {
+				seedSet[i] = back[v]
+			}
+			layers := ballLayersFromSet(g, seedSet, grow, alive)
+			rc.Charge(grow)
+			// Find the thinnest layer among 1..grow; carve below it.
+			jStar, best := -1, -1
+			for j := 1; j < len(layers); j++ {
+				if best == -1 || len(layers[j]) < best {
+					best = len(layers[j])
+					jStar = j
+				}
+			}
+			if jStar == -1 {
+				jStar = len(layers) // component exhausted: keep everything
+			}
+			id := nextID
+			nextID++
+			for j := 0; j < jStar && j < len(layers); j++ {
+				for _, v := range layers[j] {
+					clusterOf[v] = id
+					alive[v] = false
+					carved++
+				}
+			}
+			if jStar < len(layers) {
+				for _, v := range layers[jStar] {
+					// Deleted layer: permanently unclustered.
+					alive[v] = false
+					carved++
+				}
+			}
+		}
+		rc.EndPhase()
+		if carved == 0 {
+			break // nothing progresses (e.g. base clustered nothing)
+		}
+	}
+	// Whatever is still alive after the repetitions is deleted.
+	num := relabel(clusterOf)
+	return &Decomposition{ClusterOf: clusterOf, NumClusters: num, Rounds: rc.Total()}
+}
+
+// ballLayersFromSet returns BFS layers from a seed set within the alive
+// mask; layer 0 is the seed set itself.
+func ballLayersFromSet(g *graph.Graph, seeds []int32, radius int, alive []bool) [][]int32 {
+	seen := make(map[int32]bool, len(seeds)*4)
+	var layer0 []int32
+	for _, s := range seeds {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		layer0 = append(layer0, s)
+	}
+	layers := [][]int32{layer0}
+	frontier := layer0
+	for d := 0; d < radius && len(frontier) > 0; d++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(int(u)) {
+				if seen[w] || (alive != nil && !alive[w]) {
+					continue
+				}
+				seen[w] = true
+				next = append(next, w)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		layers = append(layers, next)
+		frontier = next
+	}
+	return layers
+}

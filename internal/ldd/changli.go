@@ -1,0 +1,222 @@
+package ldd
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/xrand"
+)
+
+// phase3Label salts the Phase-3 Elkin–Neiman seed so it is independent of
+// the per-vertex sampling streams.
+const phase3Label = 0x9a5e3
+
+// Params configures the Chang–Li Theorem 1.1 decomposition.
+type Params struct {
+	// Epsilon is the target bound on the unclustered fraction.
+	Epsilon float64
+	// NTilde is the globally known polynomial upper bound ñ >= n (Section
+	// 3 assumes |V| <= ñ <= |V|^c). Zero means n.
+	NTilde int
+	// Seed drives all randomness.
+	Seed uint64
+	// Scale multiplies the paper's radius constant R = ⌈200 t ln(ñ)/ε⌉.
+	// The paper's constants make R exceed the diameter of any laptop-scale
+	// graph (every ball becomes the whole graph); Scale < 1 preserves the
+	// structural invariants (equal-length disjoint intervals, the 2^i
+	// sampling schedule) at radii where the phase structure is actually
+	// exercised. Scale <= 0 means 1 (the paper's constants).
+	Scale float64
+	// SkipPhase2 replaces Phase 2 by extending Phase 1 to
+	// t = ⌈log(20/ε) + log log ñ⌉ iterations, as the covering algorithm
+	// (Section 5) requires; also used by the ablation experiments.
+	SkipPhase2 bool
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+// Derived returns the derived parameters (t, R, sampling horizon) for
+// inspection by tests and the experiment harness.
+type Derived struct {
+	T       int // number of Phase-1 iterations
+	R       int // interval length
+	NTilde  int
+	LnTilde float64
+	// Intervals[i] = [a, b] for iteration i+1 (paper's I_{i+1}).
+	Intervals [][2]int
+	// EstimateRadius is the radius 4tR used to compute n_v.
+	EstimateRadius int
+}
+
+// derive computes t, R and the interval structure of Section 3.1.
+func derive(n int, p Params) Derived {
+	nTilde := p.NTilde
+	if nTilde < n {
+		nTilde = n
+	}
+	eps := p.Epsilon
+	if eps <= 0 {
+		eps = 0.5
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	t := int(math.Ceil(math.Log2(20 / eps)))
+	if p.SkipPhase2 {
+		// Section 5: t = ⌈log ln n + log(1/ε) + 8⌉ kills the need for the
+		// Phase-2 shortcut at the cost of more iterations.
+		t = int(math.Ceil(math.Log2(math.Log(float64(nTilde)+3)) + math.Log2(1/eps) + 8))
+	}
+	if t < 1 {
+		t = 1
+	}
+	r := int(math.Ceil(200 * float64(t) * lnTilde(nTilde) / eps * p.scale()))
+	if r < 2 {
+		r = 2
+	}
+	d := Derived{T: t, R: r, NTilde: nTilde, LnTilde: lnTilde(nTilde), EstimateRadius: 4 * t * r}
+	// I_i = [a_i, b_i] = [(t-i+2)R + 1, (t-i+3)R], i = 1..t+1; intervals are
+	// disjoint and a_{i-1} >= b_i as the analysis requires.
+	for i := 1; i <= t+1; i++ {
+		a := (t-i+2)*r + 1
+		b := (t - i + 3) * r
+		d.Intervals = append(d.Intervals, [2]int{a, b})
+	}
+	return d
+}
+
+// ballSizes computes n_v = |N^radius(v)| in the alive-induced subgraph. When
+// the radius reaches the whole component, the component size is used, which
+// avoids the O(n·m) blowup at paper-scale radii.
+func ballSizes(g *graph.Graph, alive []bool, radius int) []int {
+	n := g.N()
+	sizes := make([]int, n)
+	comp, count := g.ComponentsAlive(alive)
+	compSize := make([]int, count)
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 {
+			compSize[comp[v]]++
+		}
+	}
+	// A radius at least the component size always covers the component.
+	for v := 0; v < n; v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		c := comp[v]
+		if radius >= compSize[c] {
+			sizes[v] = compSize[c]
+			continue
+		}
+		ball := g.BallAlive(v, radius, alive)
+		sizes[v] = len(ball)
+	}
+	return sizes
+}
+
+// ChangLi runs the Theorem 1.1 low-diameter decomposition: Phase 1 (t
+// iterations of sampled ball-growing-and-carving with doubling rates),
+// Phase 2 (one boosted iteration, unless SkipPhase2), and Phase 3
+// (Elkin–Neiman with λ = ε/10 on the residual). The bound of ε|V| on
+// unclustered vertices holds with probability 1 - 1/poly(n); every cluster
+// has weak diameter O(t·R).
+func ChangLi(g *graph.Graph, p Params) *Decomposition {
+	n := g.N()
+	d := derive(n, p)
+	eps := p.Epsilon
+	if eps <= 0 {
+		eps = 0.5
+	}
+
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	removed := make([]bool, n)
+	deletedMark := make([]bool, n)
+
+	var rc local.RoundCounter
+
+	// n_v estimation: one gather of radius 4tR (chargeable as part of the
+	// first phase's gathering in a real implementation; we charge it
+	// explicitly).
+	rc.StartPhase()
+	rc.Charge(min(d.EstimateRadius, n))
+	rc.EndPhase()
+	nv := ballSizes(g, alive, d.EstimateRadius)
+
+	iterations := d.T
+	if !p.SkipPhase2 {
+		iterations = d.T + 1 // Phase 2 is the (t+1)-st carve with boosted rate
+	}
+	for i := 1; i <= iterations; i++ {
+		interval := d.Intervals[i-1]
+		isPhase2 := !p.SkipPhase2 && i == d.T+1
+		var outcomes []*CarveOutcome
+		rc.StartPhase()
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			// Sampling probability p_{v,i} = 2^i ln(ñ) / n_v, with the extra
+			// ln(20/ε) boost in Phase 2 (Section 3.1.3).
+			prob := math.Exp2(float64(i)) * d.LnTilde / float64(max(nv[v], 1))
+			if isPhase2 {
+				prob *= math.Log(20 / eps)
+			}
+			if prob > 1 {
+				prob = 1
+			}
+			if !xrand.Stream(p.Seed, v, uint64(0xca10+i)).Bernoulli(prob) {
+				continue
+			}
+			oc := GrowCarve(g, v, interval[0], interval[1], alive)
+			if oc != nil {
+				outcomes = append(outcomes, oc)
+				rc.Charge(interval[1])
+			}
+		}
+		rc.EndPhase()
+		applyCarves(outcomes, alive, removed, deletedMark)
+	}
+
+	// Phase 3: Elkin–Neiman with λ = ε/10 on the residual graph.
+	en := ElkinNeiman(g, alive, ENParams{
+		Lambda: eps / 10,
+		NTilde: d.NTilde,
+		Seed:   xrand.New(p.Seed).Split(phase3Label).Uint64(),
+	})
+	rc.Charge(en.Rounds)
+
+	// Assemble: carve clusters are the connected components of the removed
+	// set (see applyCarves for why they are mutually non-adjacent and
+	// non-adjacent to the residual); Phase-3 clusters follow with offset
+	// ids; everything else is unclustered.
+	clusterOf := make([]int32, n)
+	for v := range clusterOf {
+		clusterOf[v] = Unclustered
+	}
+	comp, count := g.ComponentsAlive(removed)
+	for v := 0; v < n; v++ {
+		if removed[v] {
+			clusterOf[v] = comp[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		if alive[v] && en.ClusterOf[v] >= 0 {
+			clusterOf[v] = int32(count) + en.ClusterOf[v]
+		}
+	}
+	num := relabel(clusterOf)
+	return &Decomposition{
+		ClusterOf:   clusterOf,
+		NumClusters: num,
+		Rounds:      rc.Total(),
+	}
+}

@@ -1,0 +1,202 @@
+package ldd
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// ENParams configures the Elkin–Neiman decomposition of Lemma C.1.
+type ENParams struct {
+	// Lambda is the deletion-rate parameter: each vertex is deleted with
+	// probability at most 1 - e^(-Lambda) + ñ^(-3), and each surviving
+	// component has (strong) diameter at most 8 ln(ñ)/Lambda.
+	Lambda float64
+	// NTilde is the globally known upper bound ñ >= n. Zero means n.
+	NTilde int
+	// Seed drives the per-vertex exponential shifts.
+	Seed uint64
+}
+
+// enShiftLabel is the stream label for the exponential shift draw, shared by
+// the oracle and message-passing implementations so they use identical
+// randomness.
+const enShiftLabel = 0x1dd
+
+// enShifts draws the clipped exponential shifts exactly as Lemma C.1
+// prescribes: T_v ~ Exp(lambda), reset to 0 when T_v >= 4 ln(ñ)/lambda.
+func enShifts(n int, p ENParams) ([]float64, float64) {
+	nTilde := p.NTilde
+	if nTilde < n {
+		nTilde = n
+	}
+	maxT := 4 * lnTilde(nTilde) / p.Lambda
+	shifts := make([]float64, n)
+	for v := 0; v < n; v++ {
+		t := xrand.Stream(p.Seed, v, enShiftLabel).Exp(p.Lambda)
+		if t >= maxT {
+			t = 0
+		}
+		shifts[v] = t
+	}
+	return shifts, maxT
+}
+
+// label is one (source, value) pair: value = T_source - dist(source, v).
+type label struct {
+	source int32
+	value  float64
+}
+
+// labelItem is a priority-queue entry for the shifted multi-source search.
+type labelItem struct {
+	label
+	vertex int32
+}
+
+// labelPQ is a max-heap on value with deterministic tie-breaking on
+// (source) so runs are reproducible across executions and executors.
+type labelPQ []labelItem
+
+func (q labelPQ) Len() int { return len(q) }
+func (q labelPQ) Less(i, j int) bool {
+	if q[i].value != q[j].value {
+		return q[i].value > q[j].value
+	}
+	return q[i].source < q[j].source
+}
+func (q labelPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *labelPQ) Push(x interface{}) { *q = append(*q, x.(labelItem)) }
+func (q *labelPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// topLabels computes, for every alive vertex v, the labels
+// m_v(u) = T_u - dist(u, v) from the best `keep` distinct sources, keeping
+// only labels with value >= best - slack (labels below can never influence
+// the decomposition decisions). Distances are measured in the alive-induced
+// subgraph. The result at index v is sorted by value descending.
+func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack float64) [][]label {
+	n := g.N()
+	out := make([][]label, n)
+	var pq labelPQ
+	for v := 0; v < n; v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		pq = append(pq, labelItem{label: label{source: int32(v), value: shifts[v]}, vertex: int32(v)})
+	}
+	heap.Init(&pq)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(labelItem)
+		v := it.vertex
+		ls := out[v]
+		// Discard if v already has this source or `keep` better labels, or
+		// if the label is out of the slack window of v's best label.
+		if len(ls) > 0 && it.value < ls[0].value-slack {
+			continue
+		}
+		dup := false
+		for _, l := range ls {
+			if l.source == it.source {
+				dup = true
+				break
+			}
+		}
+		if dup || len(ls) >= keep {
+			continue
+		}
+		out[v] = append(ls, it.label)
+		// Relax neighbors with value - 1. Values below -slack can never be
+		// within slack of any best label (best >= 0 because every alive
+		// vertex has its own label T_v >= 0).
+		nv := it.value - 1
+		if nv < -slack {
+			continue
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if alive != nil && !alive[w] {
+				continue
+			}
+			heap.Push(&pq, labelItem{label: label{source: it.source, value: nv}, vertex: w})
+		}
+	}
+	return out
+}
+
+// ElkinNeiman runs the Lemma C.1 decomposition on the alive-induced
+// subgraph of g (alive == nil means the whole graph). Each vertex is deleted
+// when its second-best shifted source comes within 1 of its best; otherwise
+// it joins the best source's cluster. Rounds are charged as the broadcast
+// horizon ceil(maxT) (each vertex broadcasts T_v through ⌊T_v⌋ hops).
+func ElkinNeiman(g *graph.Graph, alive []bool, p ENParams) *Decomposition {
+	n := g.N()
+	shifts, maxT := enShifts(n, p)
+	labels := topLabels(g, alive, shifts, 2, 1.0)
+	clusterOf := make([]int32, n)
+	for v := 0; v < n; v++ {
+		clusterOf[v] = Unclustered
+		if alive != nil && !alive[v] {
+			continue
+		}
+		ls := labels[v]
+		if len(ls) == 0 {
+			continue // isolated dead region; cannot happen for alive v
+		}
+		if len(ls) >= 2 && ls[1].value >= ls[0].value-1 {
+			continue // deleted
+		}
+		clusterOf[v] = ls[0].source
+	}
+	num := relabel(clusterOf)
+	return &Decomposition{
+		ClusterOf:   clusterOf,
+		NumClusters: num,
+		Rounds:      int(math.Ceil(maxT)),
+	}
+}
+
+// MPXResult is the output of the Miller–Peng–Xu edge decomposition: every
+// vertex joins the cluster of its best shifted source (no vertex deletions)
+// and an edge is cut when its endpoints land in different clusters.
+type MPXResult struct {
+	Decomposition
+	// CutEdges lists the deleted (inter-cluster) edges.
+	CutEdges [][2]int
+}
+
+// MPX runs the Miller–Peng–Xu decomposition with parameter lambda on the
+// whole graph. The expected number of cut edges is O(lambda * m); Claim C.2
+// exhibits graphs where the realized count exceeds any constant fraction
+// with probability Omega(lambda).
+func MPX(g *graph.Graph, p ENParams) *MPXResult {
+	n := g.N()
+	shifts, maxT := enShifts(n, p)
+	labels := topLabels(g, nil, shifts, 1, 0)
+	clusterOf := make([]int32, n)
+	for v := 0; v < n; v++ {
+		clusterOf[v] = Unclustered
+		if len(labels[v]) > 0 {
+			clusterOf[v] = labels[v][0].source
+		}
+	}
+	res := &MPXResult{}
+	g.Edges(func(u, v int) {
+		if clusterOf[u] != clusterOf[v] {
+			res.CutEdges = append(res.CutEdges, [2]int{u, v})
+		}
+	})
+	num := relabel(clusterOf)
+	res.Decomposition = Decomposition{
+		ClusterOf:   clusterOf,
+		NumClusters: num,
+		Rounds:      int(math.Ceil(maxT)),
+	}
+	return res
+}

@@ -1,0 +1,106 @@
+package ldd
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+func TestWeightedNilFallsBack(t *testing.T) {
+	g := gen.Cycle(300)
+	p := Params{Epsilon: 0.3, Seed: 1}
+	dw := ChangLiWeighted(g, nil, p)
+	du := ChangLi(g, p)
+	for v := range dw.ClusterOf {
+		if (dw.ClusterOf[v] == Unclustered) != (du.ClusterOf[v] == Unclustered) {
+			t.Fatal("nil-weight run diverged from unweighted")
+		}
+	}
+}
+
+func TestWeightedSeparationAndBound(t *testing.T) {
+	g := gen.Cycle(1500)
+	rng := xrand.New(4)
+	w := make([]int64, g.N())
+	var total int64
+	for i := range w {
+		w[i] = 1 + int64(rng.Intn(9))
+		total += w[i]
+	}
+	eps := 0.25
+	for seed := uint64(0); seed < 5; seed++ {
+		d := ChangLiWeighted(g, w, Params{Epsilon: eps, Seed: seed})
+		if ok, u, v := d.ValidateSeparation(g); !ok {
+			t.Fatalf("seed %d: adjacent clusters %d-%d", seed, u, v)
+		}
+		if del := d.DeletedWeight(w); float64(del) > eps*float64(total) {
+			t.Fatalf("seed %d: deleted weight %d > eps * total (%d)", seed, del, total)
+		}
+	}
+}
+
+func TestWeightedProtectsHeavyVertices(t *testing.T) {
+	// A long cycle with a few very heavy vertices and a small carve scale:
+	// the deleted weight must stay within the eps budget even though
+	// unweighted carving would delete vertices blindly.
+	g := gen.Cycle(2000)
+	w := make([]int64, g.N())
+	var total int64
+	for i := range w {
+		w[i] = 1
+		if i%100 == 0 {
+			w[i] = 500
+		}
+		total += w[i]
+	}
+	eps := 0.3
+	for seed := uint64(0); seed < 3; seed++ {
+		d := ChangLiWeighted(g, w, Params{Epsilon: eps, Seed: seed, Scale: 0.002})
+		if ok, _, _ := d.ValidateSeparation(g); !ok {
+			t.Fatalf("seed %d: separation broken", seed)
+		}
+		if del := d.DeletedWeight(w); float64(del) > eps*float64(total) {
+			t.Fatalf("seed %d: deleted weight %d > %.0f", seed, del, eps*float64(total))
+		}
+	}
+}
+
+func TestWeightedZeroWeights(t *testing.T) {
+	// All-zero weights: nothing is sampled; Phase 3 still runs and the
+	// result is a valid decomposition with zero deleted weight trivially.
+	g := gen.Grid(10, 10)
+	w := make([]int64, g.N())
+	d := ChangLiWeighted(g, w, Params{Epsilon: 0.3, Seed: 2})
+	if ok, _, _ := d.ValidateSeparation(g); !ok {
+		t.Fatal("separation broken")
+	}
+	if d.DeletedWeight(w) != 0 {
+		t.Fatal("zero weights deleted nonzero weight")
+	}
+}
+
+func TestWeightedCarvePicksLightestLayer(t *testing.T) {
+	// Star from a leaf: layer 1 = {center} can be heavy, layer 2 = other
+	// leaves light. The weighted carve must cut the cheaper layer 2 even
+	// though it has more vertices.
+	g := gen.Star(20)
+	w := make([]int64, g.N())
+	w[0] = 1000 // heavy center
+	for i := 1; i < g.N(); i++ {
+		w[i] = 1
+	}
+	alive := make([]bool, g.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	oc := weightedCarve(g, 1, 1, 2, alive, w)
+	if oc.JStar != 2 {
+		t.Fatalf("jStar = %d, want 2 (the light layer)", oc.JStar)
+	}
+	for _, v := range oc.Deleted {
+		if v == 0 {
+			t.Fatal("heavy center deleted")
+		}
+	}
+}

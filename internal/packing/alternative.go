@@ -1,0 +1,133 @@
+package packing
+
+import (
+	"math"
+
+	"repro/internal/ilp"
+	"repro/internal/ldd"
+	"repro/internal/local"
+	"repro/internal/solve"
+	"repro/internal/xrand"
+)
+
+// SolveAlternative implements the "Alternative Approach" to Theorem 1.2
+// described at the end of Section 4 (credited there to an anonymous
+// reviewer):
+//
+//  1. run T = O(ε⁻² log ñ) Elkin–Neiman decompositions in parallel and
+//     compute the packing solution P_i induced by each (per-cluster local
+//     optima, zeros on deleted vertices);
+//  2. reweight every variable by w'(v) = w(v) · |{i : P_i(v) = 1}| — the
+//     concentration of Σ w(P_i) around T(1−ε)·OPT makes w' a proxy for
+//     membership in an optimal solution;
+//  3. run the *weighted* low-diameter decomposition (ChangLiWeighted) on
+//     w', which deletes at most an ε fraction of the total proxy weight
+//     w.h.p.;
+//  4. solve each final cluster exactly and return the union P′; the
+//     averaging argument gives w(P′) ≥ (1−O(ε))·OPT.
+//
+// TRuns overrides the number of parallel decompositions (zero = the
+// theory's ⌈ε⁻² ln ñ⌉ capped at 64 for laptop practicality; the cap is
+// reported via Result.Exact semantics as usual).
+func SolveAlternative(inst *ilp.Instance, p Params, tRuns int) *Result {
+	g := inst.Hypergraph().Primal()
+	n := g.N()
+	eps := clampEps(p.Epsilon)
+	nTilde := p.NTilde
+	if nTilde < n {
+		nTilde = n
+	}
+	if tRuns <= 0 {
+		tRuns = int(math.Ceil(math.Log(float64(nTilde)+3) / (eps * eps)))
+		if tRuns > 64 {
+			tRuns = 64
+		}
+	}
+	if tRuns < 1 {
+		tRuns = 1
+	}
+	rootRNG := xrand.New(p.Seed)
+	var rc local.RoundCounter
+	exact := true
+
+	// Step 1+2: parallel decompositions and the membership-count weights.
+	wPrime := make([]int64, n)
+	rc.StartPhase()
+	for run := 0; run < tRuns; run++ {
+		en := ldd.ElkinNeiman(g, nil, ldd.ENParams{
+			Lambda: eps,
+			NTilde: nTilde,
+			Seed:   rootRNG.Split(uint64(run) + 0xa17).Uint64(),
+		})
+		rc.Charge(en.Rounds)
+		for _, cluster := range en.Clusters() {
+			sol, _, ex := solveLocal(inst, cluster, p.Solve)
+			exact = exact && ex
+			for v, set := range sol {
+				if set {
+					wPrime[v] += inst.Weight(v)
+				}
+			}
+		}
+	}
+	rc.EndPhase()
+
+	// Step 3: weighted decomposition against the proxy weights.
+	dec := ldd.ChangLiWeighted(g, wPrime, ldd.Params{
+		Epsilon: eps,
+		NTilde:  nTilde,
+		Seed:    rootRNG.Split(0xa1f).Uint64(),
+		Scale:   p.Scale,
+	})
+	rc.Charge(dec.Rounds)
+
+	// Step 4: per-cluster exact solves, zero extension.
+	solution := inst.NewSolution()
+	comps := 0
+	for _, cluster := range dec.Clusters() {
+		if len(cluster) == 0 {
+			continue
+		}
+		comps++
+		sol, _, ex := solveLocal(inst, cluster, p.Solve)
+		exact = exact && ex
+		for v, set := range sol {
+			if set {
+				solution[v] = true
+			}
+		}
+	}
+	deleted := dec.UnclusteredCount()
+	return &Result{
+		Solution:      solution,
+		Value:         inst.Value(solution),
+		Rounds:        rc.Total(),
+		Exact:         exact,
+		Deleted:       deleted,
+		NumComponents: comps,
+	}
+}
+
+// membershipCounts exposes step 2's proxy weights for tests.
+func membershipCounts(inst *ilp.Instance, tRuns int, eps float64, seed uint64, opt solve.Options) []int64 {
+	g := inst.Hypergraph().Primal()
+	n := g.N()
+	rootRNG := xrand.New(seed)
+	wPrime := make([]int64, n)
+	for run := 0; run < tRuns; run++ {
+		en := ldd.ElkinNeiman(g, nil, ldd.ENParams{
+			Lambda: eps,
+			NTilde: n,
+			Seed:   rootRNG.Split(uint64(run) + 0xa17).Uint64(),
+		})
+		for _, cluster := range en.Clusters() {
+			sol, _, _ := solveLocal(inst, cluster, opt)
+			for v, set := range sol {
+				if set {
+					wPrime[v] += inst.Weight(v)
+				}
+			}
+		}
+	}
+	return wPrime
+}

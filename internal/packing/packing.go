@@ -1,0 +1,408 @@
+// Package packing implements the paper's Theorem 1.2: a distributed
+// (1-ε)-approximation for any packing integer linear program in the LOCAL
+// model, running in O(log³(1/ε)·log(n)/ε) rounds with probability
+// 1 - 1/poly(n).
+//
+// Structure (Section 4):
+//
+//   - Preparation: Θ(log ñ) independent Elkin–Neiman decompositions of the
+//     communication (primal) graph. Every resulting cluster C computes the
+//     local packing value W(P^local_C, C) and the value of its (8tR)-radius
+//     neighborhood S_C; the ratio drives its sampling rate — this simulates
+//     sampling from the unknown optimal solution (challenge (C2)).
+//   - Phase 1: t = ⌈log(20/ε)⌉ iterations; clusters sample themselves with
+//     probability 2^i·W_C/W_SC and run Grow-and-Carve-Packing (Algorithm
+//     4): delete the layer triple with the smallest local-solution weight,
+//     carve the interior.
+//   - Phase 2: one boosted iteration with rate multiplied by ln(20/ε).
+//   - Phase 3: Elkin–Neiman with λ = ε/10 on the residual; then every final
+//     component solves its local packing problem exactly and the union is
+//     returned (feasible by Observation 2.1; deleted variables are 0).
+package packing
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ilp"
+	"repro/internal/ldd"
+	"repro/internal/local"
+	"repro/internal/solve"
+	"repro/internal/xrand"
+)
+
+// packLabel salts the per-cluster sampling streams.
+const packLabel = 0x9ac0
+
+// Params configures a Theorem 1.2 run.
+type Params struct {
+	// Epsilon is the approximation parameter: the output is a feasible
+	// solution of value >= (1-ε)·OPT w.h.p. (given exact local solves).
+	Epsilon float64
+	// NTilde is the known polynomial upper bound on max(|V|, W(P*, V));
+	// zero means n.
+	NTilde int
+	// Seed drives all randomness.
+	Seed uint64
+	// Scale multiplies the paper's radius constant (see ldd.Params.Scale).
+	Scale float64
+	// PrepRuns overrides the number of preparation decompositions
+	// (paper: 16 ln ñ). Zero means the paper's value. The experiment
+	// harness uses small values to keep sweeps fast; tests use both.
+	PrepRuns int
+	// Solve tunes the local optimizers.
+	Solve solve.Options
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Solution ilp.Solution
+	Value    int64
+	Rounds   int
+	// Exact reports whether every local solve used an exact method; when
+	// false the (1-ε) guarantee is not certified (see DESIGN.md).
+	Exact bool
+	// Deleted is the number of deleted (zero-forced) variables.
+	Deleted int
+	// NumComponents is the number of final isolated components solved.
+	NumComponents int
+}
+
+type derived struct {
+	t      int
+	r      int // R' = R+1 in the paper's notation; interval unit is 3R'
+	nTilde int
+	ln     float64
+	// intervals[i] = [a, b] for iteration i+1, length 3R', a ≡ 1 (mod 3).
+	intervals [][2]int
+	prepRuns  int
+	estRadius int
+}
+
+func derive(n int, p Params) derived {
+	nTilde := p.NTilde
+	if nTilde < n {
+		nTilde = n
+	}
+	eps := clampEps(p.Epsilon)
+	scale := p.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	t := int(math.Ceil(math.Log2(20 / eps)))
+	if t < 1 {
+		t = 1
+	}
+	ln := math.Log(float64(nTilde) + 3)
+	r := int(math.Ceil(200*float64(t)*ln/eps*scale)) + 1 // R' = R+1
+	if r < 2 {
+		r = 2
+	}
+	d := derived{t: t, r: r, nTilde: nTilde, ln: ln, estRadius: 8 * t * r}
+	// I_i = [(t-i+2)·3R' + 1, (t-i+3)·3R'], i = 1..t+1.
+	for i := 1; i <= t+1; i++ {
+		a := (t-i+2)*3*r + 1
+		b := (t - i + 3) * 3 * r
+		d.intervals = append(d.intervals, [2]int{a, b})
+	}
+	d.prepRuns = p.PrepRuns
+	if d.prepRuns <= 0 {
+		d.prepRuns = int(math.Ceil(16 * ln))
+	}
+	return d
+}
+
+func clampEps(eps float64) float64 {
+	if eps <= 0 || eps > 1 {
+		return 0.5
+	}
+	return eps
+}
+
+// prepCluster is one cluster from the preparation decompositions with its
+// weight estimates.
+type prepCluster struct {
+	members []int32
+	wC      int64 // W(P^local_C, C)
+	wSC     int64 // W(P^local_SC, S_C)
+}
+
+// Solve runs the Theorem 1.2 algorithm on a packing instance.
+func Solve(inst *ilp.Instance, p Params) *Result {
+	g := inst.Hypergraph().Primal()
+	n := g.N()
+	d := derive(n, p)
+	eps := clampEps(p.Epsilon)
+	rootRNG := xrand.New(p.Seed)
+	var rc local.RoundCounter
+	exact := true
+
+	// --- Preparation -----------------------------------------------------
+	var clusters []prepCluster
+	rc.StartPhase()
+	for run := 0; run < d.prepRuns; run++ {
+		en := ldd.ElkinNeiman(g, nil, ldd.ENParams{
+			Lambda: 0.5,
+			NTilde: d.nTilde,
+			Seed:   rootRNG.Split(uint64(run) + 0x9e9).Uint64(),
+		})
+		rc.Charge(en.Rounds)
+		for _, members := range en.Clusters() {
+			if len(members) == 0 {
+				continue
+			}
+			pc := prepCluster{members: members}
+			var ex bool
+			_, pc.wC, ex = solveLocal(inst, members, p.Solve)
+			exact = exact && ex
+			sc := ballFromSet(g, members, d.estRadius, nil)
+			rc.Charge(min(d.estRadius, n))
+			_, pc.wSC, ex = solveLocal(inst, sc, p.Solve)
+			exact = exact && ex
+			clusters = append(clusters, pc)
+		}
+	}
+	rc.EndPhase()
+
+	// --- Phases 1 and 2 ---------------------------------------------------
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	removed := make([]bool, n)
+	deletedMark := make([]bool, n)
+
+	for i := 1; i <= d.t+1; i++ {
+		interval := d.intervals[i-1]
+		isPhase2 := i == d.t+1
+		var outcomes []*carveOutcome
+		rc.StartPhase()
+		for ci, pc := range clusters {
+			if pc.wSC <= 0 || pc.wC <= 0 {
+				continue
+			}
+			prob := math.Exp2(float64(i)) * float64(pc.wC) / float64(pc.wSC)
+			if isPhase2 {
+				prob *= math.Log(20 / eps)
+			}
+			if prob > 1 {
+				prob = 1
+			}
+			if !xrand.Stream(p.Seed, ci, uint64(packLabel+i)).Bernoulli(prob) {
+				continue
+			}
+			oc, ex := growCarvePacking(inst, g, pc.members, interval[0], interval[1], alive, p.Solve)
+			exact = exact && ex
+			if oc != nil {
+				outcomes = append(outcomes, oc)
+				rc.Charge(interval[1])
+			}
+		}
+		rc.EndPhase()
+		applyCarves(outcomes, alive, removed, deletedMark)
+	}
+
+	// --- Phase 3 -----------------------------------------------------------
+	en := ldd.ElkinNeiman(g, alive, ldd.ENParams{
+		Lambda: eps / 10,
+		NTilde: d.nTilde,
+		Seed:   rootRNG.Split(0x3a5e).Uint64(),
+	})
+	rc.Charge(en.Rounds)
+
+	// --- Final local solves -------------------------------------------------
+	// Regions: connected components of the carve-removed set, plus Phase-3
+	// clusters. All are mutually non-adjacent; deleted vertices are 0.
+	solution := inst.NewSolution()
+	comps := 0
+	assemble := func(members []int32) {
+		if len(members) == 0 {
+			return
+		}
+		comps++
+		sol, _, ex := solveLocal(inst, members, p.Solve)
+		exact = exact && ex
+		for v, set := range sol {
+			if set {
+				solution[v] = true
+			}
+		}
+	}
+	comp, count := g.ComponentsAlive(removed)
+	regions := make([][]int32, count)
+	for v := 0; v < n; v++ {
+		if removed[v] {
+			regions[comp[v]] = append(regions[comp[v]], int32(v))
+		}
+	}
+	rc.StartPhase()
+	for _, r := range regions {
+		assemble(r)
+		rc.Charge(d.intervals[0][1]) // local gather bounded by the carve radius
+	}
+	for _, cl := range en.Clusters() {
+		assemble(cl)
+		rc.Charge(en.Rounds)
+	}
+	rc.EndPhase()
+
+	deleted := 0
+	for v := 0; v < n; v++ {
+		if !removed[v] && (en.ClusterOf[v] == ldd.Unclustered) {
+			deleted++
+		}
+	}
+	return &Result{
+		Solution:      solution,
+		Value:         inst.Value(solution),
+		Rounds:        rc.Total(),
+		Exact:         exact,
+		Deleted:       deleted,
+		NumComponents: comps,
+	}
+}
+
+// solveLocal wraps solve.PackingLocal.
+func solveLocal(inst *ilp.Instance, members []int32, opt solve.Options) (ilp.Solution, int64, bool) {
+	sol, val, m := solve.PackingLocal(inst, members, opt)
+	return sol, val, m.Exact()
+}
+
+// carveOutcome mirrors ldd.CarveOutcome for the cluster-seeded variant.
+type carveOutcome struct {
+	deleted []int32
+	removed []int32
+}
+
+// growCarvePacking implements Algorithm 4 for a cluster seed set: gather
+// layers to radius b-1, compute the local packing solution of the ball,
+// pick j* ≡ a (mod 3) in [a, b-1] minimizing the solution weight on the
+// triple S_{j*} ∪ S_{j*+1} ∪ S_{j*+2}, delete S_{j*+1}, remove N^{j*}.
+func growCarvePacking(inst *ilp.Instance, g *graph.Graph, seed []int32, a, b int,
+	alive []bool, opt solve.Options) (*carveOutcome, bool) {
+
+	layers := ballLayersFromSet(g, seed, b-1, alive)
+	if layers == nil {
+		return nil, true
+	}
+	if len(layers) <= a {
+		var rem []int32
+		for _, l := range layers {
+			rem = append(rem, l...)
+		}
+		return &carveOutcome{removed: rem}, true
+	}
+	var ball []int32
+	for _, l := range layers {
+		ball = append(ball, l...)
+	}
+	sol, _, ex := solveLocal(inst, ball, opt)
+	layerWeight := func(j int) int64 {
+		if j >= len(layers) {
+			return 0
+		}
+		var w int64
+		for _, v := range layers[j] {
+			if sol[v] {
+				w += inst.Weight(int(v))
+			}
+		}
+		return w
+	}
+	jStar, best := -1, int64(-1)
+	for j := a; j+2 <= b && j < len(layers); j += 3 {
+		w := layerWeight(j) + layerWeight(j+1) + layerWeight(j+2)
+		if best == -1 || w < best {
+			best = w
+			jStar = j
+		}
+	}
+	if jStar == -1 {
+		// Window collapsed (ball barely exceeds a): remove up to the end.
+		var rem []int32
+		for _, l := range layers {
+			rem = append(rem, l...)
+		}
+		return &carveOutcome{removed: rem}, ex
+	}
+	oc := &carveOutcome{}
+	for j := 0; j <= jStar && j < len(layers); j++ {
+		oc.removed = append(oc.removed, layers[j]...)
+	}
+	if jStar+1 < len(layers) {
+		oc.deleted = append(oc.deleted, layers[jStar+1]...)
+	}
+	return oc, ex
+}
+
+// applyCarves mirrors ldd's merge semantics (delete wins over remove).
+func applyCarves(outcomes []*carveOutcome, alive, removed, deletedMark []bool) {
+	for _, oc := range outcomes {
+		for _, v := range oc.deleted {
+			if alive[v] {
+				deletedMark[v] = true
+			}
+		}
+	}
+	for _, oc := range outcomes {
+		for _, v := range oc.removed {
+			if !alive[v] || deletedMark[v] {
+				continue
+			}
+			alive[v] = false
+			removed[v] = true
+		}
+	}
+	for v := range deletedMark {
+		if deletedMark[v] && alive[v] {
+			alive[v] = false
+		}
+	}
+}
+
+// ballFromSet returns the vertices within the radius of the seed set.
+func ballFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) []int32 {
+	layers := ballLayersFromSet(g, seed, radius, alive)
+	var out []int32
+	for _, l := range layers {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// ballLayersFromSet returns BFS layers from a seed set within the alive
+// mask (nil = everything alive); nil when no seed vertex is alive.
+func ballLayersFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) [][]int32 {
+	seen := make(map[int32]bool, len(seed)*4)
+	var layer0 []int32
+	for _, s := range seed {
+		if seen[s] || (alive != nil && !alive[s]) {
+			continue
+		}
+		seen[s] = true
+		layer0 = append(layer0, s)
+	}
+	if len(layer0) == 0 {
+		return nil
+	}
+	layers := [][]int32{layer0}
+	frontier := layer0
+	for dd := 0; dd < radius && len(frontier) > 0; dd++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(int(u)) {
+				if seen[w] || (alive != nil && !alive[w]) {
+					continue
+				}
+				seen[w] = true
+				next = append(next, w)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		layers = append(layers, next)
+		frontier = next
+	}
+	return layers
+}

@@ -1,0 +1,586 @@
+// Package solve implements the local optimizers that run inside the clusters
+// produced by the decomposition algorithms. In the LOCAL model, once a
+// cluster has gathered its topology, "solve the local problem optimally" is
+// a free local computation; on real hardware it is not, so this package
+// provides a dispatcher that picks the cheapest exact method available —
+//
+//   - weighted tree DP when the cluster's constraint graph is a forest,
+//   - Hopcroft–Karp/König when it is bipartite with unit weights,
+//   - branch-and-bound when the cluster is small,
+//
+// and falls back to a greedy heuristic otherwise, reporting which path ran
+// so experiments can flag non-exact local solves (see DESIGN.md).
+//
+// Local-problem semantics follow Section 2 of the paper: for packing, the
+// restriction to S sets all outside variables to zero and enforces every
+// constraint (Observation 2.1); for covering, only constraints entirely
+// inside S are enforced (Observation 2.2).
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ilp"
+	"repro/internal/matching"
+	"repro/internal/treedp"
+)
+
+// Method identifies which solver produced a local solution.
+type Method int
+
+const (
+	// MethodTreeDP is exact weighted dynamic programming on a forest.
+	MethodTreeDP Method = iota + 1
+	// MethodBipartite is exact unweighted König/Hopcroft–Karp.
+	MethodBipartite
+	// MethodBranchBound is exact branch-and-bound.
+	MethodBranchBound
+	// MethodGreedy is the non-exact fallback.
+	MethodGreedy
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodTreeDP:
+		return "treedp"
+	case MethodBipartite:
+		return "bipartite"
+	case MethodBranchBound:
+		return "branch-and-bound"
+	case MethodGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Exact reports whether the method guarantees an optimal local solution.
+func (m Method) Exact() bool { return m != MethodGreedy }
+
+// Options tunes the dispatcher.
+type Options struct {
+	// MaxExactVars bounds the cluster size passed to branch-and-bound.
+	// Zero means the default (30).
+	MaxExactVars int
+	// DisableStructure skips the tree/bipartite fast paths (used by the
+	// ablation benchmarks to time pure branch-and-bound/greedy).
+	DisableStructure bool
+	// ForceGreedy skips every exact method (greedy-only ablation).
+	ForceGreedy bool
+}
+
+func (o Options) maxExact() int {
+	if o.MaxExactVars <= 0 {
+		return 30
+	}
+	return o.MaxExactVars
+}
+
+// ErrInfeasibleLocal is returned when a covering cluster contains an
+// unsatisfiable constraint (which implies the global instance is
+// infeasible, since the constraint lies fully inside the cluster).
+var ErrInfeasibleLocal = errors.New("solve: local covering instance infeasible")
+
+// PackingLocal solves the packing problem restricted to the cluster: it
+// returns a full-length solution with ones only on cluster variables,
+// feasible for every constraint of inst, maximizing the weight within the
+// cluster (exactly when the reported method is exact). Duplicate cluster
+// entries are tolerated.
+func PackingLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solution, int64, Method) {
+	inCluster := make([]bool, inst.NumVars())
+	vars := dedup(cluster, inCluster)
+	if len(vars) == 0 {
+		return inst.NewSolution(), 0, MethodBranchBound
+	}
+
+	if !opt.ForceGreedy && !opt.DisableStructure {
+		if sol, val, ok := packingStructured(inst, vars, inCluster); ok {
+			return sol, val, structuredMethod(inst, vars, inCluster)
+		}
+	}
+	if !opt.ForceGreedy && len(vars) <= opt.maxExact() {
+		sol, val := packingBB(inst, vars, inCluster)
+		return sol, val, MethodBranchBound
+	}
+	sol, val := GreedyPacking(inst, vars)
+	return sol, val, MethodGreedy
+}
+
+// CoveringLocal solves the covering problem restricted to the cluster: it
+// returns a full-length solution with ones only on cluster variables that
+// satisfies every constraint fully contained in the cluster, minimizing
+// weight (exactly when the method is exact).
+func CoveringLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solution, int64, Method, error) {
+	inCluster := make([]bool, inst.NumVars())
+	vars := dedup(cluster, inCluster)
+	local := inst.LocalConstraints(inCluster)
+	// Infeasibility check: all-ones on the cluster must satisfy everything.
+	all := inst.NewSolution()
+	for _, v := range vars {
+		all[v] = true
+	}
+	if ok, j := inst.FeasibleOn(all, local); !ok {
+		return nil, 0, 0, fmt.Errorf("%w: constraint %d", ErrInfeasibleLocal, j)
+	}
+	if len(local) == 0 {
+		return inst.NewSolution(), 0, MethodBranchBound, nil
+	}
+
+	if !opt.ForceGreedy && !opt.DisableStructure {
+		if sol, val, ok := coveringStructured(inst, vars, inCluster, local); ok {
+			return sol, val, structuredMethod(inst, vars, inCluster), nil
+		}
+	}
+	if !opt.ForceGreedy && len(vars) <= opt.maxExact() {
+		sol, val := coveringBB(inst, vars, inCluster, local)
+		return sol, val, MethodBranchBound, nil
+	}
+	sol, val := GreedyCovering(inst, vars, local)
+	return sol, val, MethodGreedy, nil
+}
+
+func dedup(cluster []int32, mark []bool) []int32 {
+	vars := make([]int32, 0, len(cluster))
+	for _, v := range cluster {
+		if v < 0 || int(v) >= len(mark) || mark[v] {
+			continue
+		}
+		mark[v] = true
+		vars = append(vars, v)
+	}
+	return vars
+}
+
+// --- Structure detection -------------------------------------------------
+
+// isRank2Unit reports whether the instance is in edge form: every
+// constraint has at most 2 terms, all coefficients 1, all rhs 1. This is
+// the MIS (packing) / vertex-cover (covering) shape the fast paths handle.
+func isRank2Unit(inst *ilp.Instance) bool {
+	for j := 0; j < inst.NumConstraints(); j++ {
+		c := inst.Constraint(j)
+		if len(c.Terms) > 2 || c.B != 1 {
+			return false
+		}
+		for _, t := range c.Terms {
+			if t.Coeff != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// clusterGraph builds the conflict graph on the cluster variables: an edge
+// for every rank-2 constraint with both endpoints in the cluster. Returns
+// the graph plus the position index of each variable.
+func clusterGraph(inst *ilp.Instance, vars []int32, inCluster []bool) (*graph.Graph, map[int32]int) {
+	pos := make(map[int32]int, len(vars))
+	for i, v := range vars {
+		pos[v] = i
+	}
+	b := graph.NewBuilder(len(vars))
+	seen := make(map[int32]bool)
+	for _, v := range vars {
+		for _, cj := range inst.ConstraintsOf(int(v)) {
+			if seen[cj] {
+				continue
+			}
+			seen[cj] = true
+			c := inst.Constraint(int(cj))
+			if len(c.Terms) == 2 && inCluster[c.Terms[0].Var] && inCluster[c.Terms[1].Var] {
+				b.AddEdge(pos[int32(c.Terms[0].Var)], pos[int32(c.Terms[1].Var)])
+			}
+		}
+	}
+	return b.Build(), pos
+}
+
+func unitWeights(inst *ilp.Instance, vars []int32) bool {
+	for _, v := range vars {
+		if inst.Weight(int(v)) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// structuredMethod re-derives which structure path applies; called only
+// after a structured solve succeeded, to label the result.
+func structuredMethod(inst *ilp.Instance, vars []int32, inCluster []bool) Method {
+	g, _ := clusterGraph(inst, vars, inCluster)
+	if g.Girth() == -1 {
+		return MethodTreeDP
+	}
+	return MethodBipartite
+}
+
+// packingStructured handles the MIS shape exactly when the cluster's
+// conflict graph is a forest (any weights) or bipartite (unit weights).
+func packingStructured(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.Solution, int64, bool) {
+	if !isRank2Unit(inst) {
+		return nil, 0, false
+	}
+	g, _ := clusterGraph(inst, vars, inCluster)
+	w := make([]int64, len(vars))
+	for i, v := range vars {
+		w[i] = inst.Weight(int(v))
+	}
+	if set, val, err := treedp.MaxIndependentSet(g, w); err == nil {
+		return liftSolution(inst, vars, set), val, true
+	}
+	if unitWeights(inst, vars) {
+		if r := matching.BipartiteAuto(g); r != nil {
+			return liftSolution(inst, vars, r.MaxIndependentSet), int64(len(r.MaxIndependentSet)), true
+		}
+	}
+	return nil, 0, false
+}
+
+// coveringStructured handles the vertex-cover shape exactly under the same
+// structural conditions. Only inside-edges matter (Observation 2.2), which
+// is exactly what clusterGraph builds; rank-1 constraints (x_v >= 1) force
+// their variable and are handled by pre-assignment.
+func coveringStructured(inst *ilp.Instance, vars []int32, inCluster []bool, local []int32) (ilp.Solution, int64, bool) {
+	if !isRank2Unit(inst) {
+		return nil, 0, false
+	}
+	forced := make(map[int32]bool)
+	for _, cj := range local {
+		c := inst.Constraint(int(cj))
+		if len(c.Terms) == 1 {
+			forced[int32(c.Terms[0].Var)] = true
+		}
+	}
+	g, _ := clusterGraph(inst, vars, inCluster)
+	w := make([]int64, len(vars))
+	for i, v := range vars {
+		w[i] = inst.Weight(int(v))
+		if forced[v] {
+			w[i] = 0 // free to take; we add it regardless below
+		}
+	}
+	var sol ilp.Solution
+	var val int64
+	if cover, cval, err := treedp.MinVertexCover(g, w); err == nil {
+		sol = liftSolution(inst, vars, cover)
+		val = cval
+	} else if unitWeights(inst, vars) && len(forced) == 0 {
+		r := matching.BipartiteAuto(g)
+		if r == nil {
+			return nil, 0, false
+		}
+		sol = liftSolution(inst, vars, r.MinVertexCover)
+		val = int64(len(r.MinVertexCover))
+	} else {
+		return nil, 0, false
+	}
+	for v := range forced {
+		if !sol[v] {
+			sol[v] = true
+		}
+	}
+	// Recompute the true weight including forced vertices.
+	val = 0
+	for _, v := range vars {
+		if sol[v] {
+			val += inst.Weight(int(v))
+		}
+	}
+	return sol, val, true
+}
+
+func liftSolution(inst *ilp.Instance, vars []int32, localIdx []int32) ilp.Solution {
+	sol := inst.NewSolution()
+	for _, i := range localIdx {
+		sol[vars[i]] = true
+	}
+	return sol
+}
+
+// --- Branch and bound: packing -------------------------------------------
+
+func packingBB(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.Solution, int64) {
+	// Order variables by weight descending for tighter bounds.
+	order := append([]int32(nil), vars...)
+	sort.Slice(order, func(i, j int) bool {
+		return inst.Weight(int(order[i])) > inst.Weight(int(order[j]))
+	})
+	suffix := make([]int64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + inst.Weight(int(order[i]))
+	}
+	// Residual capacity per constraint touching the cluster.
+	resIdx := map[int32]int{}
+	var res []float64
+	var consID []int32
+	for _, v := range order {
+		for _, cj := range inst.ConstraintsOf(int(v)) {
+			if _, ok := resIdx[cj]; !ok {
+				resIdx[cj] = len(res)
+				res = append(res, inst.Constraint(int(cj)).B)
+				consID = append(consID, cj)
+			}
+		}
+	}
+	// Start from the greedy solution so pruning has a bound immediately.
+	bestSol, bestVal := GreedyPacking(inst, vars)
+	cur := inst.NewSolution()
+	var rec func(i int, val int64)
+	rec = func(i int, val int64) {
+		if val > bestVal {
+			bestVal = val
+			bestSol = cur.Clone()
+		}
+		if i == len(order) || val+suffix[i] <= bestVal {
+			return
+		}
+		v := order[i]
+		// Branch x_v = 1 if capacities allow.
+		fits := true
+		for _, cj := range inst.ConstraintsOf(int(v)) {
+			ri := resIdx[cj]
+			coeff := coeffOf(inst, cj, v)
+			if coeff > res[ri]+1e-9 {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for _, cj := range inst.ConstraintsOf(int(v)) {
+				res[resIdx[cj]] -= coeffOf(inst, cj, v)
+			}
+			cur[v] = true
+			rec(i+1, val+inst.Weight(int(v)))
+			cur[v] = false
+			for _, cj := range inst.ConstraintsOf(int(v)) {
+				res[resIdx[cj]] += coeffOf(inst, cj, v)
+			}
+		}
+		// Branch x_v = 0.
+		rec(i+1, val)
+	}
+	rec(0, 0)
+	_ = consID
+	return bestSol, bestVal
+}
+
+func coeffOf(inst *ilp.Instance, cj int32, v int32) float64 {
+	c := inst.Constraint(int(cj))
+	lo, hi := 0, len(c.Terms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.Terms[mid].Var < int(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.Terms) && c.Terms[lo].Var == int(v) {
+		return c.Terms[lo].Coeff
+	}
+	return 0
+}
+
+// --- Branch and bound: covering ------------------------------------------
+
+func coveringBB(inst *ilp.Instance, vars []int32, inCluster []bool, local []int32) (ilp.Solution, int64) {
+	order := append([]int32(nil), vars...)
+	sort.Slice(order, func(i, j int) bool {
+		return inst.Weight(int(order[i])) < inst.Weight(int(order[j]))
+	})
+	posOf := make(map[int32]int, len(order))
+	for i, v := range order {
+		posOf[v] = i
+	}
+	// deficits[k]: remaining requirement of local constraint k.
+	deficit := make([]float64, len(local))
+	localIdx := make(map[int32]int, len(local))
+	for k, cj := range local {
+		deficit[k] = inst.Constraint(int(cj)).B
+		localIdx[cj] = k
+	}
+	// maxCover[k][i]: how much constraint k can still gain from variables at
+	// order positions >= i.
+	maxCover := make([][]float64, len(local))
+	for k, cj := range local {
+		row := make([]float64, len(order)+1)
+		c := inst.Constraint(int(cj))
+		contrib := make([]float64, len(order))
+		for _, t := range c.Terms {
+			if p, ok := posOf[int32(t.Var)]; ok {
+				contrib[p] += t.Coeff
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			row[i] = row[i+1] + contrib[i]
+		}
+		maxCover[k] = row
+	}
+	bestSol, bestVal := GreedyCovering(inst, vars, local)
+	cur := inst.NewSolution()
+	var rec func(i int, val int64, unmet int)
+	rec = func(i int, val int64, unmet int) {
+		if val >= bestVal {
+			return
+		}
+		if unmet == 0 {
+			bestVal = val
+			bestSol = cur.Clone()
+			return
+		}
+		if i == len(order) {
+			return
+		}
+		// Prune: some constraint can no longer be met.
+		for k := range local {
+			if deficit[k] > 1e-9 && maxCover[k][i] < deficit[k]-1e-9 {
+				return
+			}
+		}
+		v := order[i]
+		// Branch x_v = 1.
+		newlyMet := 0
+		for _, cj := range inst.ConstraintsOf(int(v)) {
+			k, ok := localIdx[cj]
+			if !ok {
+				continue
+			}
+			before := deficit[k]
+			deficit[k] -= coeffOf(inst, cj, v)
+			if before > 1e-9 && deficit[k] <= 1e-9 {
+				newlyMet++
+			}
+		}
+		cur[v] = true
+		rec(i+1, val+inst.Weight(int(v)), unmet-newlyMet)
+		cur[v] = false
+		for _, cj := range inst.ConstraintsOf(int(v)) {
+			if k, ok := localIdx[cj]; ok {
+				deficit[k] += coeffOf(inst, cj, v)
+			}
+		}
+		// Branch x_v = 0.
+		rec(i+1, val, unmet)
+	}
+	unmet := 0
+	for k := range deficit {
+		if deficit[k] > 1e-9 {
+			unmet++
+		}
+	}
+	if unmet == 0 {
+		return inst.NewSolution(), 0
+	}
+	rec(0, 0, unmet)
+	return bestSol, bestVal
+}
+
+// --- Greedy fallbacks -----------------------------------------------------
+
+// GreedyPacking adds cluster variables in weight-descending order whenever
+// no constraint would be violated. The result is feasible for the whole
+// instance (zero extension, Observation 2.1).
+func GreedyPacking(inst *ilp.Instance, vars []int32) (ilp.Solution, int64) {
+	order := append([]int32(nil), vars...)
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := inst.Weight(int(order[i])), inst.Weight(int(order[j]))
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	res := map[int32]float64{}
+	sol := inst.NewSolution()
+	var val int64
+	for _, v := range order {
+		fits := true
+		for _, cj := range inst.ConstraintsOf(int(v)) {
+			r, ok := res[cj]
+			if !ok {
+				r = inst.Constraint(int(cj)).B
+			}
+			if coeffOf(inst, cj, v) > r+1e-9 {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		for _, cj := range inst.ConstraintsOf(int(v)) {
+			r, ok := res[cj]
+			if !ok {
+				r = inst.Constraint(int(cj)).B
+			}
+			res[cj] = r - coeffOf(inst, cj, v)
+		}
+		sol[v] = true
+		val += inst.Weight(int(v))
+	}
+	return sol, val
+}
+
+// GreedyCovering is the classic weighted greedy set-multicover heuristic:
+// repeatedly take the variable minimizing weight per unit of residual
+// deficit covered, until every local constraint is satisfied. Callers must
+// have verified feasibility (all-ones satisfies the local constraints).
+func GreedyCovering(inst *ilp.Instance, vars []int32, local []int32) (ilp.Solution, int64) {
+	deficit := make(map[int32]float64, len(local))
+	for _, cj := range local {
+		if b := inst.Constraint(int(cj)).B; b > 0 {
+			deficit[cj] = b
+		}
+	}
+	sol := inst.NewSolution()
+	var val int64
+	taken := make(map[int32]bool, len(vars))
+	for len(deficit) > 0 {
+		bestV := int32(-1)
+		bestRatio := 0.0
+		for _, v := range vars {
+			if taken[v] {
+				continue
+			}
+			covered := 0.0
+			for _, cj := range inst.ConstraintsOf(int(v)) {
+				if d, ok := deficit[cj]; ok {
+					c := coeffOf(inst, cj, v)
+					if c > d {
+						c = d
+					}
+					covered += c
+				}
+			}
+			if covered <= 0 {
+				continue
+			}
+			ratio := float64(inst.Weight(int(v))) / covered
+			if bestV == -1 || ratio < bestRatio {
+				bestV, bestRatio = v, ratio
+			}
+		}
+		if bestV == -1 {
+			break // cannot make progress; caller verified feasibility, so
+			// this only happens with zero-coefficient anomalies
+		}
+		taken[bestV] = true
+		sol[bestV] = true
+		val += inst.Weight(int(bestV))
+		for _, cj := range inst.ConstraintsOf(int(bestV)) {
+			if d, ok := deficit[cj]; ok {
+				d -= coeffOf(inst, cj, bestV)
+				if d <= 1e-9 {
+					delete(deficit, cj)
+				} else {
+					deficit[cj] = d
+				}
+			}
+		}
+	}
+	return sol, val
+}

@@ -1,0 +1,491 @@
+package solve
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/ilp"
+	"repro/internal/xrand"
+)
+
+// misILP builds the MIS packing instance for a graph with given weights.
+func misILP(t testing.TB, g *graph.Graph, w []int64) *ilp.Instance {
+	t.Helper()
+	if w == nil {
+		w = make([]int64, g.N())
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	b := ilp.NewBuilder(ilp.Packing, w)
+	g.Edges(func(u, v int) {
+		b.AddConstraint([]ilp.Term{{Var: u, Coeff: 1}, {Var: v, Coeff: 1}}, 1)
+	})
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// vcILP builds the vertex-cover covering instance.
+func vcILP(t testing.TB, g *graph.Graph, w []int64) *ilp.Instance {
+	t.Helper()
+	if w == nil {
+		w = make([]int64, g.N())
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	b := ilp.NewBuilder(ilp.Covering, w)
+	g.Edges(func(u, v int) {
+		b.AddConstraint([]ilp.Term{{Var: u, Coeff: 1}, {Var: v, Coeff: 1}}, 1)
+	})
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// mdsILP builds the dominating-set covering instance.
+func mdsILP(t testing.TB, g *graph.Graph) *ilp.Instance {
+	t.Helper()
+	w := make([]int64, g.N())
+	for i := range w {
+		w[i] = 1
+	}
+	b := ilp.NewBuilder(ilp.Covering, w)
+	for v := 0; v < g.N(); v++ {
+		terms := []ilp.Term{{Var: v, Coeff: 1}}
+		for _, u := range g.Neighbors(v) {
+			terms = append(terms, ilp.Term{Var: int(u), Coeff: 1})
+		}
+		b.AddConstraint(terms, 1)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func allVars(n int) []int32 {
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}
+
+// brutePackingLocal enumerates all subsets of the cluster.
+func brutePackingLocal(inst *ilp.Instance, cluster []int32) int64 {
+	var best int64
+	n := len(cluster)
+	for mask := 0; mask < 1<<n; mask++ {
+		sol := inst.NewSolution()
+		var val int64
+		for i, v := range cluster {
+			if mask&(1<<i) != 0 {
+				sol[v] = true
+				val += inst.Weight(int(v))
+			}
+		}
+		if ok, _ := inst.Feasible(sol); ok && val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func bruteCoveringLocal(inst *ilp.Instance, cluster []int32) int64 {
+	in := make([]bool, inst.NumVars())
+	for _, v := range cluster {
+		in[v] = true
+	}
+	local := inst.LocalConstraints(in)
+	best := int64(1) << 60
+	n := len(cluster)
+	for mask := 0; mask < 1<<n; mask++ {
+		sol := inst.NewSolution()
+		var val int64
+		for i, v := range cluster {
+			if mask&(1<<i) != 0 {
+				sol[v] = true
+				val += inst.Weight(int(v))
+			}
+		}
+		if ok, _ := inst.FeasibleOn(sol, local); ok && val < best {
+			best = val
+		}
+	}
+	return best
+}
+
+func TestPackingTreePath(t *testing.T) {
+	g := gen.Path(9)
+	inst := misILP(t, g, nil)
+	sol, val, m := PackingLocal(inst, allVars(9), Options{})
+	if m != MethodTreeDP {
+		t.Fatalf("method = %v, want treedp", m)
+	}
+	if val != 5 {
+		t.Fatalf("P9 MIS = %d", val)
+	}
+	if ok, _ := inst.Feasible(sol); !ok {
+		t.Fatal("infeasible")
+	}
+}
+
+func TestPackingBipartiteCycle(t *testing.T) {
+	g := gen.Cycle(12)
+	inst := misILP(t, g, nil)
+	_, val, m := PackingLocal(inst, allVars(12), Options{})
+	if m != MethodBipartite {
+		t.Fatalf("method = %v, want bipartite", m)
+	}
+	if val != 6 {
+		t.Fatalf("C12 MIS = %d", val)
+	}
+}
+
+func TestPackingOddCycleBB(t *testing.T) {
+	g := gen.Cycle(11)
+	inst := misILP(t, g, nil)
+	_, val, m := PackingLocal(inst, allVars(11), Options{})
+	if m != MethodBranchBound {
+		t.Fatalf("method = %v, want branch-and-bound", m)
+	}
+	if val != 5 {
+		t.Fatalf("C11 MIS = %d", val)
+	}
+}
+
+func TestPackingGreedyFallback(t *testing.T) {
+	g := gen.Cycle(51)
+	inst := misILP(t, g, nil)
+	_, val, m := PackingLocal(inst, allVars(51), Options{MaxExactVars: 20})
+	if m != MethodGreedy {
+		t.Fatalf("method = %v, want greedy", m)
+	}
+	if val < 17 { // greedy on a cycle achieves at least n/3
+		t.Fatalf("greedy MIS = %d", val)
+	}
+}
+
+func TestPackingForceGreedy(t *testing.T) {
+	g := gen.Path(5)
+	inst := misILP(t, g, nil)
+	_, _, m := PackingLocal(inst, allVars(5), Options{ForceGreedy: true})
+	if m != MethodGreedy {
+		t.Fatalf("ForceGreedy ignored: %v", m)
+	}
+}
+
+func TestPackingPartialCluster(t *testing.T) {
+	// Cluster = left half of a path; constraints crossing the boundary must
+	// still be respected by the zero extension (they are, trivially).
+	g := gen.Path(10)
+	inst := misILP(t, g, nil)
+	cluster := []int32{0, 1, 2, 3, 4}
+	sol, val, _ := PackingLocal(inst, cluster, Options{})
+	if val != 3 { // MIS of P5
+		t.Fatalf("half-path MIS = %d", val)
+	}
+	for v := 5; v < 10; v++ {
+		if sol[v] {
+			t.Fatal("solution set a variable outside the cluster")
+		}
+	}
+	if ok, _ := inst.Feasible(sol); !ok {
+		t.Fatal("zero extension infeasible")
+	}
+}
+
+func TestPackingEmptyCluster(t *testing.T) {
+	inst := misILP(t, gen.Path(4), nil)
+	sol, val, _ := PackingLocal(inst, nil, Options{})
+	if val != 0 || sol.CountOnes() != 0 {
+		t.Fatal("empty cluster should give empty solution")
+	}
+}
+
+func TestPackingWeightedTree(t *testing.T) {
+	g := gen.Star(5)
+	w := []int64{10, 1, 1, 1, 1} // heavy center beats the 4 leaves
+	inst := misILP(t, g, w)
+	sol, val, m := PackingLocal(inst, allVars(5), Options{})
+	if m != MethodTreeDP {
+		t.Fatalf("method = %v", m)
+	}
+	if val != 10 || !sol[0] {
+		t.Fatalf("weighted star MIS = %d, sol[0]=%v", val, sol[0])
+	}
+}
+
+func TestPackingBBRandomAgainstBrute(t *testing.T) {
+	rng := xrand.New(15)
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		// Random general packing instance: random coefficients/rhs.
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = 1 + int64(rng.Intn(6))
+		}
+		b := ilp.NewBuilder(ilp.Packing, w)
+		cons := 2 + rng.Intn(5)
+		for j := 0; j < cons; j++ {
+			var terms []ilp.Term
+			for v := 0; v < n; v++ {
+				if rng.Bernoulli(0.5) {
+					terms = append(terms, ilp.Term{Var: v, Coeff: float64(1 + rng.Intn(3))})
+				}
+			}
+			b.AddConstraint(terms, float64(rng.Intn(5)))
+		}
+		inst, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, val, m := PackingLocal(inst, allVars(n), Options{DisableStructure: true})
+		if m != MethodBranchBound {
+			t.Fatalf("trial %d: method %v", trial, m)
+		}
+		if want := brutePackingLocal(inst, allVars(n)); val != want {
+			t.Fatalf("trial %d: bb=%d brute=%d", trial, val, want)
+		}
+		if ok, j := inst.Feasible(sol); !ok {
+			t.Fatalf("trial %d: infeasible at %d", trial, j)
+		}
+	}
+}
+
+func TestCoveringTreeVC(t *testing.T) {
+	g := gen.Path(9)
+	inst := vcILP(t, g, nil)
+	sol, val, m, err := CoveringLocal(inst, allVars(9), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodTreeDP {
+		t.Fatalf("method = %v", m)
+	}
+	if val != 4 { // MVC of P9
+		t.Fatalf("P9 MVC = %d", val)
+	}
+	if ok, _ := inst.Feasible(sol); !ok {
+		t.Fatal("cover infeasible")
+	}
+}
+
+func TestCoveringBipartiteVC(t *testing.T) {
+	g := gen.CompleteBipartite(3, 5)
+	inst := vcILP(t, g, nil)
+	_, val, m, err := CoveringLocal(inst, allVars(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodBipartite {
+		t.Fatalf("method = %v", m)
+	}
+	if val != 3 {
+		t.Fatalf("K(3,5) MVC = %d", val)
+	}
+}
+
+func TestCoveringPartialClusterDropsCrossEdges(t *testing.T) {
+	// Covering restricted to {0,1,2} of P6 only enforces edges inside.
+	g := gen.Path(6)
+	inst := vcILP(t, g, nil)
+	sol, val, _, err := CoveringLocal(inst, []int32{0, 1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 1 { // edges {0,1},{1,2}: vertex 1 covers both
+		t.Fatalf("local MVC = %d", val)
+	}
+	if !sol[1] {
+		t.Fatal("expected vertex 1 in cover")
+	}
+}
+
+func TestCoveringMDSSmallBB(t *testing.T) {
+	g := gen.Cycle(9)
+	inst := mdsILP(t, g)
+	_, val, m, err := CoveringLocal(inst, allVars(9), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodBranchBound {
+		t.Fatalf("method = %v", m)
+	}
+	if val != 3 { // gamma(C9) = 3
+		t.Fatalf("C9 MDS = %d", val)
+	}
+}
+
+func TestCoveringGreedyFallback(t *testing.T) {
+	g := gen.Cycle(60)
+	inst := mdsILP(t, g)
+	sol, val, m, err := CoveringLocal(inst, allVars(60), Options{MaxExactVars: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodGreedy {
+		t.Fatalf("method = %v", m)
+	}
+	if ok, _ := inst.Feasible(sol); !ok {
+		t.Fatal("greedy cover infeasible")
+	}
+	if val < 20 || val > 40 { // gamma(C60)=20; greedy within 2x here
+		t.Fatalf("greedy MDS = %d", val)
+	}
+}
+
+func TestCoveringInfeasibleLocal(t *testing.T) {
+	// Constraint requires 2 from a single variable with coeff 1: impossible.
+	b := ilp.NewBuilder(ilp.Covering, []int64{1})
+	b.AddConstraint([]ilp.Term{{Var: 0, Coeff: 1}}, 2)
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = CoveringLocal(inst, []int32{0}, Options{})
+	if !errors.Is(err, ErrInfeasibleLocal) {
+		t.Fatalf("err = %v, want ErrInfeasibleLocal", err)
+	}
+}
+
+func TestCoveringForcedRank1(t *testing.T) {
+	// x_2 >= 1 forces vertex 2 even in the tree fast path.
+	g := gen.Path(5)
+	w := []int64{1, 1, 1, 1, 1}
+	b := ilp.NewBuilder(ilp.Covering, w)
+	g.Edges(func(u, v int) {
+		b.AddConstraint([]ilp.Term{{Var: u, Coeff: 1}, {Var: v, Coeff: 1}}, 1)
+	})
+	b.AddConstraint([]ilp.Term{{Var: 2, Coeff: 1}}, 1)
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, _, err := CoveringLocal(inst, allVars(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol[2] {
+		t.Fatal("forced variable not taken")
+	}
+	if ok, _ := inst.Feasible(sol); !ok {
+		t.Fatal("infeasible")
+	}
+}
+
+func TestCoveringBBRandomAgainstBrute(t *testing.T) {
+	rng := xrand.New(25)
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = 1 + int64(rng.Intn(6))
+		}
+		b := ilp.NewBuilder(ilp.Covering, w)
+		cons := 2 + rng.Intn(5)
+		for j := 0; j < cons; j++ {
+			var terms []ilp.Term
+			total := 0.0
+			for v := 0; v < n; v++ {
+				if rng.Bernoulli(0.6) {
+					c := float64(1 + rng.Intn(3))
+					terms = append(terms, ilp.Term{Var: v, Coeff: c})
+					total += c
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// rhs at most the max achievable so the instance is feasible.
+			b.AddConstraint(terms, float64(rng.Intn(int(total)+1)))
+		}
+		inst, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, val, m, err := CoveringLocal(inst, allVars(n), Options{DisableStructure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != MethodBranchBound {
+			t.Fatalf("trial %d: method %v", trial, m)
+		}
+		if want := bruteCoveringLocal(inst, allVars(n)); val != want {
+			t.Fatalf("trial %d: bb=%d brute=%d", trial, val, want)
+		}
+		if ok, j := inst.Feasible(sol); !ok {
+			t.Fatalf("trial %d: infeasible at %d", trial, j)
+		}
+	}
+}
+
+func TestGreedyCoveringAlwaysFeasible(t *testing.T) {
+	rng := xrand.New(35)
+	for trial := 0; trial < 30; trial++ {
+		g := gen.GNP(30, 0.15, rng)
+		inst := mdsILP(t, g)
+		vars := allVars(30)
+		in := make([]bool, 30)
+		for _, v := range vars {
+			in[v] = true
+		}
+		local := inst.LocalConstraints(in)
+		sol, _ := GreedyCovering(inst, vars, local)
+		if ok, j := inst.FeasibleOn(sol, local); !ok {
+			t.Fatalf("trial %d: greedy cover violates %d", trial, j)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for _, m := range []Method{MethodTreeDP, MethodBipartite, MethodBranchBound, MethodGreedy} {
+		if m.String() == "" {
+			t.Fatal("empty method string")
+		}
+	}
+	if MethodGreedy.Exact() {
+		t.Fatal("greedy must not be exact")
+	}
+	if !MethodTreeDP.Exact() || !MethodBranchBound.Exact() {
+		t.Fatal("exact methods mislabeled")
+	}
+	if Method(0).String() == "" {
+		t.Fatal("unknown method should print")
+	}
+}
+
+func BenchmarkPackingBB20(b *testing.B) {
+	g := gen.Cycle(21)
+	inst := misILP(b, g, nil)
+	vars := allVars(21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = PackingLocal(inst, vars, Options{DisableStructure: true})
+	}
+}
+
+func BenchmarkCoveringGreedy(b *testing.B) {
+	rng := xrand.New(1)
+	g := gen.GNP(200, 0.05, rng)
+	inst := mdsILP(b, g)
+	vars := allVars(200)
+	in := make([]bool, 200)
+	for _, v := range vars {
+		in[v] = true
+	}
+	local := inst.LocalConstraints(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = GreedyCovering(inst, vars, local)
+	}
+}

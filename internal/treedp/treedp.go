@@ -1,0 +1,316 @@
+// Package treedp provides linear-time exact dynamic programming on trees
+// (and forests) for the three combinatorial problems used as ground truth in
+// the experiments: maximum-weight independent set, minimum-weight vertex
+// cover, and minimum-weight dominating set. All routines accept arbitrary
+// nonnegative integer vertex weights and operate on each connected component
+// independently, so any forest works. Inputs containing a cycle are
+// rejected.
+package treedp
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// ErrNotForest is returned when the input graph contains a cycle.
+var ErrNotForest = errors.New("treedp: graph is not a forest")
+
+const inf = int64(1) << 60
+
+// orderForest returns vertices of g in an order where children precede
+// parents (post-order per component) together with the parent array; returns
+// ErrNotForest if a cycle exists.
+func orderForest(g *graph.Graph) (post []int32, parent []int32, err error) {
+	n := g.N()
+	parent = make([]int32, n)
+	state := make([]int8, n) // 0 unseen, 1 queued, 2 done
+	for i := range parent {
+		parent[i] = -1
+	}
+	post = make([]int32, 0, n)
+	// Iterative DFS to avoid recursion depth limits on path-like trees.
+	type frame struct {
+		v    int32
+		next int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if state[root] != 0 {
+			continue
+		}
+		state[root] = 1
+		stack = append(stack[:0], frame{v: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nb := g.Neighbors(int(f.v))
+			advanced := false
+			for f.next < len(nb) {
+				w := nb[f.next]
+				f.next++
+				if w == parent[f.v] {
+					continue
+				}
+				if state[w] != 0 {
+					return nil, nil, ErrNotForest
+				}
+				state[w] = 1
+				parent[w] = f.v
+				stack = append(stack, frame{v: w})
+				advanced = true
+				break
+			}
+			if !advanced {
+				state[f.v] = 2
+				post = append(post, f.v)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return post, parent, nil
+}
+
+// MaxIndependentSet returns a maximum-weight independent set of the forest g
+// and its total weight. weights may be nil for unit weights.
+func MaxIndependentSet(g *graph.Graph, weights []int64) ([]int32, int64, error) {
+	post, parent, err := orderForest(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := g.N()
+	w := unitIfNil(weights, n)
+	// in[v]: best weight in subtree of v with v included;
+	// out[v]: best with v excluded.
+	in := make([]int64, n)
+	out := make([]int64, n)
+	for _, v := range post {
+		in[v] = w[v]
+		for _, c := range g.Neighbors(int(v)) {
+			if c == parent[v] {
+				continue
+			}
+			in[v] += out[c]
+			out[v] += maxI64(in[c], out[c])
+		}
+	}
+	// Reconstruct top-down.
+	take := make([]int8, n) // -1 undecided, 0 skip, 1 take
+	for i := range take {
+		take[i] = -1
+	}
+	var set []int32
+	var total int64
+	for i := len(post) - 1; i >= 0; i-- {
+		v := post[i]
+		if parent[v] == -1 {
+			total += maxI64(in[v], out[v])
+			if in[v] >= out[v] {
+				take[v] = 1
+			} else {
+				take[v] = 0
+			}
+		} else {
+			p := parent[v]
+			if take[p] == 1 {
+				take[v] = 0
+			} else if in[v] >= out[v] {
+				take[v] = 1
+			} else {
+				take[v] = 0
+			}
+		}
+		if take[v] == 1 {
+			set = append(set, v)
+		}
+	}
+	return set, total, nil
+}
+
+// MinVertexCover returns a minimum-weight vertex cover of the forest g and
+// its weight. weights may be nil for unit weights.
+func MinVertexCover(g *graph.Graph, weights []int64) ([]int32, int64, error) {
+	post, parent, err := orderForest(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := g.N()
+	w := unitIfNil(weights, n)
+	in := make([]int64, n)  // v in cover
+	out := make([]int64, n) // v not in cover: all children must be in
+	for _, v := range post {
+		in[v] = w[v]
+		for _, c := range g.Neighbors(int(v)) {
+			if c == parent[v] {
+				continue
+			}
+			in[v] += minI64(in[c], out[c])
+			out[v] += in[c]
+		}
+	}
+	take := make([]int8, n)
+	for i := range take {
+		take[i] = -1
+	}
+	var cover []int32
+	var total int64
+	for i := len(post) - 1; i >= 0; i-- {
+		v := post[i]
+		if parent[v] == -1 {
+			total += minI64(in[v], out[v])
+			if in[v] <= out[v] {
+				take[v] = 1
+			} else {
+				take[v] = 0
+			}
+		} else {
+			p := parent[v]
+			if take[p] == 0 {
+				take[v] = 1 // parent uncovered: v must cover the edge
+			} else if in[v] <= out[v] {
+				take[v] = 1
+			} else {
+				take[v] = 0
+			}
+		}
+		if take[v] == 1 {
+			cover = append(cover, v)
+		}
+	}
+	return cover, total, nil
+}
+
+// MinDominatingSet returns a minimum-weight dominating set of the forest g
+// and its weight. weights may be nil for unit weights.
+//
+// Standard 3-state DP: for each vertex,
+//
+//	s0: v in the set;
+//	s1: v not in set, dominated by some child;
+//	s2: v not in set, not yet dominated (must be dominated by its parent).
+func MinDominatingSet(g *graph.Graph, weights []int64) ([]int32, int64, error) {
+	post, parent, err := orderForest(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := g.N()
+	w := unitIfNil(weights, n)
+	s0 := make([]int64, n)
+	s1 := make([]int64, n)
+	s2 := make([]int64, n)
+	// choice tracking for reconstruction: for s1 we remember which child was
+	// forced into state 0 (or -1 if some child's optimum is already s0).
+	s1Forced := make([]int32, n)
+	for _, v := range post {
+		s0[v] = w[v]
+		s2[v] = 0
+		var sumMin01 int64 // sum over children of min(s0, s1)
+		var bestPenalty int64 = inf
+		var forced int32 = -1
+		anyChild := false
+		for _, c := range g.Neighbors(int(v)) {
+			if c == parent[v] {
+				continue
+			}
+			anyChild = true
+			s0[v] += minI64(minI64(s0[c], s1[c]), s2[c])
+			m01 := minI64(s0[c], s1[c])
+			sumMin01 += m01
+			s2[v] += m01
+			// For s1, at least one child must be in state 0.
+			penalty := s0[c] - m01
+			if penalty < bestPenalty {
+				bestPenalty = penalty
+				forced = c
+			}
+		}
+		if !anyChild {
+			s1[v] = inf // leaf cannot be dominated by a child
+			s1Forced[v] = -1
+		} else {
+			s1[v] = sumMin01 + bestPenalty
+			if bestPenalty == 0 {
+				forced = -1 // some child naturally in s0
+			}
+			s1Forced[v] = forced
+		}
+	}
+	// Reconstruction, top-down. state[v] in {0,1,2}.
+	state := make([]int8, n)
+	for i := range state {
+		state[i] = -1
+	}
+	var set []int32
+	var total int64
+	for i := len(post) - 1; i >= 0; i-- {
+		v := post[i]
+		if parent[v] == -1 {
+			// Root may not be in state 2 (nobody above to dominate it).
+			if s0[v] <= s1[v] {
+				state[v] = 0
+			} else {
+				state[v] = 1
+			}
+			total += minI64(s0[v], s1[v])
+		}
+		sv := state[v]
+		if sv == 0 {
+			set = append(set, v)
+		}
+		for _, c := range g.Neighbors(int(v)) {
+			if c == parent[v] {
+				continue
+			}
+			switch sv {
+			case 0:
+				// child free: take its overall min.
+				if s0[c] <= s1[c] && s0[c] <= s2[c] {
+					state[c] = 0
+				} else if s1[c] <= s2[c] {
+					state[c] = 1
+				} else {
+					state[c] = 2
+				}
+			case 1:
+				if s1Forced[v] == c {
+					state[c] = 0
+				} else if s0[c] <= s1[c] {
+					state[c] = 0
+				} else {
+					state[c] = 1
+				}
+			case 2:
+				if s0[c] <= s1[c] {
+					state[c] = 0
+				} else {
+					state[c] = 1
+				}
+			}
+		}
+	}
+	return set, total, nil
+}
+
+func unitIfNil(w []int64, n int) []int64 {
+	if w != nil {
+		return w
+	}
+	u := make([]int64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	return u
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

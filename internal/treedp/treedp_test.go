@@ -1,0 +1,334 @@
+package treedp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+// Brute-force reference solvers on tiny graphs.
+
+func bruteMIS(g *graph.Graph, w []int64) int64 {
+	n := g.N()
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		g.Edges(func(u, v int) {
+			if mask&(1<<u) != 0 && mask&(1<<v) != 0 {
+				ok = false
+			}
+		})
+		if !ok {
+			continue
+		}
+		var val int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				val += w[v]
+			}
+		}
+		if val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func bruteMVC(g *graph.Graph, w []int64) int64 {
+	n := g.N()
+	best := int64(1) << 60
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		g.Edges(func(u, v int) {
+			if mask&(1<<u) == 0 && mask&(1<<v) == 0 {
+				ok = false
+			}
+		})
+		if !ok {
+			continue
+		}
+		var val int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				val += w[v]
+			}
+		}
+		if val < best {
+			best = val
+		}
+	}
+	return best
+}
+
+func bruteMDS(g *graph.Graph, w []int64) int64 {
+	n := g.N()
+	best := int64(1) << 60
+	for mask := 0; mask < 1<<n; mask++ {
+		dominated := 0
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				dominated |= 1 << v
+				for _, u := range g.Neighbors(v) {
+					dominated |= 1 << u
+				}
+			}
+		}
+		if dominated != (1<<n)-1 {
+			continue
+		}
+		var val int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				val += w[v]
+			}
+		}
+		if val < best {
+			best = val
+		}
+	}
+	return best
+}
+
+func randomWeights(n int, rng *xrand.RNG) []int64 {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1 + int64(rng.Intn(5))
+	}
+	return w
+}
+
+func verifyIS(t *testing.T, g *graph.Graph, set []int32) {
+	t.Helper()
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	g.Edges(func(u, v int) {
+		if in[u] && in[v] {
+			t.Fatalf("not independent: edge %d-%d", u, v)
+		}
+	})
+}
+
+func verifyVC(t *testing.T, g *graph.Graph, cover []int32) {
+	t.Helper()
+	in := make([]bool, g.N())
+	for _, v := range cover {
+		in[v] = true
+	}
+	g.Edges(func(u, v int) {
+		if !in[u] && !in[v] {
+			t.Fatalf("edge %d-%d uncovered", u, v)
+		}
+	})
+}
+
+func verifyDS(t *testing.T, g *graph.Graph, set []int32) {
+	t.Helper()
+	dom := make([]bool, g.N())
+	for _, v := range set {
+		dom[v] = true
+		for _, u := range g.Neighbors(int(v)) {
+			dom[u] = true
+		}
+	}
+	for v, d := range dom {
+		if !d {
+			t.Fatalf("vertex %d undominated", v)
+		}
+	}
+}
+
+func setWeight(set []int32, w []int64) int64 {
+	var s int64
+	for _, v := range set {
+		s += w[v]
+	}
+	return s
+}
+
+func TestPathUnit(t *testing.T) {
+	g := gen.Path(7)
+	set, val, err := MaxIndependentSet(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 4 {
+		t.Fatalf("P7 MIS = %d, want 4", val)
+	}
+	verifyIS(t, g, set)
+
+	cover, cval, err := MinVertexCover(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cval != 3 {
+		t.Fatalf("P7 MVC = %d, want 3", cval)
+	}
+	verifyVC(t, g, cover)
+
+	ds, dval, err := MinDominatingSet(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dval != 3 { // ceil(7/3)
+		t.Fatalf("P7 MDS = %d, want 3", dval)
+	}
+	verifyDS(t, g, ds)
+}
+
+func TestStar(t *testing.T) {
+	g := gen.Star(10)
+	_, val, _ := MaxIndependentSet(g, nil)
+	if val != 9 {
+		t.Fatalf("star MIS = %d", val)
+	}
+	_, cval, _ := MinVertexCover(g, nil)
+	if cval != 1 {
+		t.Fatalf("star MVC = %d", cval)
+	}
+	_, dval, _ := MinDominatingSet(g, nil)
+	if dval != 1 {
+		t.Fatalf("star MDS = %d", dval)
+	}
+}
+
+func TestSingletonAndEmpty(t *testing.T) {
+	g := graph.NewBuilder(1).Build()
+	set, val, err := MaxIndependentSet(g, nil)
+	if err != nil || val != 1 || len(set) != 1 {
+		t.Fatalf("singleton MIS: %v %d", err, val)
+	}
+	_, dval, err := MinDominatingSet(g, nil)
+	if err != nil || dval != 1 {
+		t.Fatalf("singleton MDS = %d", dval)
+	}
+	empty := graph.NewBuilder(0).Build()
+	_, val, err = MaxIndependentSet(empty, nil)
+	if err != nil || val != 0 {
+		t.Fatal("empty graph MIS")
+	}
+}
+
+func TestForest(t *testing.T) {
+	// Two disjoint paths.
+	b := graph.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	_, val, err := MaxIndependentSet(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P3 gives 2, isolated vertex 3 gives 1, P3 gives 2: total 5.
+	if val != 5 {
+		t.Fatalf("forest MIS = %d, want 5", val)
+	}
+	_, dval, _ := MinDominatingSet(g, nil)
+	if dval != 3 { // one per path + isolated vertex
+		t.Fatalf("forest MDS = %d, want 3", dval)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, _, err := MaxIndependentSet(g, nil); !errors.Is(err, ErrNotForest) {
+		t.Fatal("cycle accepted by MIS")
+	}
+	if _, _, err := MinVertexCover(g, nil); !errors.Is(err, ErrNotForest) {
+		t.Fatal("cycle accepted by MVC")
+	}
+	if _, _, err := MinDominatingSet(g, nil); !errors.Is(err, ErrNotForest) {
+		t.Fatal("cycle accepted by MDS")
+	}
+}
+
+func TestRandomTreesAgainstBrute(t *testing.T) {
+	rng := xrand.New(123)
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(12)
+		g := gen.RandomTree(n, rng)
+		w := randomWeights(n, rng)
+
+		set, val, err := MaxIndependentSet(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteMIS(g, w); val != want {
+			t.Fatalf("trial %d: MIS dp=%d brute=%d", trial, val, want)
+		}
+		verifyIS(t, g, set)
+		if setWeight(set, w) != val {
+			t.Fatalf("trial %d: MIS set weight mismatch", trial)
+		}
+
+		cover, cval, err := MinVertexCover(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteMVC(g, w); cval != want {
+			t.Fatalf("trial %d: MVC dp=%d brute=%d", trial, cval, want)
+		}
+		verifyVC(t, g, cover)
+		if setWeight(cover, w) != cval {
+			t.Fatalf("trial %d: MVC set weight mismatch", trial)
+		}
+
+		ds, dval, err := MinDominatingSet(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteMDS(g, w); dval != want {
+			t.Fatalf("trial %d: MDS dp=%d brute=%d", trial, dval, want)
+		}
+		verifyDS(t, g, ds)
+		if setWeight(ds, w) != dval {
+			t.Fatalf("trial %d: MDS set weight mismatch", trial)
+		}
+	}
+}
+
+func TestMISVCWeightedDuality(t *testing.T) {
+	// On any graph, max-weight IS + min-weight VC = total weight.
+	rng := xrand.New(321)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		g := gen.RandomTree(n, rng)
+		w := randomWeights(n, rng)
+		var total int64
+		for _, x := range w {
+			total += x
+		}
+		_, mis, _ := MaxIndependentSet(g, w)
+		_, mvc, _ := MinVertexCover(g, w)
+		if mis+mvc != total {
+			t.Fatalf("trial %d: duality violated: %d + %d != %d", trial, mis, mvc, total)
+		}
+	}
+}
+
+func TestDeepPathNoStackOverflow(t *testing.T) {
+	// The DFS is iterative; a 200k path must work.
+	g := gen.Path(200000)
+	_, val, err := MaxIndependentSet(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 100000 {
+		t.Fatalf("deep path MIS = %d", val)
+	}
+}
+
+func BenchmarkMDSLargeTree(b *testing.B) {
+	rng := xrand.New(5)
+	g := gen.RandomTree(100000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = MinDominatingSet(g, nil)
+	}
+}
