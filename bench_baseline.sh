@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench_baseline.sh — capture the benchmark baseline for the current
+# revision so the perf trajectory is tracked PR over PR.
+#
+# Runs every experiment benchmark (BenchmarkE*) and algorithm
+# micro-benchmark (BenchmarkAlgo*) with -benchmem and writes the parsed
+# results to BENCH_<rev>.json (one object per benchmark: name, iterations,
+# ns/op, B/op, allocs/op, plus any custom ReportMetric columns).
+#
+# Usage:
+#   ./bench_baseline.sh            # count=1 (quick snapshot)
+#   COUNT=3 ./bench_baseline.sh    # repeated runs for stabler numbers
+#   BENCH='BenchmarkE5.*' ./bench_baseline.sh   # restrict the pattern
+set -euo pipefail
+cd "$(dirname "$0")"
+
+REV=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
+COUNT="${COUNT:-1}"
+BENCH="${BENCH:-BenchmarkE|BenchmarkAlgo}"
+OUT="BENCH_${REV}.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks ($BENCH, count=$COUNT) ..." >&2
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$RAW" >&2
+
+awk -v rev="$REV" '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    line = "    {\"rev\": \"" rev "\", \"name\": \"" name "\", \"iterations\": " iters
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        line = line ", \"" unit "\": " $(i)
+    }
+    line = line "}"
+    if (!first) print ","
+    printf "%s", line
+    first = 0
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2

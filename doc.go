@@ -9,4 +9,10 @@
 //
 // The public API lives in internal/core; see README.md for the map and
 // bench_test.go for the experiment regeneration targets (E1–E12).
+//
+// The hot path runs on reusable, allocation-free traversal workspaces
+// (graph.Workspace, one per goroutine) and fans independent work — the
+// preparation sparse covers, per-region local solves, per-vertex ball
+// queries — across a bounded worker pool (internal/par) with
+// deterministic, worker-count-independent results.
 package repro

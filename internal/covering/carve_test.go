@@ -31,7 +31,7 @@ func TestGrowCarveCoveringWindow(t *testing.T) {
 	for i := range st.alive {
 		st.alive[i] = true
 	}
-	if err := st.growCarveCovering([]int32{0}, 3, 8); err != nil {
+	if err := st.growCarveCovering([]int32{0}, 3, 8, testWorker()); err != nil {
 		t.Fatal(err)
 	}
 	// Some interior must be removed and some weight fixed.
@@ -73,7 +73,7 @@ func TestGrowCarveCoveringExhausted(t *testing.T) {
 		used:     make([]float64, inst.NumConstraints()),
 		exact:    true,
 	}
-	if err := st.growCarveCovering([]int32{2}, 8, 12); err != nil {
+	if err := st.growCarveCovering([]int32{2}, 8, 12, testWorker()); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < 5; v++ {
@@ -100,7 +100,7 @@ func TestGrowCarveCoveringDeadSeed(t *testing.T) {
 		solution: inst.NewSolution(),
 		used:     make([]float64, inst.NumConstraints()),
 	}
-	if err := st.growCarveCovering([]int32{2}, 1, 3); err != nil {
+	if err := st.growCarveCovering([]int32{2}, 1, 3, testWorker()); err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range st.removed {
@@ -129,3 +129,6 @@ func TestSmallIntervalEndToEndCovering(t *testing.T) {
 		t.Fatalf("cycle cover %d < n/2", r.Value)
 	}
 }
+
+// testWorker returns a fresh worker scratch for direct carve tests.
+func testWorker() *worker { return newWorkers(1)[0] }

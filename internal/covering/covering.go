@@ -29,6 +29,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/ldd"
 	"repro/internal/local"
+	"repro/internal/par"
 	"repro/internal/solve"
 	"repro/internal/xrand"
 )
@@ -52,6 +53,12 @@ type Params struct {
 	PrepRuns int
 	// Solve tunes the local optimizers.
 	Solve solve.Options
+	// Workers bounds the worker pool for the independent preparation
+	// sparse covers and the Phase-2 per-region local solves. <= 0 means
+	// GOMAXPROCS; 1 forces the sequential path. Seeded runs are
+	// bit-identical for every worker count: every task's randomness is
+	// derived from (Seed, task id) and results merge in task order.
+	Workers int
 }
 
 // Result is the outcome of a run.
@@ -136,6 +143,36 @@ type state struct {
 	opt      solve.Options
 }
 
+// worker is the per-goroutine scratch for the fan-out steps: a traversal
+// workspace plus the dense remaps and buffers that replace the per-call
+// hash maps of the local-ILP extraction. Read-only state (inst, g, alive
+// snapshots, used snapshots) is shared; everything mutable lives here.
+type worker struct {
+	lws   *ldd.Workspace // also provides the traversal workspace (lws.G)
+	rmap  graph.Remap    // region vertex -> local variable index
+	cons  graph.Remap    // constraint-id marks
+	vmark graph.Remap    // solution-membership marks (grow-and-carve)
+	ball  []int32
+	vars  []int32
+	wts   []int64
+	all   []int32
+	terms []ilp.Term
+}
+
+func newWorkers(k int) []*worker {
+	out := make([]*worker, k)
+	for i := range out {
+		out[i] = &worker{lws: ldd.AcquireWorkspace()}
+	}
+	return out
+}
+
+func releaseWorkers(wks []*worker) {
+	for _, wk := range wks {
+		ldd.ReleaseWorkspace(wk.lws)
+	}
+}
+
 // fix permanently assigns variable v = 1 and updates the residual demands.
 func (s *state) fix(v int32) {
 	if s.solution[v] {
@@ -171,42 +208,77 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 	}
 
 	// --- Preparation: sparse covers for weight estimates ------------------
+	// The Θ(log ñ) covers are mutually independent (each has its own split
+	// of the root seed), and so are the per-cluster weight estimates, so
+	// both fan out across the worker pool. Merging in (run, cluster) order
+	// keeps the cluster indexing — and hence the Phase-1 sampling streams —
+	// bit-identical to the sequential path.
+	workers := par.Workers(p.Workers)
+	wks := newWorkers(workers)
+	defer releaseWorkers(wks)
+
 	lambdaPrep := math.Log(21.0 / 20.0)
-	var clusters []prepCluster
-	rc.StartPhase()
-	for run := 0; run < d.prepRuns; run++ {
-		cov := ldd.SparseCover(g, nil, ldd.ENParams{
+	prepSeeds := make([]uint64, d.prepRuns)
+	for run := range prepSeeds {
+		prepSeeds[run] = rootRNG.Split(uint64(run) + 0xc0e).Uint64()
+	}
+	covs := make([]*ldd.Cover, d.prepRuns)
+	par.ForEach(workers, d.prepRuns, func(w, run int) {
+		covs[run] = ldd.SparseCoverWS(g, nil, ldd.ENParams{
 			Lambda: lambdaPrep,
 			NTilde: d.nTilde,
-			Seed:   rootRNG.Split(uint64(run) + 0xc0e).Uint64(),
-		})
-		rc.Charge(cov.Rounds)
-		for _, members := range cov.Clusters {
-			if len(members) == 0 {
-				continue
+			Seed:   prepSeeds[run],
+		}, wks[w].lws)
+	})
+	var members [][]int32
+	for _, cov := range covs {
+		for _, m := range cov.Clusters {
+			if len(m) > 0 {
+				members = append(members, m)
 			}
-			pc := prepCluster{members: members}
-			var err error
-			pc.wC, err = st.localValue(members)
-			if err != nil {
-				return nil, err
-			}
-			sc := ballFromSet(g, members, d.estRadius, nil)
-			rc.Charge(min(d.estRadius, n))
-			pc.wSC, err = st.localValue(sc)
-			if err != nil {
-				return nil, err
-			}
-			clusters = append(clusters, pc)
 		}
+	}
+	clusters := make([]prepCluster, len(members))
+	prepErrs := make([]error, len(members))
+	prepExact := make([]bool, len(members))
+	par.ForEach(workers, len(members), func(w, i int) {
+		wk := wks[w]
+		pc := prepCluster{members: members[i]}
+		var ex1, ex2 bool
+		pc.wC, ex1, prepErrs[i] = st.localValue(members[i])
+		if prepErrs[i] != nil {
+			return
+		}
+		sc := g.BallFromSetWithWorkspace(wk.lws.G, members[i], d.estRadius, nil)
+		pc.wSC, ex2, prepErrs[i] = st.localValue(sc)
+		prepExact[i] = ex1 && ex2
+		clusters[i] = pc
+	})
+	rc.StartPhase()
+	for _, cov := range covs {
+		rc.Charge(cov.Rounds)
+	}
+	for i := range clusters {
+		if prepErrs[i] != nil {
+			return nil, prepErrs[i]
+		}
+		if !prepExact[i] {
+			st.exact = false
+		}
+		rc.Charge(min(d.estRadius, n))
 	}
 	rc.EndPhase()
 
 	// --- Phase 1: t carving iterations -------------------------------------
+	// Unlike the decomposition's Phase 1, each carve here fixes variables
+	// and updates the residual demands that the next carve's local solve
+	// sees, so the iteration is inherently sequential; it runs on worker
+	// 0's scratch.
 	for i := 1; i <= d.t; i++ {
 		interval := d.intervals[i-1]
 		rc.StartPhase()
-		for ci, pc := range clusters {
+		for ci := range clusters {
+			pc := clusters[ci]
 			if pc.wSC <= 0 || pc.wC <= 0 {
 				continue
 			}
@@ -217,7 +289,7 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 			if !xrand.Stream(p.Seed, ci, uint64(coverLabel+i)).Bernoulli(prob) {
 				continue
 			}
-			if err := st.growCarveCovering(pc.members, interval[0], interval[1]); err != nil {
+			if err := st.growCarveCovering(pc.members, interval[0], interval[1], wks[0]); err != nil {
 				return nil, err
 			}
 			rc.Charge(interval[1])
@@ -249,15 +321,24 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 	}
 	regions = append(regions, removedRegions...)
 
+	// The per-region local solves all run against the same Phase-1
+	// residual snapshot, so they fan out across the pool; the fixes are
+	// applied afterwards in region order.
 	usedSnapshot := append([]float64(nil), st.used...)
-	var chosen [][]int32
+	chosen := make([][]int32, len(regions))
+	regionErrs := make([]error, len(regions))
+	regionExact := make([]bool, len(regions))
+	par.ForEach(workers, len(regions), func(w, i int) {
+		chosen[i], regionExact[i], regionErrs[i] = st.localCoverAgainst(regions[i], usedSnapshot, wks[w])
+	})
 	rc.StartPhase()
-	for _, region := range regions {
-		picks, err := st.localCoverAgainst(region, usedSnapshot)
-		if err != nil {
-			return nil, err
+	for i := range regions {
+		if regionErrs[i] != nil {
+			return nil, regionErrs[i]
 		}
-		chosen = append(chosen, picks)
+		if !regionExact[i] {
+			st.exact = false
+		}
 		rc.Charge(cov.Rounds)
 	}
 	rc.EndPhase()
@@ -279,21 +360,21 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 
 // localValue computes W(Q^local_S, S): the optimal covering weight of the
 // constraints fully inside S (against the original demands — preparation
-// happens before any fixing).
-func (s *state) localValue(members []int32) (int64, error) {
+// happens before any fixing). Safe for concurrent use: it only reads the
+// shared state and reports exactness to the caller.
+func (s *state) localValue(members []int32) (int64, bool, error) {
 	_, val, m, err := solve.CoveringLocal(s.inst, members, s.opt)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	if !m.Exact() {
-		s.exact = false
-	}
-	return val, nil
+	return val, m.Exact(), nil
 }
 
-// growCarveCovering implements Algorithm 7 for a cluster seed set.
-func (s *state) growCarveCovering(seed []int32, a, b int) error {
-	layers := ballLayersFromSet(s.g, seed, b, s.alive)
+// growCarveCovering implements Algorithm 7 for a cluster seed set. It
+// mutates the run state and therefore always runs sequentially, on the
+// caller's scratch.
+func (s *state) growCarveCovering(seed []int32, a, b int, wk *worker) error {
+	layers := s.g.BallLayersFromSetWithWorkspace(wk.lws.G, seed, b, s.alive)
 	if layers == nil {
 		return nil
 	}
@@ -308,18 +389,23 @@ func (s *state) growCarveCovering(seed []int32, a, b int) error {
 		}
 		return nil
 	}
-	var ball []int32
+	ball := wk.ball[:0]
 	for _, l := range layers {
 		ball = append(ball, l...)
 	}
+	wk.ball = ball
 	// Q^local of the gathered ball, against current residual demands.
-	sol, err := s.localCoverAgainst(ball, s.used)
+	sol, exact, err := s.localCoverAgainst(ball, s.used, wk)
 	if err != nil {
 		return err
 	}
-	inSol := make(map[int32]bool, len(sol))
+	if !exact {
+		s.exact = false
+	}
+	inSol := &wk.vmark
+	inSol.Reset(s.g.N())
 	for _, v := range sol {
-		inSol[v] = true
+		inSol.Set(v, 1)
 	}
 	pairWeight := func(j int) int64 {
 		var w int64
@@ -328,7 +414,7 @@ func (s *state) growCarveCovering(seed []int32, a, b int) error {
 				continue
 			}
 			for _, v := range layers[idx] {
-				if inSol[v] {
+				if inSol.Has(v) {
 					w += s.inst.Weight(int(v))
 				}
 			}
@@ -365,7 +451,7 @@ func (s *state) growCarveCovering(seed []int32, a, b int) error {
 			continue
 		}
 		for _, v := range layers[idx] {
-			if inSol[v] {
+			if inSol.Has(v) {
 				s.fix(v)
 			}
 		}
@@ -383,46 +469,54 @@ func (s *state) growCarveCovering(seed []int32, a, b int) error {
 // localCoverAgainst solves the covering problem restricted to the region:
 // constraints with positive residual demand (w.r.t. used) whose variables
 // all lie inside region ∪ {already-fixed vertices}; fixed vertices are free
-// (weight 0). Returns the chosen vertices (global ids).
-func (s *state) localCoverAgainst(region []int32, used []float64) ([]int32, error) {
-	inRegion := make(map[int32]int, len(region))
-	vars := make([]int32, 0, len(region))
+// (weight 0). Returns the chosen vertices (global ids) and whether the
+// local solve was exact. Safe for concurrent use across distinct workers:
+// shared state is only read, and all scratch lives in wk.
+func (s *state) localCoverAgainst(region []int32, used []float64, wk *worker) ([]int32, bool, error) {
+	inRegion := &wk.rmap
+	inRegion.Reset(s.g.N())
+	vars := wk.vars[:0]
 	for _, v := range region {
-		if _, dup := inRegion[v]; dup {
+		if inRegion.Has(v) {
 			continue
 		}
-		inRegion[v] = len(vars)
+		inRegion.Set(v, int32(len(vars)))
 		vars = append(vars, v)
 	}
-	weights := make([]int64, len(vars))
-	for i, v := range vars {
-		weights[i] = s.inst.Weight(int(v))
+	wk.vars = vars
+	weights := wk.wts[:0]
+	for _, v := range vars {
+		w := s.inst.Weight(int(v))
 		if s.solution[v] {
-			weights[i] = 0
+			w = 0
 		}
+		weights = append(weights, w)
 	}
+	wk.wts = weights
 	b := ilp.NewBuilder(ilp.Covering, weights)
-	seen := make(map[int32]bool)
+	seen := &wk.cons
+	seen.Reset(s.inst.NumConstraints())
 	for _, v := range vars {
 		for _, cj := range s.inst.ConstraintsOf(int(v)) {
-			if seen[cj] {
+			if seen.Has(cj) {
 				continue
 			}
-			seen[cj] = true
+			seen.Set(cj, 1)
 			res := s.inst.Constraint(int(cj)).B - used[cj]
 			if res <= 1e-9 {
 				continue
 			}
 			inside := true
-			var terms []ilp.Term
+			terms := wk.terms[:0]
 			for _, t := range s.inst.Constraint(int(cj)).Terms {
-				idx, ok := inRegion[int32(t.Var)]
+				idx, ok := inRegion.Get(int32(t.Var))
 				if !ok {
 					inside = false
 					break
 				}
-				terms = append(terms, ilp.Term{Var: idx, Coeff: t.Coeff})
+				terms = append(terms, ilp.Term{Var: int(idx), Coeff: t.Coeff})
 			}
+			wk.terms = terms
 			if inside && len(terms) > 0 {
 				b.AddConstraint(terms, res)
 			}
@@ -430,18 +524,16 @@ func (s *state) localCoverAgainst(region []int32, used []float64) ([]int32, erro
 	}
 	localInst, err := b.Build()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	all := make([]int32, len(vars))
-	for i := range all {
-		all[i] = int32(i)
+	all := wk.all[:0]
+	for i := range vars {
+		all = append(all, int32(i))
 	}
+	wk.all = all
 	sol, _, m, err := solve.CoveringLocal(localInst, all, s.opt)
 	if err != nil {
-		return nil, err
-	}
-	if !m.Exact() {
-		s.exact = false
+		return nil, false, err
 	}
 	var out []int32
 	for i, set := range sol {
@@ -449,7 +541,7 @@ func (s *state) localCoverAgainst(region []int32, used []float64) ([]int32, erro
 			out = append(out, vars[i])
 		}
 	}
-	return out, nil
+	return out, m.Exact(), nil
 }
 
 func coeffOf(inst *ilp.Instance, j, v int) float64 {
@@ -461,47 +553,3 @@ func coeffOf(inst *ilp.Instance, j, v int) float64 {
 	return 0
 }
 
-// ballFromSet and ballLayersFromSet mirror the packing package's helpers.
-func ballFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) []int32 {
-	layers := ballLayersFromSet(g, seed, radius, alive)
-	var out []int32
-	for _, l := range layers {
-		out = append(out, l...)
-	}
-	return out
-}
-
-func ballLayersFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) [][]int32 {
-	seen := make(map[int32]bool, len(seed)*4)
-	var layer0 []int32
-	for _, s := range seed {
-		if seen[s] || (alive != nil && !alive[s]) {
-			continue
-		}
-		seen[s] = true
-		layer0 = append(layer0, s)
-	}
-	if len(layer0) == 0 {
-		return nil
-	}
-	layers := [][]int32{layer0}
-	frontier := layer0
-	for dd := 0; dd < radius && len(frontier) > 0; dd++ {
-		var next []int32
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(int(u)) {
-				if seen[w] || (alive != nil && !alive[w]) {
-					continue
-				}
-				seen[w] = true
-				next = append(next, w)
-			}
-		}
-		if len(next) == 0 {
-			break
-		}
-		layers = append(layers, next)
-		frontier = next
-	}
-	return layers
-}

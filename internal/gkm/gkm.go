@@ -100,10 +100,12 @@ func run(inst *ilp.Instance, p Params, packing bool) *Result {
 	}
 	k := p.horizon(nTilde)
 	var rc local.RoundCounter
+	ws := graph.AcquireWorkspace()
+	defer graph.ReleaseWorkspace(ws)
 
 	// Step 2: network decomposition of G^{2k}. Building the power graph is
 	// free locally; the decomposition itself costs rounds_nd * 2k in G.
-	power := g.Power(2 * k)
+	power := g.PowerWithWorkspace(ws, 2*k)
 	nd := netdecomp.Decompose(power, netdecomp.Params{NTilde: nTilde, Seed: p.Seed})
 	rc.Charge(nd.Rounds * 2 * k)
 
@@ -120,6 +122,7 @@ func run(inst *ilp.Instance, p Params, packing bool) *Result {
 
 	clusters := nd.Clusters()
 	byColor := nd.ClustersByColor()
+	var scratch gkmScratch
 	for _, clusterIDs := range byColor {
 		// Same-color clusters are > 2k apart in G; their k-radius carving
 		// regions are disjoint, so they run in parallel: one phase.
@@ -133,7 +136,7 @@ func run(inst *ilp.Instance, p Params, packing bool) *Result {
 				if !alive[centre] {
 					continue
 				}
-				ok := carve(inst, g, int(centre), k, alive, solution, used, packing, p)
+				ok := carve(inst, g, int(centre), k, alive, solution, used, packing, p, ws, &scratch)
 				if !ok {
 					exact = false
 				}
@@ -163,13 +166,16 @@ func run(inst *ilp.Instance, p Params, packing bool) *Result {
 // instance, fixes the chosen ball's local solution into solution/used, and
 // removes the ball from alive. Returns whether all local solves were exact.
 func carve(inst *ilp.Instance, g *graph.Graph, centre, k int, alive []bool,
-	solution ilp.Solution, used []float64, packing bool, p Params) bool {
+	solution ilp.Solution, used []float64, packing bool, p Params,
+	ws *graph.Workspace, scratch *gkmScratch) bool {
 
 	eps := p.Epsilon
 	if eps <= 0 || eps > 1 {
 		eps = 0.5
 	}
-	layers := g.BallLayers(centre, k+1, alive)
+	// layers alias ws and stay valid through the local solves below, which
+	// never touch the traversal workspace.
+	layers := g.BallLayersWithWorkspace(ws, centre, k+1, alive)
 	if layers == nil {
 		return true
 	}
@@ -180,7 +186,7 @@ func carve(inst *ilp.Instance, g *graph.Graph, centre, k int, alive []bool,
 	sols := make([]ilp.Solution, 0, len(layers)+1)
 	for i := 0; i < len(layers); i++ {
 		ball = append(ball, layers[i]...)
-		sol, val, ex := localSolve(inst, ball, used, solution, packing, p)
+		sol, val, ex := localSolve(inst, ball, used, solution, packing, p, scratch)
 		if !ex {
 			exact = false
 		}
@@ -232,16 +238,24 @@ func carve(inst *ilp.Instance, g *graph.Graph, centre, k int, alive []bool,
 	return exact
 }
 
+// gkmScratch holds the dense remaps replacing localSolve's per-call hash
+// maps; one per carve suffices (carves run sequentially).
+type gkmScratch struct {
+	pos  graph.Remap // ball vertex -> local variable index
+	seen graph.Remap // constraint-id marks
+}
+
 // localSolve optimizes the residual instance restricted to the alive ball:
 // a derived ILP over the ball variables with residual budgets/demands.
-func localSolve(inst *ilp.Instance, ball []int32, used []float64, fixed ilp.Solution, packing bool, p Params) (ilp.Solution, int64, bool) {
+func localSolve(inst *ilp.Instance, ball []int32, used []float64, fixed ilp.Solution, packing bool, p Params, sc *gkmScratch) (ilp.Solution, int64, bool) {
 	// Remap ball variables. Variables already fixed to 1 by an earlier
 	// carve (possible for covering, whose fix region exceeds its removal
 	// region) are free to reuse: their weight is already paid.
-	pos := make(map[int32]int, len(ball))
+	pos := &sc.pos
+	pos.Reset(inst.NumVars())
 	weights := make([]int64, len(ball))
 	for i, v := range ball {
-		pos[v] = i
+		pos.Set(v, int32(i))
 		weights[i] = inst.Weight(int(v))
 		if fixed[v] {
 			weights[i] = 0
@@ -252,22 +266,22 @@ func localSolve(inst *ilp.Instance, ball []int32, used []float64, fixed ilp.Solu
 		kind = ilp.Packing
 	}
 	b := ilp.NewBuilder(kind, weights)
-	seen := make(map[int32]bool)
-	inBall := func(v int) bool { _, ok := pos[int32(v)]; return ok }
+	seen := &sc.seen
+	seen.Reset(inst.NumConstraints())
 	for _, v := range ball {
 		for _, cj := range inst.ConstraintsOf(int(v)) {
-			if seen[cj] {
+			if seen.Has(cj) {
 				continue
 			}
-			seen[cj] = true
+			seen.Set(cj, 1)
 			c := inst.Constraint(int(cj))
 			if packing {
 				// Enforce every touching constraint with residual budget;
 				// outside-unfixed variables are zero-extended.
 				var terms []ilp.Term
 				for _, t := range c.Terms {
-					if inBall(t.Var) {
-						terms = append(terms, ilp.Term{Var: pos[int32(t.Var)], Coeff: t.Coeff})
+					if idx, ok := pos.Get(int32(t.Var)); ok {
+						terms = append(terms, ilp.Term{Var: int(idx), Coeff: t.Coeff})
 					}
 				}
 				res := c.B - used[cj]
@@ -287,11 +301,12 @@ func localSolve(inst *ilp.Instance, ball []int32, used []float64, fixed ilp.Solu
 				inside := true
 				var terms []ilp.Term
 				for _, t := range c.Terms {
-					if !inBall(t.Var) {
+					idx, ok := pos.Get(int32(t.Var))
+					if !ok {
 						inside = false
 						break
 					}
-					terms = append(terms, ilp.Term{Var: pos[int32(t.Var)], Coeff: t.Coeff})
+					terms = append(terms, ilp.Term{Var: int(idx), Coeff: t.Coeff})
 				}
 				if inside && len(terms) > 0 {
 					b.AddConstraint(terms, res)

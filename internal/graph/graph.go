@@ -9,10 +9,19 @@
 // multi-edges) and immutable after construction; algorithms that "delete"
 // vertices operate on an alive-mask or build induced subgraphs, which keeps
 // the base structure shareable across goroutines without locks.
+//
+// Every traversal comes in two flavors: the classic form (BFSBounded, Ball,
+// Induced, ...), which returns caller-owned results, and a *WithWorkspace
+// form that runs on a reusable Workspace and performs zero allocations once
+// warm. The classic forms are thin wrappers over a pooled workspace, so hot
+// loops should hold an explicit Workspace — one per goroutine — and call the
+// *WithWorkspace variants directly. See Workspace for the ownership and
+// aliasing rules.
 package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -106,12 +115,7 @@ func (b *Builder) AddEdge(u, v int) {
 // further AddEdge calls do not affect already-built graphs.
 func (b *Builder) Build() *Graph {
 	// Sort and deduplicate edge list.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
+	slices.SortFunc(b.edges, compareEdges)
 	dedup := b.edges[:0]
 	var prev [2]int32 = [2]int32{-1, -1}
 	for _, e := range b.edges {
@@ -145,10 +149,17 @@ func (b *Builder) Build() *Graph {
 	// sort each list to guarantee the invariant HasEdge relies on.
 	g := &Graph{offsets: offsets, adj: adj, m: len(b.edges)}
 	for v := 0; v < b.n; v++ {
-		nb := adj[offsets[v]:offsets[v+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		slices.Sort(adj[offsets[v]:offsets[v+1]])
 	}
 	return g
+}
+
+// compareEdges orders edge pairs lexicographically.
+func compareEdges(a, b [2]int32) int {
+	if a[0] != b[0] {
+		return int(a[0]) - int(b[0])
+	}
+	return int(a[1]) - int(b[1])
 }
 
 // FromEdges builds a graph on n vertices from an explicit edge list.
@@ -171,31 +182,12 @@ func (g *Graph) BFS(src int) []int32 {
 }
 
 // BFSBounded computes distances from src up to the given radius (inclusive).
-// A negative radius means unbounded.
+// A negative radius means unbounded. The caller owns the returned slice; for
+// an allocation-free variant see BFSBoundedWithWorkspace.
 func (g *Graph) BFSBounded(src, radius int) []int32 {
-	dist := make([]int32, g.N())
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	if src < 0 || src >= g.N() {
-		return dist
-	}
-	dist[src] = 0
-	queue := []int32{int32(src)}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		d := dist[v]
-		if radius >= 0 && int(d) >= radius {
-			continue
-		}
-		for _, w := range g.Neighbors(int(v)) {
-			if dist[w] == Unreachable {
-				dist[w] = d + 1
-				queue = append(queue, w)
-			}
-		}
-	}
+	ws := AcquireWorkspace()
+	dist := append([]int32(nil), g.BFSBoundedWithWorkspace(ws, src, radius)...)
+	ReleaseWorkspace(ws)
 	return dist
 }
 
@@ -205,32 +197,11 @@ func (g *Graph) BFSBounded(src, radius int) []int32 {
 // Vertices unreachable from any source get distance Unreachable and source
 // -1.
 func (g *Graph) MultiBFS(sources []int) (dist []int32, from []int32) {
-	dist = make([]int32, g.N())
-	from = make([]int32, g.N())
-	for i := range dist {
-		dist[i] = Unreachable
-		from[i] = -1
-	}
-	queue := make([]int32, 0, len(sources))
-	for _, s := range sources {
-		if s < 0 || s >= g.N() || dist[s] == 0 {
-			continue
-		}
-		dist[s] = 0
-		from[s] = int32(s)
-		queue = append(queue, int32(s))
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range g.Neighbors(int(v)) {
-			if dist[w] == Unreachable {
-				dist[w] = dist[v] + 1
-				from[w] = from[v]
-				queue = append(queue, w)
-			}
-		}
-	}
+	ws := AcquireWorkspace()
+	d, f := g.MultiBFSWithWorkspace(ws, sources)
+	dist = append([]int32(nil), d...)
+	from = append([]int32(nil), f...)
+	ReleaseWorkspace(ws)
 	return dist, from
 }
 
@@ -242,36 +213,16 @@ func (g *Graph) Ball(v, k int) []int32 {
 
 // BallAlive returns N^k(v) restricted to the subgraph induced by vertices u
 // with alive[u] == true. A nil alive mask means all vertices are alive. If v
-// itself is dead the ball is empty.
+// itself is dead the ball is empty. The caller owns the returned slice; for
+// an allocation-free variant see BallAliveWithWorkspace.
 func (g *Graph) BallAlive(v, k int, alive []bool) []int32 {
-	if v < 0 || v >= g.N() {
-		return nil
+	ws := AcquireWorkspace()
+	res := g.BallAliveWithWorkspace(ws, v, k, alive)
+	var ball []int32
+	if res != nil {
+		ball = append([]int32(nil), res...)
 	}
-	if alive != nil && !alive[v] {
-		return nil
-	}
-	// Reuse a visited map sized to the graph only when cheap; for large
-	// graphs with small balls a map would be slower than a slice, and the
-	// slice is O(n) per call. We use an epoch-free local slice: acceptable
-	// because callers batch balls per phase and n is laptop-scale.
-	seen := make([]bool, g.N())
-	seen[v] = true
-	ball := []int32{int32(v)}
-	frontier := []int32{int32(v)}
-	for d := 0; d < k && len(frontier) > 0; d++ {
-		var next []int32
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(int(u)) {
-				if seen[w] || (alive != nil && !alive[w]) {
-					continue
-				}
-				seen[w] = true
-				next = append(next, w)
-				ball = append(ball, w)
-			}
-		}
-		frontier = next
-	}
+	ReleaseWorkspace(ws)
 	return ball
 }
 
@@ -279,30 +230,16 @@ func (g *Graph) BallAlive(v, k int, alive []bool) []int32 {
 // alive-induced subgraph: S_j is the set of alive vertices at distance
 // exactly j from v. Trailing empty layers are trimmed.
 func (g *Graph) BallLayers(v, k int, alive []bool) [][]int32 {
-	if v < 0 || v >= g.N() || (alive != nil && !alive[v]) {
-		return nil
-	}
-	seen := make([]bool, g.N())
-	seen[v] = true
-	layers := [][]int32{{int32(v)}}
-	frontier := []int32{int32(v)}
-	for d := 0; d < k && len(frontier) > 0; d++ {
-		var next []int32
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(int(u)) {
-				if seen[w] || (alive != nil && !alive[w]) {
-					continue
-				}
-				seen[w] = true
-				next = append(next, w)
-			}
+	ws := AcquireWorkspace()
+	res := g.BallLayersWithWorkspace(ws, v, k, alive)
+	var layers [][]int32
+	if res != nil {
+		layers = make([][]int32, len(res))
+		for i, l := range res {
+			layers[i] = append([]int32(nil), l...)
 		}
-		if len(next) == 0 {
-			break
-		}
-		layers = append(layers, next)
-		frontier = next
 	}
+	ReleaseWorkspace(ws)
 	return layers
 }
 
@@ -315,30 +252,10 @@ func (g *Graph) Components() (comp []int32, count int) {
 // ComponentsAlive is Components restricted to the alive-induced subgraph.
 // Dead vertices get component id -1.
 func (g *Graph) ComponentsAlive(alive []bool) (comp []int32, count int) {
-	comp = make([]int32, g.N())
-	for i := range comp {
-		comp[i] = -1
-	}
-	var queue []int32
-	for s := 0; s < g.N(); s++ {
-		if comp[s] != -1 || (alive != nil && !alive[s]) {
-			continue
-		}
-		id := int32(count)
-		count++
-		comp[s] = id
-		queue = append(queue[:0], int32(s))
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, w := range g.Neighbors(int(v)) {
-				if comp[w] == -1 && (alive == nil || alive[w]) {
-					comp[w] = id
-					queue = append(queue, w)
-				}
-			}
-		}
-	}
+	ws := AcquireWorkspace()
+	c, count := g.ComponentsAliveWithWorkspace(ws, alive)
+	comp = append([]int32(nil), c...)
+	ReleaseWorkspace(ws)
 	return comp, count
 }
 
@@ -346,24 +263,16 @@ func (g *Graph) ComponentsAlive(alive []bool) (comp []int32, count int) {
 // the new graph and the mapping newID -> oldID (the inverse mapping can be
 // derived by the caller). Duplicate vertices in the input are collapsed.
 func (g *Graph) Induced(vertices []int32) (*Graph, []int32) {
-	oldToNew := make(map[int32]int32, len(vertices))
-	newToOld := make([]int32, 0, len(vertices))
-	for _, v := range vertices {
-		if _, ok := oldToNew[v]; ok {
-			continue
-		}
-		oldToNew[v] = int32(len(newToOld))
-		newToOld = append(newToOld, v)
+	ws := AcquireWorkspace()
+	sub, back := g.InducedWithWorkspace(ws, vertices)
+	out := &Graph{
+		offsets: append([]int32(nil), sub.offsets...),
+		adj:     append([]int32(nil), sub.adj...),
+		m:       sub.m,
 	}
-	b := NewBuilder(len(newToOld))
-	for newU, oldU := range newToOld {
-		for _, w := range g.Neighbors(int(oldU)) {
-			if newW, ok := oldToNew[w]; ok && int32(newU) < newW {
-				b.AddEdge(newU, int(newW))
-			}
-		}
-	}
-	return b.Build(), newToOld
+	newToOld := append([]int32(nil), back...)
+	ReleaseWorkspace(ws)
+	return out, newToOld
 }
 
 // Power returns the k-th power graph G^k: same vertex set, an edge between
@@ -374,15 +283,10 @@ func (g *Graph) Power(k int) *Graph {
 		// G^1 == G; return a copy-free alias (Graph is immutable).
 		return g
 	}
-	b := NewBuilder(g.N())
-	for v := 0; v < g.N(); v++ {
-		for _, u := range g.Ball(v, k) {
-			if int(u) > v {
-				b.AddEdge(v, int(u))
-			}
-		}
-	}
-	return b.Build()
+	ws := AcquireWorkspace()
+	p := g.PowerWithWorkspace(ws, k)
+	ReleaseWorkspace(ws)
+	return p
 }
 
 // Subdivide returns the graph obtained by replacing every edge {u, v} with a
@@ -490,27 +394,17 @@ func (g *Graph) Girth() int {
 // connected component separately and returning the max over components.
 // Returns 0 for an empty or edgeless graph.
 func (g *Graph) Diameter() int {
-	best := 0
-	for s := 0; s < g.N(); s++ {
-		dist := g.BFS(s)
-		for _, d := range dist {
-			if int(d) > best {
-				best = int(d)
-			}
-		}
-	}
+	ws := AcquireWorkspace()
+	best := g.DiameterWithWorkspace(ws)
+	ReleaseWorkspace(ws)
 	return best
 }
 
 // Eccentricity returns max_u dist(v, u) within v's component.
 func (g *Graph) Eccentricity(v int) int {
-	dist := g.BFS(v)
-	best := 0
-	for _, d := range dist {
-		if int(d) > best {
-			best = int(d)
-		}
-	}
+	ws := AcquireWorkspace()
+	best := g.EccentricityWithWorkspace(ws, v)
+	ReleaseWorkspace(ws)
 	return best
 }
 
@@ -518,30 +412,17 @@ func (g *Graph) Eccentricity(v int) int {
 // measured in the whole graph g, not the induced subgraph. Returns -1 if
 // some pair of S is disconnected in g.
 func (g *Graph) WeakDiameter(s []int32) int {
-	best := 0
-	for _, v := range s {
-		dist := g.BFS(int(v))
-		for _, u := range s {
-			d := dist[u]
-			if d == Unreachable {
-				return -1
-			}
-			if int(d) > best {
-				best = int(d)
-			}
-		}
-	}
+	ws := AcquireWorkspace()
+	best := g.WeakDiameterWithWorkspace(ws, s)
+	ReleaseWorkspace(ws)
 	return best
 }
 
 // StrongDiameter returns the diameter of the subgraph induced by S, or -1 if
 // that subgraph is disconnected.
 func (g *Graph) StrongDiameter(s []int32) int {
-	sub, _ := g.Induced(s)
-	comp, count := sub.Components()
-	_ = comp
-	if count > 1 {
-		return -1
-	}
-	return sub.Diameter()
+	ws := AcquireWorkspace()
+	best := g.StrongDiameterWithWorkspace(ws, s)
+	ReleaseWorkspace(ws)
+	return best
 }

@@ -1,0 +1,541 @@
+package graph
+
+import (
+	"math"
+	"slices"
+	"sync"
+)
+
+// Workspace holds the reusable scratch state for the traversal primitives:
+// an epoch-stamped visited array (O(1) reset), distance/provenance arrays
+// with dirty-list resets, a preallocated queue that doubles as the BFS-order
+// output buffer, reusable layer headers, a dense old→new Remap, and the
+// storage backing InducedWithWorkspace results. After a few warm-up calls a
+// Workspace makes every *WithWorkspace traversal allocation-free.
+//
+// Ownership rule: a Workspace must be owned by exactly one goroutine at a
+// time. Concurrent traversals must each use their own Workspace (the graph
+// itself is immutable and freely shared). Results returned by
+// *WithWorkspace methods alias Workspace storage and are valid only until
+// the next call on the same Workspace; callers that need to retain a result
+// must copy it.
+type Workspace struct {
+	// epoch-stamped visited marks: stamp[v] == epoch means "seen in the
+	// current traversal".
+	stamp []int32
+	epoch int32
+
+	// dist/from are maintained all-Unreachable / all -1 between calls; the
+	// dirty list records which entries the previous BFS touched so the next
+	// call resets O(visited), not O(n).
+	dist      []int32
+	from      []int32
+	distDirty []int32
+
+	// queue is the BFS queue; for ball queries the output buffer itself is
+	// the queue (BFS order == queue order).
+	queue []int32
+	out   []int32
+	// layers holds reusable layer headers; each header subslices out.
+	layers [][]int32
+
+	// comp backs ComponentsAliveWithWorkspace results.
+	comp []int32
+
+	// Remap is the dense old→new vertex id map used by
+	// InducedWithWorkspace; it is reset at the start of that call but is
+	// otherwise free for callers to use between traversals.
+	Remap Remap
+
+	// Induced storage: the result graph of InducedWithWorkspace is built in
+	// place from these buffers.
+	newToOld   []int32
+	indOffsets []int32
+	indAdj     []int32
+	indCursor  []int32
+	indG       Graph
+}
+
+// NewWorkspace returns a Workspace pre-sized for graphs of up to n
+// vertices. Buffers grow on demand, so n = 0 is a valid starting point.
+func NewWorkspace(n int) *Workspace {
+	ws := &Workspace{}
+	ws.Reserve(n)
+	return ws
+}
+
+// Reserve grows the vertex-indexed buffers to hold n vertices. It is called
+// automatically by every traversal; explicit calls just pre-warm.
+func (ws *Workspace) Reserve(n int) {
+	if n <= len(ws.stamp) {
+		return
+	}
+	old := len(ws.stamp)
+	ws.stamp = append(ws.stamp, make([]int32, n-old)...)
+	grown := make([]int32, n-len(ws.dist))
+	for i := range grown {
+		grown[i] = Unreachable
+	}
+	ws.dist = append(ws.dist, grown...)
+	grownFrom := make([]int32, n-len(ws.from))
+	for i := range grownFrom {
+		grownFrom[i] = -1
+	}
+	ws.from = append(ws.from, grownFrom...)
+	if cap(ws.comp) < n {
+		ws.comp = make([]int32, n)
+	}
+}
+
+// beginStamp starts a new traversal epoch and returns the stamp array and
+// the fresh epoch value.
+func (ws *Workspace) beginStamp() ([]int32, int32) {
+	if ws.epoch == math.MaxInt32 {
+		for i := range ws.stamp {
+			ws.stamp[i] = 0
+		}
+		ws.epoch = 0
+	}
+	ws.epoch++
+	return ws.stamp, ws.epoch
+}
+
+// resetDist restores the all-Unreachable / all -1 invariant on dist/from by
+// clearing only the entries dirtied by the previous BFS.
+func (ws *Workspace) resetDist() {
+	for _, v := range ws.distDirty {
+		ws.dist[v] = Unreachable
+		ws.from[v] = -1
+	}
+	ws.distDirty = ws.distDirty[:0]
+}
+
+// wsPool backs the legacy (workspace-free) wrappers so they stay cheap
+// without changing their allocation contract: results are copied out before
+// the workspace returns to the pool.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace(0) }}
+
+// AcquireWorkspace takes a Workspace from the shared pool. Pair with
+// ReleaseWorkspace. Useful for call sites that want reuse without managing
+// a long-lived workspace of their own.
+func AcquireWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// ReleaseWorkspace returns a workspace to the shared pool. The caller must
+// not use the workspace, or any result aliasing it, afterwards.
+func ReleaseWorkspace(ws *Workspace) { wsPool.Put(ws) }
+
+// --- BFS ------------------------------------------------------------------
+
+// BFSBoundedWithWorkspace is BFSBounded on reusable storage. The returned
+// slice aliases the workspace and is valid until its next use.
+func (g *Graph) BFSBoundedWithWorkspace(ws *Workspace, src, radius int) []int32 {
+	n := g.N()
+	ws.Reserve(n)
+	ws.resetDist()
+	dist := ws.dist[:n]
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	q := append(ws.queue[:0], int32(src))
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		d := dist[v]
+		if radius >= 0 && int(d) >= radius {
+			continue
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				q = append(q, w)
+			}
+		}
+	}
+	// The dirtied dist entries are exactly the queue contents: swap the two
+	// buffers instead of copying (distDirty was emptied by resetDist above).
+	ws.queue, ws.distDirty = ws.distDirty[:0], q
+	return dist
+}
+
+// BFSWithWorkspace is BFS on reusable storage; see BFSBoundedWithWorkspace.
+func (g *Graph) BFSWithWorkspace(ws *Workspace, src int) []int32 {
+	return g.BFSBoundedWithWorkspace(ws, src, -1)
+}
+
+// MultiBFSWithWorkspace is MultiBFS on reusable storage. Both returned
+// slices alias the workspace and are valid until its next use.
+func (g *Graph) MultiBFSWithWorkspace(ws *Workspace, sources []int) (dist []int32, from []int32) {
+	n := g.N()
+	ws.Reserve(n)
+	ws.resetDist()
+	dist = ws.dist[:n]
+	from = ws.from[:n]
+	q := ws.queue[:0]
+	for _, s := range sources {
+		if s < 0 || s >= n || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		from[s] = int32(s)
+		q = append(q, int32(s))
+	}
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				from[w] = from[v]
+				q = append(q, w)
+			}
+		}
+	}
+	// Swap, don't copy: the dirtied entries are exactly the queue contents.
+	ws.queue, ws.distDirty = ws.distDirty[:0], q
+	return dist, from
+}
+
+// --- Balls and layers -----------------------------------------------------
+
+// BallWithWorkspace is Ball on reusable storage; the result aliases the
+// workspace.
+func (g *Graph) BallWithWorkspace(ws *Workspace, v, k int) []int32 {
+	return g.BallAliveWithWorkspace(ws, v, k, nil)
+}
+
+// BallAliveWithWorkspace is BallAlive on reusable storage: the output
+// buffer doubles as the BFS queue, so a warm call performs zero
+// allocations. The result aliases the workspace.
+func (g *Graph) BallAliveWithWorkspace(ws *Workspace, v, k int, alive []bool) []int32 {
+	if v < 0 || v >= g.N() {
+		return nil
+	}
+	if alive != nil && !alive[v] {
+		return nil
+	}
+	ws.Reserve(g.N())
+	seen, epoch := ws.beginStamp()
+	out := append(ws.out[:0], int32(v))
+	seen[v] = epoch
+	start, end := 0, 1
+	for d := 0; d < k && start < end; d++ {
+		for i := start; i < end; i++ {
+			for _, w := range g.Neighbors(int(out[i])) {
+				if seen[w] == epoch || (alive != nil && !alive[w]) {
+					continue
+				}
+				seen[w] = epoch
+				out = append(out, w)
+			}
+		}
+		start, end = end, len(out)
+	}
+	ws.out = out
+	return out
+}
+
+// BallLayersWithWorkspace is BallLayers on reusable storage: the layers
+// subslice a single flat buffer and the headers are reused, so a warm call
+// performs zero allocations. The result aliases the workspace.
+func (g *Graph) BallLayersWithWorkspace(ws *Workspace, v, k int, alive []bool) [][]int32 {
+	if v < 0 || v >= g.N() || (alive != nil && !alive[v]) {
+		return nil
+	}
+	ws.Reserve(g.N())
+	seen, epoch := ws.beginStamp()
+	seen[v] = epoch
+	out := append(ws.out[:0], int32(v))
+	return g.ballLayersCore(ws, out, k, alive)
+}
+
+// BallLayersFromSetWithWorkspace generalizes BallLayersWithWorkspace to a
+// multi-source seed set: layer 0 is the deduplicated alive subset of seeds
+// (in input order), layer j the alive vertices at distance exactly j from
+// it. Returns nil when no seed is alive. The result aliases the workspace.
+func (g *Graph) BallLayersFromSetWithWorkspace(ws *Workspace, seeds []int32, radius int, alive []bool) [][]int32 {
+	ws.Reserve(g.N())
+	seen, epoch := ws.beginStamp()
+	out := ws.out[:0]
+	for _, s := range seeds {
+		if seen[s] == epoch || (alive != nil && !alive[s]) {
+			continue
+		}
+		seen[s] = epoch
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		ws.out = out
+		return nil
+	}
+	return g.ballLayersCore(ws, out, radius, alive)
+}
+
+// BallFromSetWithWorkspace returns the flattened layers of
+// BallLayersFromSetWithWorkspace; the result aliases the workspace.
+func (g *Graph) BallFromSetWithWorkspace(ws *Workspace, seeds []int32, radius int, alive []bool) []int32 {
+	layers := g.BallLayersFromSetWithWorkspace(ws, seeds, radius, alive)
+	if layers == nil {
+		return nil
+	}
+	// The layers subslice ws.out contiguously: the flat ball is the prefix.
+	total := 0
+	for _, l := range layers {
+		total += len(l)
+	}
+	return ws.out[:total]
+}
+
+// ballLayersCore expands the current epoch's frontier (out, already marked
+// as layer 0) level by level, filling ws.layers with subslices of the flat
+// buffer.
+func (g *Graph) ballLayersCore(ws *Workspace, out []int32, radius int, alive []bool) [][]int32 {
+	seen, epoch := ws.stamp, ws.epoch
+	layers := append(ws.layers[:0], out[0:len(out):len(out)])
+	start, end := 0, len(out)
+	for d := 0; d < radius && start < end; d++ {
+		for i := start; i < end; i++ {
+			for _, w := range g.Neighbors(int(out[i])) {
+				if seen[w] == epoch || (alive != nil && !alive[w]) {
+					continue
+				}
+				seen[w] = epoch
+				out = append(out, w)
+			}
+		}
+		if len(out) == end {
+			break
+		}
+		layers = append(layers, out[end:len(out):len(out)])
+		start, end = end, len(out)
+	}
+	ws.out = out
+	ws.layers = layers
+	return layers
+}
+
+// --- Components -----------------------------------------------------------
+
+// ComponentsWithWorkspace is Components on reusable storage; the result
+// aliases the workspace.
+func (g *Graph) ComponentsWithWorkspace(ws *Workspace) (comp []int32, count int) {
+	return g.ComponentsAliveWithWorkspace(ws, nil)
+}
+
+// ComponentsAliveWithWorkspace is ComponentsAlive on reusable storage; the
+// result aliases the workspace.
+func (g *Graph) ComponentsAliveWithWorkspace(ws *Workspace, alive []bool) (comp []int32, count int) {
+	n := g.N()
+	ws.Reserve(n)
+	comp = ws.comp[:n]
+	for i := range comp {
+		comp[i] = -1
+	}
+	q := ws.queue[:0]
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 || (alive != nil && !alive[s]) {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		q = append(q[:0], int32(s))
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			for _, w := range g.Neighbors(int(v)) {
+				if comp[w] == -1 && (alive == nil || alive[w]) {
+					comp[w] = id
+					q = append(q, w)
+				}
+			}
+		}
+	}
+	ws.queue = q
+	return comp, count
+}
+
+// --- Induced and Power ----------------------------------------------------
+
+// InducedWithWorkspace is Induced on reusable storage: the old→new mapping
+// uses the workspace's dense Remap instead of a hash map, and the result
+// graph is built directly in CSR form inside workspace-owned buffers. Both
+// returned values alias the workspace and are valid until its next
+// InducedWithWorkspace call.
+func (g *Graph) InducedWithWorkspace(ws *Workspace, vertices []int32) (*Graph, []int32) {
+	ws.Reserve(g.N())
+	rm := &ws.Remap
+	rm.Reset(g.N())
+	newToOld := ws.newToOld[:0]
+	for _, v := range vertices {
+		if rm.Has(v) {
+			continue
+		}
+		rm.Set(v, int32(len(newToOld)))
+		newToOld = append(newToOld, v)
+	}
+	ws.newToOld = newToOld
+	n2 := len(newToOld)
+
+	offsets := growInt32(ws.indOffsets, n2+1)
+	for i := range offsets {
+		offsets[i] = 0
+	}
+	for newU, oldU := range newToOld {
+		deg := int32(0)
+		for _, w := range g.Neighbors(int(oldU)) {
+			if rm.Has(w) {
+				deg++
+			}
+		}
+		offsets[newU+1] = deg
+	}
+	for i := 0; i < n2; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	adj := growInt32(ws.indAdj, int(offsets[n2]))
+	cursor := growInt32(ws.indCursor, n2)
+	copy(cursor, offsets[:n2])
+	for _, oldU := range newToOld {
+		newU, _ := rm.Get(oldU)
+		for _, w := range g.Neighbors(int(oldU)) {
+			if nw, ok := rm.Get(w); ok {
+				adj[cursor[newU]] = nw
+				cursor[newU]++
+			}
+		}
+	}
+	// New ids follow input order, not old-id order, so each adjacency list
+	// must be re-sorted to restore the Graph invariant.
+	for u := 0; u < n2; u++ {
+		slices.Sort(adj[offsets[u]:offsets[u+1]])
+	}
+	ws.indOffsets, ws.indAdj, ws.indCursor = offsets, adj, cursor
+	ws.indG = Graph{offsets: offsets, adj: adj, m: int(offsets[n2]) / 2}
+	return &ws.indG, newToOld
+}
+
+// PowerWithWorkspace is Power with the per-vertex ball queries running on
+// the workspace. The returned graph is freshly allocated (it does not alias
+// the workspace).
+func (g *Graph) PowerWithWorkspace(ws *Workspace, k int) *Graph {
+	if k <= 1 {
+		return g
+	}
+	b := NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.BallWithWorkspace(ws, v, k) {
+			if int(u) > v {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// growInt32 returns buf resized to n, reusing capacity when possible.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// --- Eccentricity and diameters -------------------------------------------
+
+// EccentricityWithWorkspace is Eccentricity on reusable storage.
+func (g *Graph) EccentricityWithWorkspace(ws *Workspace, v int) int {
+	dist := g.BFSWithWorkspace(ws, v)
+	best := 0
+	for _, d := range dist {
+		if int(d) > best {
+			best = int(d)
+		}
+	}
+	return best
+}
+
+// DiameterWithWorkspace is Diameter on reusable storage.
+func (g *Graph) DiameterWithWorkspace(ws *Workspace) int {
+	best := 0
+	for s := 0; s < g.N(); s++ {
+		dist := g.BFSWithWorkspace(ws, s)
+		for _, d := range dist {
+			if int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best
+}
+
+// WeakDiameterWithWorkspace is WeakDiameter on reusable storage.
+func (g *Graph) WeakDiameterWithWorkspace(ws *Workspace, s []int32) int {
+	best := 0
+	for _, v := range s {
+		dist := g.BFSWithWorkspace(ws, int(v))
+		for _, u := range s {
+			d := dist[u]
+			if d == Unreachable {
+				return -1
+			}
+			if int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best
+}
+
+// StrongDiameterWithWorkspace is StrongDiameter on reusable storage. It
+// uses the workspace's Induced buffers and traversal buffers back to back;
+// the two sets do not overlap, so a single workspace suffices.
+func (g *Graph) StrongDiameterWithWorkspace(ws *Workspace, s []int32) int {
+	sub, _ := g.InducedWithWorkspace(ws, s)
+	_, count := sub.ComponentsWithWorkspace(ws)
+	if count > 1 {
+		return -1
+	}
+	return sub.DiameterWithWorkspace(ws)
+}
+
+// --- Dense remap ----------------------------------------------------------
+
+// Remap is a dense, epoch-stamped old→new id map: a drop-in replacement for
+// the map[int32]int32 pattern with O(1) reset and no hashing. The zero
+// value is ready to use.
+type Remap struct {
+	ids   []int32
+	stamp []int32
+	epoch int32
+}
+
+// Reset clears the map and sizes it for keys in [0, n).
+func (r *Remap) Reset(n int) {
+	if n > len(r.ids) {
+		r.ids = make([]int32, n)
+		r.stamp = make([]int32, n)
+		r.epoch = 0
+	}
+	if r.epoch == math.MaxInt32 {
+		for i := range r.stamp {
+			r.stamp[i] = 0
+		}
+		r.epoch = 0
+	}
+	r.epoch++
+}
+
+// Set records old → new.
+func (r *Remap) Set(old, new int32) {
+	r.ids[old] = new
+	r.stamp[old] = r.epoch
+}
+
+// Get returns the mapping for old and whether it is present.
+func (r *Remap) Get(old int32) (int32, bool) {
+	if r.stamp[old] != r.epoch {
+		return 0, false
+	}
+	return r.ids[old], true
+}
+
+// Has reports whether old has a mapping.
+func (r *Remap) Has(old int32) bool { return r.stamp[old] == r.epoch }

@@ -16,7 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/hypergraph"
 )
@@ -115,7 +115,7 @@ func (b *Builder) AddConstraint(terms []Term, rhs float64) *Builder {
 		}
 		row.Terms = append(row.Terms, t)
 	}
-	sort.Slice(row.Terms, func(i, j int) bool { return row.Terms[i].Var < row.Terms[j].Var })
+	slices.SortFunc(row.Terms, func(x, y Term) int { return x.Var - y.Var })
 	b.cons = append(b.cons, row)
 	return b
 }

@@ -71,9 +71,12 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 	var rc local.RoundCounter
 	rootRNG := xrand.New(p.Seed)
 
+	gws := graph.AcquireWorkspace()
+	defer graph.ReleaseWorkspace(gws)
+	var aliveList, back, seedSet []int32
 	for rep := 0; rep < reps; rep++ {
 		// Materialize the alive-induced subgraph and its k-th power.
-		var aliveList []int32
+		aliveList = aliveList[:0]
 		for v := 0; v < n; v++ {
 			if alive[v] {
 				aliveList = append(aliveList, int32(v))
@@ -82,8 +85,13 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 		if len(aliveList) == 0 {
 			break
 		}
-		sub, back := g.Induced(aliveList)
-		power := sub.Power(k)
+		// sub aliases the workspace's Induced buffers; it is consumed by
+		// PowerWithWorkspace (which only touches the traversal buffers)
+		// before any other Induced call can clobber it. back is copied
+		// because the ball gathers below also run on gws.
+		sub, backAlias := g.InducedWithWorkspace(gws, aliveList)
+		back = append(back[:0], backAlias...)
+		power := sub.PowerWithWorkspace(gws, k)
 		rc.Charge(k) // simulating one power-graph round costs k rounds
 
 		// Base (1/2, O(log n)) decomposition on the power graph.
@@ -106,11 +114,11 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 		carved := 0
 		for _, cluster := range base.Clusters() {
 			// Map power-graph ids back to g's ids.
-			seedSet := make([]int32, len(cluster))
-			for i, v := range cluster {
-				seedSet[i] = back[v]
+			seedSet = seedSet[:0]
+			for _, v := range cluster {
+				seedSet = append(seedSet, back[v])
 			}
-			layers := ballLayersFromSet(g, seedSet, grow, alive)
+			layers := g.BallLayersFromSetWithWorkspace(gws, seedSet, grow, alive)
 			rc.Charge(grow)
 			// Find the thinnest layer among 1..grow; carve below it.
 			jStar, best := -1, -1
@@ -150,36 +158,3 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 	return &Decomposition{ClusterOf: clusterOf, NumClusters: num, Rounds: rc.Total()}
 }
 
-// ballLayersFromSet returns BFS layers from a seed set within the alive
-// mask; layer 0 is the seed set itself.
-func ballLayersFromSet(g *graph.Graph, seeds []int32, radius int, alive []bool) [][]int32 {
-	seen := make(map[int32]bool, len(seeds)*4)
-	var layer0 []int32
-	for _, s := range seeds {
-		if seen[s] {
-			continue
-		}
-		seen[s] = true
-		layer0 = append(layer0, s)
-	}
-	layers := [][]int32{layer0}
-	frontier := layer0
-	for d := 0; d < radius && len(frontier) > 0; d++ {
-		var next []int32
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(int(u)) {
-				if seen[w] || (alive != nil && !alive[w]) {
-					continue
-				}
-				seen[w] = true
-				next = append(next, w)
-			}
-		}
-		if len(next) == 0 {
-			break
-		}
-		layers = append(layers, next)
-		frontier = next
-	}
-	return layers
-}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/local"
+	"repro/internal/par"
 	"repro/internal/xrand"
 )
 
@@ -32,6 +33,12 @@ type Params struct {
 	// t = ⌈log(20/ε) + log log ñ⌉ iterations, as the covering algorithm
 	// (Section 5) requires; also used by the ablation experiments.
 	SkipPhase2 bool
+	// Workers bounds the worker pool for the embarrassingly parallel steps
+	// (per-vertex ball sizes, per-centre carves within one iteration). <= 0
+	// means GOMAXPROCS; 1 forces the sequential path. Results are
+	// bit-identical for every worker count: tasks are merged in input
+	// order and all randomness is derived from (Seed, vertex, label).
+	Workers int
 }
 
 func (p Params) scale() float64 {
@@ -93,30 +100,36 @@ func derive(n int, p Params) Derived {
 
 // ballSizes computes n_v = |N^radius(v)| in the alive-induced subgraph. When
 // the radius reaches the whole component, the component size is used, which
-// avoids the O(n·m) blowup at paper-scale radii.
-func ballSizes(g *graph.Graph, alive []bool, radius int) []int {
+// avoids the O(n·m) blowup at paper-scale radii. The per-vertex ball
+// queries are independent and fan out across the worker pool, each worker
+// on its own traversal workspace.
+func ballSizes(g *graph.Graph, alive []bool, radius, workers int) []int {
 	n := g.N()
 	sizes := make([]int, n)
-	comp, count := g.ComponentsAlive(alive)
+	cws := graph.AcquireWorkspace()
+	comp, count := g.ComponentsAliveWithWorkspace(cws, alive)
 	compSize := make([]int, count)
 	for v := 0; v < n; v++ {
 		if comp[v] >= 0 {
 			compSize[comp[v]]++
 		}
 	}
-	// A radius at least the component size always covers the component.
-	for v := 0; v < n; v++ {
+	workers = par.Workers(workers)
+	wss := acquireGraphWorkspaces(workers)
+	par.ForEach(workers, n, func(w, v int) {
 		if alive != nil && !alive[v] {
-			continue
+			return
 		}
+		// A radius at least the component size always covers the component.
 		c := comp[v]
 		if radius >= compSize[c] {
 			sizes[v] = compSize[c]
-			continue
+			return
 		}
-		ball := g.BallAlive(v, radius, alive)
-		sizes[v] = len(ball)
-	}
+		sizes[v] = len(g.BallAliveWithWorkspace(wss[w], v, radius, alive))
+	})
+	releaseGraphWorkspaces(wss)
+	graph.ReleaseWorkspace(cws)
 	return sizes
 }
 
@@ -149,8 +162,11 @@ func ChangLi(g *graph.Graph, p Params) *Decomposition {
 	rc.StartPhase()
 	rc.Charge(min(d.EstimateRadius, n))
 	rc.EndPhase()
-	nv := ballSizes(g, alive, d.EstimateRadius)
+	nv := ballSizes(g, alive, d.EstimateRadius, p.Workers)
 
+	workers := par.Workers(p.Workers)
+	wss := acquireGraphWorkspaces(workers)
+	var centres []int32
 	iterations := d.T
 	if !p.SkipPhase2 {
 		iterations = d.T + 1 // Phase 2 is the (t+1)-st carve with boosted rate
@@ -158,8 +174,11 @@ func ChangLi(g *graph.Graph, p Params) *Decomposition {
 	for i := 1; i <= iterations; i++ {
 		interval := d.Intervals[i-1]
 		isPhase2 := !p.SkipPhase2 && i == d.T+1
-		var outcomes []*CarveOutcome
 		rc.StartPhase()
+		// The centres of one iteration all carve against the same snapshot
+		// of the residual graph, so their executions are independent: sample
+		// them first, then fan the carves out and merge in vertex order.
+		centres = centres[:0]
 		for v := 0; v < n; v++ {
 			if !alive[v] {
 				continue
@@ -173,18 +192,23 @@ func ChangLi(g *graph.Graph, p Params) *Decomposition {
 			if prob > 1 {
 				prob = 1
 			}
-			if !xrand.Stream(p.Seed, v, uint64(0xca10+i)).Bernoulli(prob) {
-				continue
+			if xrand.Stream(p.Seed, v, uint64(0xca10+i)).Bernoulli(prob) {
+				centres = append(centres, int32(v))
 			}
-			oc := GrowCarve(g, v, interval[0], interval[1], alive)
+		}
+		outcomes := make([]*CarveOutcome, len(centres))
+		par.ForEach(workers, len(centres), func(w, j int) {
+			outcomes[j] = GrowCarveWS(g, int(centres[j]), interval[0], interval[1], alive, wss[w])
+		})
+		for _, oc := range outcomes {
 			if oc != nil {
-				outcomes = append(outcomes, oc)
 				rc.Charge(interval[1])
 			}
 		}
 		rc.EndPhase()
 		applyCarves(outcomes, alive, removed, deletedMark)
 	}
+	releaseGraphWorkspaces(wss)
 
 	// Phase 3: Elkin–Neiman with λ = ε/10 on the residual graph.
 	en := ElkinNeiman(g, alive, ENParams{

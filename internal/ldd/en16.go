@@ -1,7 +1,6 @@
 package ldd
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/graph"
@@ -25,22 +24,38 @@ type ENParams struct {
 // randomness.
 const enShiftLabel = 0x1dd
 
-// enShifts draws the clipped exponential shifts exactly as Lemma C.1
-// prescribes: T_v ~ Exp(lambda), reset to 0 when T_v >= 4 ln(ñ)/lambda.
-func enShifts(n int, p ENParams) ([]float64, float64) {
+// enShiftsInto draws the clipped exponential shifts exactly as Lemma C.1
+// prescribes — T_v ~ Exp(lambda), reset to 0 when T_v >= 4 ln(ñ)/lambda —
+// into the provided slice (len n).
+func enShiftsInto(dst []float64, n int, p ENParams) float64 {
 	nTilde := p.NTilde
 	if nTilde < n {
 		nTilde = n
 	}
 	maxT := 4 * lnTilde(nTilde) / p.Lambda
-	shifts := make([]float64, n)
 	for v := 0; v < n; v++ {
 		t := xrand.Stream(p.Seed, v, enShiftLabel).Exp(p.Lambda)
 		if t >= maxT {
 			t = 0
 		}
-		shifts[v] = t
+		dst[v] = t
 	}
+	return maxT
+}
+
+// enShifts draws the shifts into the workspace's buffer.
+func enShifts(n int, p ENParams, ws *Workspace) ([]float64, float64) {
+	shifts := ws.shifts[:n]
+	maxT := enShiftsInto(shifts, n, p)
+	return shifts, maxT
+}
+
+// enShiftsOwned draws the shifts into a fresh caller-owned slice, for the
+// message-passing executors whose machines retain them beyond the lifetime
+// of any workspace.
+func enShiftsOwned(n int, p ENParams) ([]float64, float64) {
+	shifts := make([]float64, n)
+	maxT := enShiftsInto(shifts, n, p)
 	return shifts, maxT
 }
 
@@ -51,50 +66,40 @@ type label struct {
 }
 
 // labelItem is a priority-queue entry for the shifted multi-source search.
+// The queue is a max-heap on value with deterministic tie-breaking on
+// source (see labelLess in workspace.go) so runs are reproducible across
+// executions and executors.
 type labelItem struct {
 	label
 	vertex int32
-}
-
-// labelPQ is a max-heap on value with deterministic tie-breaking on
-// (source) so runs are reproducible across executions and executors.
-type labelPQ []labelItem
-
-func (q labelPQ) Len() int { return len(q) }
-func (q labelPQ) Less(i, j int) bool {
-	if q[i].value != q[j].value {
-		return q[i].value > q[j].value
-	}
-	return q[i].source < q[j].source
-}
-func (q labelPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *labelPQ) Push(x interface{}) { *q = append(*q, x.(labelItem)) }
-func (q *labelPQ) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
 }
 
 // topLabels computes, for every alive vertex v, the labels
 // m_v(u) = T_u - dist(u, v) from the best `keep` distinct sources, keeping
 // only labels with value >= best - slack (labels below can never influence
 // the decomposition decisions). Distances are measured in the alive-induced
-// subgraph. The result at index v is sorted by value descending.
-func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack float64) [][]label {
+// subgraph. The result at index v is sorted by value descending; it aliases
+// the workspace (the per-vertex slices keep their capacity across calls, so
+// warm runs allocate only when a vertex collects more labels than ever
+// before).
+func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack float64, ws *Workspace) [][]label {
 	n := g.N()
-	out := make([][]label, n)
-	var pq labelPQ
+	ws.reserve(n)
+	out := ws.labels[:n]
+	for v := range out {
+		out[v] = out[v][:0]
+	}
+	pq := ws.heap[:0]
 	for v := 0; v < n; v++ {
 		if alive != nil && !alive[v] {
 			continue
 		}
 		pq = append(pq, labelItem{label: label{source: int32(v), value: shifts[v]}, vertex: int32(v)})
 	}
-	heap.Init(&pq)
-	for pq.Len() > 0 {
-		it := heap.Pop(&pq).(labelItem)
+	heapInit(pq)
+	for len(pq) > 0 {
+		var it labelItem
+		pq, it = heapPop(pq)
 		v := it.vertex
 		ls := out[v]
 		// Discard if v already has this source or `keep` better labels, or
@@ -124,9 +129,19 @@ func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack f
 			if alive != nil && !alive[w] {
 				continue
 			}
-			heap.Push(&pq, labelItem{label: label{source: it.source, value: nv}, vertex: w})
+			// Push-side prune of labels the pop loop would provably
+			// discard: a vertex's label list only grows and its best value
+			// never changes, so "already full" and "below the slack
+			// window" both still hold at pop time. This keeps the heap
+			// small without changing a single accepted label.
+			lw := out[w]
+			if len(lw) >= keep || (len(lw) > 0 && nv < lw[0].value-slack) {
+				continue
+			}
+			pq = heapPush(pq, labelItem{label: label{source: it.source, value: nv}, vertex: w})
 		}
 	}
+	ws.heap = pq
 	return out
 }
 
@@ -136,9 +151,20 @@ func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack f
 // it joins the best source's cluster. Rounds are charged as the broadcast
 // horizon ceil(maxT) (each vertex broadcasts T_v through ⌊T_v⌋ hops).
 func ElkinNeiman(g *graph.Graph, alive []bool, p ENParams) *Decomposition {
+	ws := AcquireWorkspace()
+	d := ElkinNeimanWS(g, alive, p, ws)
+	ReleaseWorkspace(ws)
+	return d
+}
+
+// ElkinNeimanWS is ElkinNeiman running on a caller-owned Workspace; loops
+// that run many decompositions (preparation phases, netdecomp) hold one
+// workspace per goroutine and call this directly.
+func ElkinNeimanWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace) *Decomposition {
 	n := g.N()
-	shifts, maxT := enShifts(n, p)
-	labels := topLabels(g, alive, shifts, 2, 1.0)
+	ws.reserve(n)
+	shifts, maxT := enShifts(n, p, ws)
+	labels := topLabels(g, alive, shifts, 2, 1.0, ws)
 	clusterOf := make([]int32, n)
 	for v := 0; v < n; v++ {
 		clusterOf[v] = Unclustered
@@ -176,9 +202,12 @@ type MPXResult struct {
 // exhibits graphs where the realized count exceeds any constant fraction
 // with probability Omega(lambda).
 func MPX(g *graph.Graph, p ENParams) *MPXResult {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
 	n := g.N()
-	shifts, maxT := enShifts(n, p)
-	labels := topLabels(g, nil, shifts, 1, 0)
+	ws.reserve(n)
+	shifts, maxT := enShifts(n, p, ws)
+	labels := topLabels(g, nil, shifts, 1, 0, ws)
 	clusterOf := make([]int32, n)
 	for v := 0; v < n; v++ {
 		clusterOf[v] = Unclustered

@@ -127,7 +127,7 @@ func (m *enMachine) decide() {
 // output is identical to ElkinNeiman(g, nil, p) for the same parameters.
 func ElkinNeimanDistributed(g *graph.Graph, p ENParams, sequential bool) (*Decomposition, local.Stats, error) {
 	n := g.N()
-	shifts, maxT := enShifts(n, p)
+	shifts, maxT := enShiftsOwned(n, p)
 	horizon := int(math.Ceil(maxT)) + 3
 	machines := make([]*enMachine, n)
 	stats, err := local.Run(local.Config{

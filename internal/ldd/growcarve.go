@@ -24,20 +24,35 @@ type CarveOutcome struct {
 // is closer than the cut window), there is nothing to cut: the component is
 // removed whole with no deletions, which only helps the analysis.
 func GrowCarve(g *graph.Graph, v int, a, b int, alive []bool) *CarveOutcome {
+	ws := graph.AcquireWorkspace()
+	oc := GrowCarveWS(g, v, a, b, alive, ws)
+	graph.ReleaseWorkspace(ws)
+	return oc
+}
+
+// GrowCarveWS is GrowCarve on a caller-owned traversal workspace: the layer
+// gathering is allocation-free, and only the carve outcome (which outlives
+// the call) is freshly allocated. Safe to run concurrently from several
+// goroutines, each with its own workspace, against the same alive snapshot.
+func GrowCarveWS(g *graph.Graph, v int, a, b int, alive []bool, ws *graph.Workspace) *CarveOutcome {
 	if a < 1 {
 		a = 1
 	}
 	if b < a {
 		b = a
 	}
-	layers := g.BallLayers(v, b, alive)
+	layers := g.BallLayersWithWorkspace(ws, v, b, alive)
 	if layers == nil {
 		return nil
 	}
 	if len(layers) <= a {
 		// Component exhausted before the window: remove everything, delete
 		// nothing.
-		var removed []int32
+		total := 0
+		for _, l := range layers {
+			total += len(l)
+		}
+		removed := make([]int32, 0, total)
 		for _, l := range layers {
 			removed = append(removed, l...)
 		}
@@ -52,6 +67,11 @@ func GrowCarve(g *graph.Graph, v int, a, b int, alive []bool) *CarveOutcome {
 		}
 	}
 	out := &CarveOutcome{JStar: jStar, Deleted: append([]int32(nil), layers[jStar]...)}
+	interior := 0
+	for j := 0; j < jStar; j++ {
+		interior += len(layers[j])
+	}
+	out.Removed = make([]int32, 0, interior)
 	for j := 0; j < jStar; j++ {
 		out.Removed = append(out.Removed, layers[j]...)
 	}

@@ -118,7 +118,41 @@ func (d *Decomposition) ValidateSeparation(g *graph.Graph) (ok bool, badU, badV 
 }
 
 // relabel compacts cluster ids to a dense range and returns the count.
+// Ids produced by this package are always bounded by a small multiple of n
+// (vertex ids or dense counters plus offsets), so a dense remap array beats
+// a hash map; the map path remains as a fallback for out-of-range ids.
 func relabel(clusterOf []int32) int {
+	maxID := int32(-1)
+	for _, c := range clusterOf {
+		if c > maxID {
+			maxID = c
+		}
+	}
+	if maxID < 0 {
+		return 0
+	}
+	if int(maxID) > 4*len(clusterOf)+64 {
+		return relabelSparse(clusterOf)
+	}
+	remap := make([]int32, maxID+1)
+	for i := range remap {
+		remap[i] = -1
+	}
+	count := int32(0)
+	for i, c := range clusterOf {
+		if c < 0 {
+			continue
+		}
+		if remap[c] < 0 {
+			remap[c] = count
+			count++
+		}
+		clusterOf[i] = remap[c]
+	}
+	return int(count)
+}
+
+func relabelSparse(clusterOf []int32) int {
 	remap := make(map[int32]int32)
 	for i, c := range clusterOf {
 		if c < 0 {

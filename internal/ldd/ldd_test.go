@@ -519,7 +519,7 @@ func TestENShiftsClipped(t *testing.T) {
 	// Lemma C.1: T_v >= 4 ln(ñ)/λ is reset to 0, so every realized shift
 	// sits strictly below the broadcast horizon.
 	p := ENParams{Lambda: 0.1, NTilde: 500, Seed: 3}
-	shifts, maxT := enShifts(500, p)
+	shifts, maxT := enShiftsOwned(500, p)
 	for v, s := range shifts {
 		if s < 0 || s >= maxT {
 			t.Fatalf("shift[%d] = %v outside [0, %v)", v, s, maxT)
@@ -530,7 +530,7 @@ func TestENShiftsClipped(t *testing.T) {
 	resets := 0
 	for seed := uint64(0); seed < 50; seed++ {
 		pp := ENParams{Lambda: 5, NTilde: 4, Seed: seed}
-		sh, mt := enShifts(3, pp)
+		sh, mt := enShiftsOwned(3, pp)
 		for _, s := range sh {
 			if s == 0 {
 				resets++
@@ -540,5 +540,27 @@ func TestENShiftsClipped(t *testing.T) {
 	}
 	if resets == 0 {
 		t.Log("no zero shifts observed (possible but unlikely); not fatal")
+	}
+}
+
+// TestChangLiParallelBitIdentical verifies the worker-pool fan-out of the
+// per-vertex ball sizes and per-iteration carves: seeded decompositions are
+// bit-identical for any worker count.
+func TestChangLiParallelBitIdentical(t *testing.T) {
+	for _, n := range []int{60, 173} {
+		g := gen.Cycle(n)
+		for _, seed := range []uint64{1, 5, 23} {
+			seq := ChangLi(g, Params{Epsilon: 0.25, Seed: seed, Scale: 0.01, Workers: 1})
+			parl := ChangLi(g, Params{Epsilon: 0.25, Seed: seed, Scale: 0.01, Workers: 5})
+			if seq.NumClusters != parl.NumClusters || seq.Rounds != parl.Rounds {
+				t.Fatalf("n=%d seed=%d: summary mismatch: seq %+v par %+v", n, seed, seq, parl)
+			}
+			for v := range seq.ClusterOf {
+				if seq.ClusterOf[v] != parl.ClusterOf[v] {
+					t.Fatalf("n=%d seed=%d: cluster of %d differs: %d vs %d",
+						n, seed, v, seq.ClusterOf[v], parl.ClusterOf[v])
+				}
+			}
+		}
 	}
 }

@@ -63,7 +63,7 @@ func (m *mpxMachine) Round(round int, inbox []local.Message) ([]local.Message, b
 // bit-identical to MPX(g, p) for the same parameters.
 func MPXDistributed(g *graph.Graph, p ENParams, sequential bool) (*MPXResult, local.Stats, error) {
 	n := g.N()
-	shifts, maxT := enShifts(n, p)
+	shifts, maxT := enShiftsOwned(n, p)
 	horizon := int(math.Ceil(maxT)) + 3
 	machines := make([]*mpxMachine, n)
 	stats, err := local.Run(local.Config{

@@ -70,16 +70,32 @@ func (c *Cover) MaxWeakDiameter(g *graph.Graph) int {
 // cluster of the source maximizing the best member value (verified by
 // VerifyCover). Each cluster has weak diameter at most 8 ln(ñ)/lambda.
 func SparseCover(g *graph.Graph, alive []bool, p ENParams) *Cover {
+	ws := AcquireWorkspace()
+	c := SparseCoverWS(g, alive, p, ws)
+	ReleaseWorkspace(ws)
+	return c
+}
+
+// SparseCoverWS is SparseCover running on a caller-owned Workspace; the
+// preparation phase of the covering solver runs Θ(log ñ) of these and hands
+// each worker goroutine its own workspace. The returned Cover is freshly
+// allocated (it does not alias the workspace).
+func SparseCoverWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace) *Cover {
 	n := g.N()
-	shifts, maxT := enShifts(n, p)
+	ws.reserve(n)
+	shifts, maxT := enShifts(n, p, ws)
 	// keep = n would be exact; the window prune (slack 1) already discards
 	// everything that cannot join, so a generous keep bound costs little.
-	labels := topLabels(g, alive, shifts, n, 1.0)
+	labels := topLabels(g, alive, shifts, n, 1.0, ws)
 	cover := &Cover{
 		MemberOf: make([][]int32, n),
 		Rounds:   int(math.Ceil(maxT)),
 	}
-	clusterID := map[int32]int32{}
+	// Dense source -> cluster id map (sources are vertex ids).
+	clusterID := ws.clusterID[:n]
+	for i := range clusterID {
+		clusterID[i] = -1
+	}
 	for v := 0; v < n; v++ {
 		if alive != nil && !alive[v] {
 			continue
@@ -93,8 +109,8 @@ func SparseCover(g *graph.Graph, alive []bool, p ENParams) *Cover {
 			if l.value < best-1 {
 				break // sorted descending
 			}
-			id, ok := clusterID[l.source]
-			if !ok {
+			id := clusterID[l.source]
+			if id < 0 {
 				id = int32(len(cover.Clusters))
 				clusterID[l.source] = id
 				cover.Clusters = append(cover.Clusters, nil)

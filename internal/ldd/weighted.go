@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/local"
+	"repro/internal/par"
 	"repro/internal/xrand"
 )
 
@@ -21,15 +22,16 @@ import (
 //   - Grow-and-Carve deletes the *lightest* layer instead of the smallest;
 //   - the quality metric is deleted weight over total weight.
 
-// weightedCarve runs Algorithm 1 with layer weight as the cut criterion.
-func weightedCarve(g *graph.Graph, v int, a, b int, alive []bool, w []int64) *CarveOutcome {
+// weightedCarve runs Algorithm 1 with layer weight as the cut criterion,
+// gathering layers on the caller's traversal workspace.
+func weightedCarve(g *graph.Graph, v int, a, b int, alive []bool, w []int64, ws *graph.Workspace) *CarveOutcome {
 	if a < 1 {
 		a = 1
 	}
 	if b < a {
 		b = a
 	}
-	layers := g.BallLayers(v, b, alive)
+	layers := g.BallLayersWithWorkspace(ws, v, b, alive)
 	if layers == nil {
 		return nil
 	}
@@ -88,8 +90,11 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 	rc.StartPhase()
 	rc.Charge(min(d.EstimateRadius, n))
 	rc.EndPhase()
-	ballW := ballWeights(g, alive, d.EstimateRadius, w)
+	ballW := ballWeights(g, alive, d.EstimateRadius, w, p.Workers)
 
+	workers := par.Workers(p.Workers)
+	wss := acquireGraphWorkspaces(workers)
+	var centres []int32
 	iterations := d.T
 	if !p.SkipPhase2 {
 		iterations = d.T + 1
@@ -97,8 +102,8 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 	for i := 1; i <= iterations; i++ {
 		interval := d.Intervals[i-1]
 		isPhase2 := !p.SkipPhase2 && i == d.T+1
-		var outcomes []*CarveOutcome
 		rc.StartPhase()
+		centres = centres[:0]
 		for v := 0; v < n; v++ {
 			if !alive[v] || w[v] <= 0 {
 				continue
@@ -112,18 +117,23 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 			if prob > 1 {
 				prob = 1
 			}
-			if !xrand.Stream(p.Seed, v, uint64(0x3e1+i)).Bernoulli(prob) {
-				continue
+			if xrand.Stream(p.Seed, v, uint64(0x3e1+i)).Bernoulli(prob) {
+				centres = append(centres, int32(v))
 			}
-			oc := weightedCarve(g, v, interval[0], interval[1], alive, w)
+		}
+		outcomes := make([]*CarveOutcome, len(centres))
+		par.ForEach(workers, len(centres), func(wk, j int) {
+			outcomes[j] = weightedCarve(g, int(centres[j]), interval[0], interval[1], alive, w, wss[wk])
+		})
+		for _, oc := range outcomes {
 			if oc != nil {
-				outcomes = append(outcomes, oc)
 				rc.Charge(interval[1])
 			}
 		}
 		rc.EndPhase()
 		applyCarves(outcomes, alive, removed, deletedMark)
 	}
+	releaseGraphWorkspaces(wss)
 
 	en := ElkinNeiman(g, alive, ENParams{
 		Lambda: eps / 10,
@@ -152,11 +162,12 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 }
 
 // ballWeights computes W(N^radius(v)) in the alive-induced subgraph, with
-// the whole-component shortcut of ballSizes.
-func ballWeights(g *graph.Graph, alive []bool, radius int, w []int64) []int64 {
+// the whole-component shortcut of ballSizes and the same worker fan-out.
+func ballWeights(g *graph.Graph, alive []bool, radius int, w []int64, workers int) []int64 {
 	n := g.N()
 	out := make([]int64, n)
-	comp, count := g.ComponentsAlive(alive)
+	cws := graph.AcquireWorkspace()
+	comp, count := g.ComponentsAliveWithWorkspace(cws, alive)
 	compW := make([]int64, count)
 	compSize := make([]int, count)
 	for v := 0; v < n; v++ {
@@ -165,21 +176,25 @@ func ballWeights(g *graph.Graph, alive []bool, radius int, w []int64) []int64 {
 			compSize[comp[v]]++
 		}
 	}
-	for v := 0; v < n; v++ {
+	workers = par.Workers(workers)
+	wss := acquireGraphWorkspaces(workers)
+	par.ForEach(workers, n, func(wk, v int) {
 		if alive != nil && !alive[v] {
-			continue
+			return
 		}
 		c := comp[v]
 		if radius >= compSize[c] {
 			out[v] = compW[c]
-			continue
+			return
 		}
 		var s int64
-		for _, u := range g.BallAlive(v, radius, alive) {
+		for _, u := range g.BallAliveWithWorkspace(wss[wk], v, radius, alive) {
 			s += w[u]
 		}
 		out[v] = s
-	}
+	})
+	releaseGraphWorkspaces(wss)
+	graph.ReleaseWorkspace(cws)
 	return out
 }
 

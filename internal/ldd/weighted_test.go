@@ -3,6 +3,7 @@ package ldd
 import (
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/xrand"
 )
@@ -94,13 +95,36 @@ func TestWeightedCarvePicksLightestLayer(t *testing.T) {
 	for i := range alive {
 		alive[i] = true
 	}
-	oc := weightedCarve(g, 1, 1, 2, alive, w)
+	oc := weightedCarve(g, 1, 1, 2, alive, w, graph.NewWorkspace(g.N()))
 	if oc.JStar != 2 {
 		t.Fatalf("jStar = %d, want 2 (the light layer)", oc.JStar)
 	}
 	for _, v := range oc.Deleted {
 		if v == 0 {
 			t.Fatal("heavy center deleted")
+		}
+	}
+}
+
+// TestChangLiWeightedParallelBitIdentical mirrors the unweighted
+// cross-check for the weighted fan-out (ball weights + per-iteration
+// carves): seeded runs are bit-identical for any worker count.
+func TestChangLiWeightedParallelBitIdentical(t *testing.T) {
+	g := gen.Cycle(150)
+	w := make([]int64, g.N())
+	for i := range w {
+		w[i] = int64(1 + i%5)
+	}
+	for _, seed := range []uint64{3, 17} {
+		seq := ChangLiWeighted(g, w, Params{Epsilon: 0.25, Seed: seed, Scale: 0.01, Workers: 1})
+		parl := ChangLiWeighted(g, w, Params{Epsilon: 0.25, Seed: seed, Scale: 0.01, Workers: 5})
+		if seq.NumClusters != parl.NumClusters || seq.Rounds != parl.Rounds {
+			t.Fatalf("seed=%d: summary mismatch: seq %+v par %+v", seed, seq, parl)
+		}
+		for v := range seq.ClusterOf {
+			if seq.ClusterOf[v] != parl.ClusterOf[v] {
+				t.Fatalf("seed=%d: cluster of %d differs: %d vs %d", seed, v, seq.ClusterOf[v], parl.ClusterOf[v])
+			}
 		}
 	}
 }

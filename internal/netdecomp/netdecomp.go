@@ -78,12 +78,14 @@ func Decompose(g *graph.Graph, p Params) *Decomposition {
 	rng := xrand.New(p.Seed)
 	rounds := 0
 	color := int32(0)
+	ws := ldd.AcquireWorkspace()
+	defer ldd.ReleaseWorkspace(ws)
 	for phase := 0; phase < maxPhases && remaining > 0; phase++ {
-		en := ldd.ElkinNeiman(g, alive, ldd.ENParams{
+		en := ldd.ElkinNeimanWS(g, alive, ldd.ENParams{
 			Lambda: lambda,
 			NTilde: nTilde,
 			Seed:   rng.Split(uint64(phase) + 0xde0).Uint64(),
-		})
+		}, ws)
 		rounds += en.Rounds
 		clustered := 0
 		for v := 0; v < n; v++ {

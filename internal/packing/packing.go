@@ -27,6 +27,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/ldd"
 	"repro/internal/local"
+	"repro/internal/par"
 	"repro/internal/solve"
 	"repro/internal/xrand"
 )
@@ -52,6 +53,12 @@ type Params struct {
 	PrepRuns int
 	// Solve tunes the local optimizers.
 	Solve solve.Options
+	// Workers bounds the worker pool for the independent preparation
+	// decompositions, the per-iteration cluster carves, and the final
+	// per-region local solves. <= 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Seeded runs are bit-identical for every worker
+	// count (deterministic per-task randomness, in-order merges).
+	Workers int
 }
 
 // Result is the outcome of a run.
@@ -138,29 +145,52 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 	exact := true
 
 	// --- Preparation -----------------------------------------------------
-	var clusters []prepCluster
-	rc.StartPhase()
-	for run := 0; run < d.prepRuns; run++ {
-		en := ldd.ElkinNeiman(g, nil, ldd.ENParams{
+	// The Θ(log ñ) decompositions are independent (per-run seed splits),
+	// and so are the per-cluster weight estimates; both fan out across the
+	// worker pool and merge in (run, cluster) order so the Phase-1/2
+	// sampling streams stay bit-identical to the sequential path.
+	workers := par.Workers(p.Workers)
+	wss := ldd.AcquireWorkspaces(workers)
+	defer ldd.ReleaseWorkspaces(wss)
+
+	prepSeeds := make([]uint64, d.prepRuns)
+	for run := range prepSeeds {
+		prepSeeds[run] = rootRNG.Split(uint64(run) + 0x9e9).Uint64()
+	}
+	ens := make([]*ldd.Decomposition, d.prepRuns)
+	par.ForEach(workers, d.prepRuns, func(w, run int) {
+		ens[run] = ldd.ElkinNeimanWS(g, nil, ldd.ENParams{
 			Lambda: 0.5,
 			NTilde: d.nTilde,
-			Seed:   rootRNG.Split(uint64(run) + 0x9e9).Uint64(),
-		})
-		rc.Charge(en.Rounds)
-		for _, members := range en.Clusters() {
-			if len(members) == 0 {
-				continue
+			Seed:   prepSeeds[run],
+		}, wss[w])
+	})
+	var members [][]int32
+	for _, en := range ens {
+		for _, m := range en.Clusters() {
+			if len(m) > 0 {
+				members = append(members, m)
 			}
-			pc := prepCluster{members: members}
-			var ex bool
-			_, pc.wC, ex = solveLocal(inst, members, p.Solve)
-			exact = exact && ex
-			sc := ballFromSet(g, members, d.estRadius, nil)
-			rc.Charge(min(d.estRadius, n))
-			_, pc.wSC, ex = solveLocal(inst, sc, p.Solve)
-			exact = exact && ex
-			clusters = append(clusters, pc)
 		}
+	}
+	clusters := make([]prepCluster, len(members))
+	prepExact := make([]bool, len(members))
+	par.ForEach(workers, len(members), func(w, i int) {
+		pc := prepCluster{members: members[i]}
+		var ex1, ex2 bool
+		_, pc.wC, ex1 = solveLocal(inst, members[i], p.Solve)
+		sc := g.BallFromSetWithWorkspace(wss[w].G, members[i], d.estRadius, nil)
+		_, pc.wSC, ex2 = solveLocal(inst, sc, p.Solve)
+		prepExact[i] = ex1 && ex2
+		clusters[i] = pc
+	})
+	rc.StartPhase()
+	for _, en := range ens {
+		rc.Charge(en.Rounds)
+	}
+	for i := range clusters {
+		exact = exact && prepExact[i]
+		rc.Charge(min(d.estRadius, n))
 	}
 	rc.EndPhase()
 
@@ -172,12 +202,17 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 	removed := make([]bool, n)
 	deletedMark := make([]bool, n)
 
+	var sampled []int32
 	for i := 1; i <= d.t+1; i++ {
 		interval := d.intervals[i-1]
 		isPhase2 := i == d.t+1
-		var outcomes []*carveOutcome
 		rc.StartPhase()
-		for ci, pc := range clusters {
+		// All carves of one iteration run against the same alive snapshot,
+		// so they are independent: sample the clusters first, then fan the
+		// carves out and merge in cluster order.
+		sampled = sampled[:0]
+		for ci := range clusters {
+			pc := clusters[ci]
 			if pc.wSC <= 0 || pc.wC <= 0 {
 				continue
 			}
@@ -188,13 +223,20 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 			if prob > 1 {
 				prob = 1
 			}
-			if !xrand.Stream(p.Seed, ci, uint64(packLabel+i)).Bernoulli(prob) {
-				continue
+			if xrand.Stream(p.Seed, ci, uint64(packLabel+i)).Bernoulli(prob) {
+				sampled = append(sampled, int32(ci))
 			}
-			oc, ex := growCarvePacking(inst, g, pc.members, interval[0], interval[1], alive, p.Solve)
-			exact = exact && ex
-			if oc != nil {
-				outcomes = append(outcomes, oc)
+		}
+		outcomes := make([]*carveOutcome, len(sampled))
+		carveExact := make([]bool, len(sampled))
+		par.ForEach(workers, len(sampled), func(w, j int) {
+			pc := clusters[sampled[j]]
+			outcomes[j], carveExact[j] = growCarvePacking(inst, g, pc.members,
+				interval[0], interval[1], alive, p.Solve, wss[w].G)
+		})
+		for j := range sampled {
+			exact = exact && carveExact[j]
+			if outcomes[j] != nil {
 				rc.Charge(interval[1])
 			}
 		}
@@ -212,22 +254,11 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 
 	// --- Final local solves -------------------------------------------------
 	// Regions: connected components of the carve-removed set, plus Phase-3
-	// clusters. All are mutually non-adjacent; deleted vertices are 0.
+	// clusters. All are mutually non-adjacent; deleted vertices are 0. The
+	// per-region solves are independent (each reads only the instance) and
+	// fan out across the pool; the solutions are OR-ed in region order.
 	solution := inst.NewSolution()
 	comps := 0
-	assemble := func(members []int32) {
-		if len(members) == 0 {
-			return
-		}
-		comps++
-		sol, _, ex := solveLocal(inst, members, p.Solve)
-		exact = exact && ex
-		for v, set := range sol {
-			if set {
-				solution[v] = true
-			}
-		}
-	}
 	comp, count := g.ComponentsAlive(removed)
 	regions := make([][]int32, count)
 	for v := 0; v < n; v++ {
@@ -235,14 +266,33 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 			regions[comp[v]] = append(regions[comp[v]], int32(v))
 		}
 	}
+	numRemoved := len(regions)
+	regions = append(regions, en.Clusters()...)
+	sols := make([]ilp.Solution, len(regions))
+	solExact := make([]bool, len(regions))
+	par.ForEach(workers, len(regions), func(w, i int) {
+		if len(regions[i]) == 0 {
+			return
+		}
+		sols[i], _, solExact[i] = solveLocal(inst, regions[i], p.Solve)
+	})
 	rc.StartPhase()
-	for _, r := range regions {
-		assemble(r)
-		rc.Charge(d.intervals[0][1]) // local gather bounded by the carve radius
-	}
-	for _, cl := range en.Clusters() {
-		assemble(cl)
-		rc.Charge(en.Rounds)
+	for i, r := range regions {
+		if i < numRemoved {
+			rc.Charge(d.intervals[0][1]) // local gather bounded by the carve radius
+		} else {
+			rc.Charge(en.Rounds)
+		}
+		if len(r) == 0 {
+			continue
+		}
+		comps++
+		exact = exact && solExact[i]
+		for v, set := range sols[i] {
+			if set {
+				solution[v] = true
+			}
+		}
 	}
 	rc.EndPhase()
 
@@ -278,10 +328,12 @@ type carveOutcome struct {
 // layers to radius b-1, compute the local packing solution of the ball,
 // pick j* ≡ a (mod 3) in [a, b-1] minimizing the solution weight on the
 // triple S_{j*} ∪ S_{j*+1} ∪ S_{j*+2}, delete S_{j*+1}, remove N^{j*}.
+// The gather runs on the caller's workspace; concurrent calls against the
+// same alive snapshot are safe when each uses its own workspace.
 func growCarvePacking(inst *ilp.Instance, g *graph.Graph, seed []int32, a, b int,
-	alive []bool, opt solve.Options) (*carveOutcome, bool) {
+	alive []bool, opt solve.Options, ws *graph.Workspace) (*carveOutcome, bool) {
 
-	layers := ballLayersFromSet(g, seed, b-1, alive)
+	layers := g.BallLayersFromSetWithWorkspace(ws, seed, b-1, alive)
 	if layers == nil {
 		return nil, true
 	}
@@ -292,7 +344,11 @@ func growCarvePacking(inst *ilp.Instance, g *graph.Graph, seed []int32, a, b int
 		}
 		return &carveOutcome{removed: rem}, true
 	}
-	var ball []int32
+	total := 0
+	for _, l := range layers {
+		total += len(l)
+	}
+	ball := make([]int32, 0, total)
 	for _, l := range layers {
 		ball = append(ball, l...)
 	}
@@ -335,9 +391,13 @@ func growCarvePacking(inst *ilp.Instance, g *graph.Graph, seed []int32, a, b int
 	return oc, ex
 }
 
-// applyCarves mirrors ldd's merge semantics (delete wins over remove).
+// applyCarves mirrors ldd's merge semantics (delete wins over remove);
+// nil outcomes (unsampled or dead-seed carves) are skipped.
 func applyCarves(outcomes []*carveOutcome, alive, removed, deletedMark []bool) {
 	for _, oc := range outcomes {
+		if oc == nil {
+			continue
+		}
 		for _, v := range oc.deleted {
 			if alive[v] {
 				deletedMark[v] = true
@@ -345,6 +405,9 @@ func applyCarves(outcomes []*carveOutcome, alive, removed, deletedMark []bool) {
 		}
 	}
 	for _, oc := range outcomes {
+		if oc == nil {
+			continue
+		}
 		for _, v := range oc.removed {
 			if !alive[v] || deletedMark[v] {
 				continue
@@ -358,51 +421,4 @@ func applyCarves(outcomes []*carveOutcome, alive, removed, deletedMark []bool) {
 			alive[v] = false
 		}
 	}
-}
-
-// ballFromSet returns the vertices within the radius of the seed set.
-func ballFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) []int32 {
-	layers := ballLayersFromSet(g, seed, radius, alive)
-	var out []int32
-	for _, l := range layers {
-		out = append(out, l...)
-	}
-	return out
-}
-
-// ballLayersFromSet returns BFS layers from a seed set within the alive
-// mask (nil = everything alive); nil when no seed vertex is alive.
-func ballLayersFromSet(g *graph.Graph, seed []int32, radius int, alive []bool) [][]int32 {
-	seen := make(map[int32]bool, len(seed)*4)
-	var layer0 []int32
-	for _, s := range seed {
-		if seen[s] || (alive != nil && !alive[s]) {
-			continue
-		}
-		seen[s] = true
-		layer0 = append(layer0, s)
-	}
-	if len(layer0) == 0 {
-		return nil
-	}
-	layers := [][]int32{layer0}
-	frontier := layer0
-	for dd := 0; dd < radius && len(frontier) > 0; dd++ {
-		var next []int32
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(int(u)) {
-				if seen[w] || (alive != nil && !alive[w]) {
-					continue
-				}
-				seen[w] = true
-				next = append(next, w)
-			}
-		}
-		if len(next) == 0 {
-			break
-		}
-		layers = append(layers, next)
-		frontier = next
-	}
-	return layers
 }

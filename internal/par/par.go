@@ -1,0 +1,67 @@
+// Package par provides the bounded worker pool used to fan out the
+// embarrassingly parallel steps of the pipeline (per-vertex ball queries,
+// the independent preparation sparse covers, per-region local solves).
+//
+// The contract is built for determinism: callers index their inputs and
+// outputs by task id, workers write only to their own task's output slot,
+// and the caller merges results in task order afterwards. Under that
+// discipline the observable result is bit-identical for any worker count,
+// which is what lets the parallel and sequential paths of the solvers
+// cross-check against each other.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 mean GOMAXPROCS.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(worker, i) for every i in [0, n), using at most
+// `workers` goroutines (<= 0 means GOMAXPROCS). The worker argument is a
+// stable id in [0, workers), so callers can give each worker its own
+// scratch space (e.g. a graph.Workspace). Tasks are handed out dynamically
+// via an atomic counter; ForEach returns once every invocation finished.
+//
+// With one worker (or n <= 1) everything runs inline on the calling
+// goroutine with zero overhead — the sequential path is literally the same
+// code, which keeps "Workers: 1" runs trivially identical to parallel ones
+// for deterministic fn.
+func ForEach(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

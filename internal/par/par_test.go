@@ -1,0 +1,31 @@
+package par
+
+import "testing"
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		n := 1000
+		hits := make([]int32, n)
+		ForEach(workers, n, func(worker, i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsBounded(t *testing.T) {
+	n := 200
+	ids := make([]int, n)
+	ForEach(3, n, func(worker, i int) { ids[i] = worker })
+	for i, w := range ids {
+		if w < 0 || w >= 3 {
+			t.Fatalf("index %d ran on out-of-range worker %d", i, w)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(worker, i int) { t.Fatal("must not run") })
+}

@@ -98,8 +98,8 @@ func PackingLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solutio
 	}
 
 	if !opt.ForceGreedy && !opt.DisableStructure {
-		if sol, val, ok := packingStructured(inst, vars, inCluster); ok {
-			return sol, val, structuredMethod(inst, vars, inCluster)
+		if sol, val, m, ok := packingStructured(inst, vars, inCluster); ok {
+			return sol, val, m
 		}
 	}
 	if !opt.ForceGreedy && len(vars) <= opt.maxExact() {
@@ -131,8 +131,8 @@ func CoveringLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Soluti
 	}
 
 	if !opt.ForceGreedy && !opt.DisableStructure {
-		if sol, val, ok := coveringStructured(inst, vars, inCluster, local); ok {
-			return sol, val, structuredMethod(inst, vars, inCluster), nil
+		if sol, val, m, ok := coveringStructured(inst, vars, inCluster, local); ok {
+			return sol, val, m, nil
 		}
 	}
 	if !opt.ForceGreedy && len(vars) <= opt.maxExact() {
@@ -209,21 +209,15 @@ func unitWeights(inst *ilp.Instance, vars []int32) bool {
 	return true
 }
 
-// structuredMethod re-derives which structure path applies; called only
-// after a structured solve succeeded, to label the result.
-func structuredMethod(inst *ilp.Instance, vars []int32, inCluster []bool) Method {
-	g, _ := clusterGraph(inst, vars, inCluster)
-	if g.Girth() == -1 {
-		return MethodTreeDP
-	}
-	return MethodBipartite
-}
-
 // packingStructured handles the MIS shape exactly when the cluster's
 // conflict graph is a forest (any weights) or bipartite (unit weights).
-func packingStructured(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.Solution, int64, bool) {
+// The method label is reported by whichever path succeeded — re-deriving
+// it afterwards would mean rebuilding the cluster graph and running a
+// girth check per local solve, which used to dominate the solver's
+// allocation profile.
+func packingStructured(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.Solution, int64, Method, bool) {
 	if !isRank2Unit(inst) {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	g, _ := clusterGraph(inst, vars, inCluster)
 	w := make([]int64, len(vars))
@@ -231,23 +225,23 @@ func packingStructured(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.
 		w[i] = inst.Weight(int(v))
 	}
 	if set, val, err := treedp.MaxIndependentSet(g, w); err == nil {
-		return liftSolution(inst, vars, set), val, true
+		return liftSolution(inst, vars, set), val, MethodTreeDP, true
 	}
 	if unitWeights(inst, vars) {
 		if r := matching.BipartiteAuto(g); r != nil {
-			return liftSolution(inst, vars, r.MaxIndependentSet), int64(len(r.MaxIndependentSet)), true
+			return liftSolution(inst, vars, r.MaxIndependentSet), int64(len(r.MaxIndependentSet)), MethodBipartite, true
 		}
 	}
-	return nil, 0, false
+	return nil, 0, 0, false
 }
 
 // coveringStructured handles the vertex-cover shape exactly under the same
 // structural conditions. Only inside-edges matter (Observation 2.2), which
 // is exactly what clusterGraph builds; rank-1 constraints (x_v >= 1) force
 // their variable and are handled by pre-assignment.
-func coveringStructured(inst *ilp.Instance, vars []int32, inCluster []bool, local []int32) (ilp.Solution, int64, bool) {
+func coveringStructured(inst *ilp.Instance, vars []int32, inCluster []bool, local []int32) (ilp.Solution, int64, Method, bool) {
 	if !isRank2Unit(inst) {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	forced := make(map[int32]bool)
 	for _, cj := range local {
@@ -266,18 +260,21 @@ func coveringStructured(inst *ilp.Instance, vars []int32, inCluster []bool, loca
 	}
 	var sol ilp.Solution
 	var val int64
+	var method Method
 	if cover, cval, err := treedp.MinVertexCover(g, w); err == nil {
 		sol = liftSolution(inst, vars, cover)
 		val = cval
+		method = MethodTreeDP
 	} else if unitWeights(inst, vars) && len(forced) == 0 {
 		r := matching.BipartiteAuto(g)
 		if r == nil {
-			return nil, 0, false
+			return nil, 0, 0, false
 		}
 		sol = liftSolution(inst, vars, r.MinVertexCover)
 		val = int64(len(r.MinVertexCover))
+		method = MethodBipartite
 	} else {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	for v := range forced {
 		if !sol[v] {
@@ -291,7 +288,7 @@ func coveringStructured(inst *ilp.Instance, vars []int32, inCluster []bool, loca
 			val += inst.Weight(int(v))
 		}
 	}
-	return sol, val, true
+	return sol, val, method, true
 }
 
 func liftSolution(inst *ilp.Instance, vars []int32, localIdx []int32) ilp.Solution {
