@@ -15,6 +15,12 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 REV=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
+# Uncommitted changes to tracked files produce numbers that are not HEAD's:
+# label them so the rev-to-numbers mapping stays honest. Untracked files
+# (like this script's own BENCH_*.json output) don't count.
+if [ -n "$(git status --porcelain -uno 2>/dev/null)" ]; then
+	REV="${REV}-dirty"
+fi
 COUNT="${COUNT:-1}"
 BENCH="${BENCH:-BenchmarkE|BenchmarkAlgo}"
 OUT="BENCH_${REV}.json"
