@@ -27,14 +27,20 @@ OUT="BENCH_${REV}.json"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# Record the toolchain and parallelism the numbers were taken under, so
+# baselines from different machines or Go releases are comparable (or at
+# least visibly not).
+GO_VERSION=$(go version | awk '{print $3}')
+GOMAXPROCS_VAL="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)}"
+
 echo "running benchmarks ($BENCH, count=$COUNT) ..." >&2
 go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$RAW" >&2
 
-awk -v rev="$REV" '
+awk -v rev="$REV" -v gover="$GO_VERSION" -v gmp="$GOMAXPROCS_VAL" '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1; iters = $2
-    line = "    {\"rev\": \"" rev "\", \"name\": \"" name "\", \"iterations\": " iters
+    line = "    {\"rev\": \"" rev "\", \"go_version\": \"" gover "\", \"gomaxprocs\": " gmp ", \"name\": \"" name "\", \"iterations\": " iters
     for (i = 3; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
         gsub(/\//, "_per_", unit)

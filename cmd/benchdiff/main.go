@@ -1,0 +1,176 @@
+// Command benchdiff compares two BENCH_<rev>.json baselines produced by
+// bench_baseline.sh and prints the per-benchmark ns/op, B/op, and allocs/op
+// deltas. With -threshold t (default 0.10), any benchmark whose ns/op
+// regressed by more than t (as a fraction) makes the command exit with
+// status 1, so CI can gate on it.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 0.05 BENCH_45564de.json BENCH_head.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+func main() {
+	regressions, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// record is one benchmark's averaged metrics from one baseline file. Memory
+// metrics keep their own run count: a baseline mixing -benchmem and plain
+// rows for one benchmark must average each metric over the rows that
+// actually carried it.
+type record struct {
+	nsPerOp     float64
+	bPerOp      float64
+	allocsPerOp float64
+	runs        int
+	memRuns     int
+}
+
+func (r *record) hasMem() bool { return r.memRuns > 0 }
+
+// loadBaseline parses a bench_baseline.sh JSON file, averaging repeated
+// entries for the same benchmark name (COUNT > 1 runs).
+func loadBaseline(path string) (map[string]*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]*record)
+	for i, row := range rows {
+		name, ok := row["name"].(string)
+		if !ok {
+			return nil, fmt.Errorf("%s: entry %d has no benchmark name", path, i)
+		}
+		ns, ok := row["ns_per_op"].(float64)
+		if !ok {
+			return nil, fmt.Errorf("%s: %s has no ns_per_op", path, name)
+		}
+		r := out[name]
+		if r == nil {
+			r = &record{}
+			out[name] = r
+		}
+		r.nsPerOp += ns
+		if b, ok := row["B_per_op"].(float64); ok {
+			r.bPerOp += b
+			if a, ok := row["allocs_per_op"].(float64); ok {
+				r.allocsPerOp += a
+			}
+			r.memRuns++
+		}
+		r.runs++
+	}
+	for _, r := range out {
+		r.nsPerOp /= float64(r.runs)
+		if r.memRuns > 0 {
+			r.bPerOp /= float64(r.memRuns)
+			r.allocsPerOp /= float64(r.memRuns)
+		}
+	}
+	return out, nil
+}
+
+// delta formats a relative change; new baselines of 0 against old 0 are a
+// wash, anything growing from 0 is reported as absolute.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("+%g (from 0)", new)
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func run(args []string, w io.Writer) (regressions int, err error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(w)
+	threshold := fs.Float64("threshold", 0.10, "ns/op regression fraction that fails the diff")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("want exactly two baseline files, got %d", fs.NArg())
+	}
+	if *threshold < 0 {
+		return 0, fmt.Errorf("threshold must be >= 0")
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldBase, err := loadBaseline(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newBase, err := loadBaseline(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	names := make([]string, 0, len(oldBase))
+	for name := range oldBase {
+		if _, ok := newBase[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "benchmark\tns/op old\tns/op new\tdelta\tB/op\tallocs/op\n")
+	for _, name := range names {
+		o, n := oldBase[name], newBase[name]
+		mark := ""
+		if o.nsPerOp > 0 && (n.nsPerOp-o.nsPerOp)/o.nsPerOp > *threshold {
+			regressions++
+			mark = "  << REGRESSION"
+		}
+		memCols := "-\t-"
+		if o.hasMem() && n.hasMem() {
+			memCols = fmt.Sprintf("%s\t%s", delta(o.bPerOp, n.bPerOp), delta(o.allocsPerOp, n.allocsPerOp))
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s%s\n",
+			name, o.nsPerOp, n.nsPerOp, delta(o.nsPerOp, n.nsPerOp), memCols, mark)
+	}
+	tw.Flush()
+
+	for name := range oldBase {
+		if _, ok := newBase[name]; !ok {
+			fmt.Fprintf(w, "only in %s: %s\n", oldPath, name)
+		}
+	}
+	for name := range newBase {
+		if _, ok := oldBase[name]; !ok {
+			fmt.Fprintf(w, "only in %s: %s\n", newPath, name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed ns/op beyond %.0f%%\n", regressions, 100**threshold)
+	}
+	return regressions, nil
+}
+
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldBase = `[
+    {"rev": "aaa", "name": "BenchmarkFoo-8", "iterations": 10, "ns_per_op": 1000, "B_per_op": 512, "allocs_per_op": 10},
+    {"rev": "aaa", "name": "BenchmarkBar-8", "iterations": 10, "ns_per_op": 2000, "B_per_op": 0, "allocs_per_op": 0},
+    {"rev": "aaa", "name": "BenchmarkGone-8", "iterations": 5, "ns_per_op": 50}
+]`
+
+func TestDiffNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBaseline(t, dir, "old.json", oldBase)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "bbb", "name": "BenchmarkFoo-8", "iterations": 10, "ns_per_op": 900, "B_per_op": 256, "allocs_per_op": 5},
+        {"rev": "bbb", "name": "BenchmarkBar-8", "iterations": 10, "ns_per_op": 2100, "B_per_op": 0, "allocs_per_op": 0},
+        {"rev": "bbb", "name": "BenchmarkNew-8", "iterations": 5, "ns_per_op": 1}
+    ]`)
+	var out strings.Builder
+	reg, err := run([]string{o, n}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if reg != 0 {
+		t.Fatalf("reported %d regressions within threshold:\n%s", reg, out.String())
+	}
+	for _, want := range []string{"BenchmarkFoo-8", "-10.0%", "only in " + o + ": BenchmarkGone-8", "only in " + n + ": BenchmarkNew-8"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDiffRegressionExceedsThreshold(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBaseline(t, dir, "old.json", oldBase)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "bbb", "name": "BenchmarkFoo-8", "iterations": 10, "ns_per_op": 1500, "B_per_op": 512, "allocs_per_op": 10},
+        {"rev": "bbb", "name": "BenchmarkBar-8", "iterations": 10, "ns_per_op": 2000, "B_per_op": 0, "allocs_per_op": 0}
+    ]`)
+	var out strings.Builder
+	reg, err := run([]string{o, n}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", reg, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+	// A looser threshold passes the same pair.
+	reg, err = run([]string{"-threshold", "0.6", o, n}, io.Discard)
+	if err != nil || reg != 0 {
+		t.Fatalf("threshold 0.6: reg=%d err=%v", reg, err)
+	}
+}
+
+func TestAveragesRepeatedRuns(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBaseline(t, dir, "old.json", `[
+        {"rev": "a", "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 100},
+        {"rev": "a", "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 300}
+    ]`)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "b", "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 210}
+    ]`)
+	// Mean old = 200; 210 is a 5% regression, under the default 10%.
+	reg, err := run([]string{o, n}, io.Discard)
+	if err != nil || reg != 0 {
+		t.Fatalf("reg=%d err=%v", reg, err)
+	}
+	reg, err = run([]string{"-threshold", "0.01", o, n}, io.Discard)
+	if err != nil || reg != 1 {
+		t.Fatalf("tight threshold: reg=%d err=%v", reg, err)
+	}
+}
+
+func TestMemAverageIgnoresRowsWithoutMemFields(t *testing.T) {
+	dir := t.TempDir()
+	// One -benchmem row (B/op 512) and one plain row: the average must be
+	// 512, not 256.
+	o := writeBaseline(t, dir, "old.json", `[
+        {"rev": "a", "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 100, "B_per_op": 512, "allocs_per_op": 4},
+        {"rev": "a", "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 100}
+    ]`)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "b", "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 100, "B_per_op": 512, "allocs_per_op": 4}
+    ]`)
+	var out strings.Builder
+	if _, err := run([]string{o, n}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Equal true averages: the B/op delta must be +0.0%, which only holds
+	// if the divisor was the mem-carrying run count.
+	if !strings.Contains(out.String(), "+0.0%") {
+		t.Fatalf("mem average wrong:\n%s", out.String())
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBaseline(t, dir, "good.json", oldBase)
+	bad := writeBaseline(t, dir, "bad.json", "{not json")
+	noName := writeBaseline(t, dir, "noname.json", `[{"ns_per_op": 5}]`)
+	noNs := writeBaseline(t, dir, "nons.json", `[{"name": "BenchmarkX-8"}]`)
+	disjoint := writeBaseline(t, dir, "disjoint.json", `[{"name": "BenchmarkOther-8", "ns_per_op": 5}]`)
+	for _, args := range [][]string{
+		{good},
+		{good, bad},
+		{good, noName},
+		{good, noNs},
+		{good, disjoint},
+		{good, filepath.Join(dir, "missing.json")},
+		{"-threshold", "-1", good, good},
+	} {
+		if _, err := run(args, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

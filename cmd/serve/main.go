@@ -1,0 +1,336 @@
+// Command serve loads a graph, warms the concurrent decomposition engine,
+// and drives it with a request workload, reporting throughput and cache
+// effectiveness. The workload is either a request trace replayed from a
+// file (-trace) or a synthetic closed-loop load generated from a seeded
+// RNG, so runs are reproducible.
+//
+// Usage:
+//
+//	serve -gen gnp -n 5000 -requests 20000 -concurrency 8
+//	serve -load web.metis.gz -requests 10000 -seedspace 4
+//	serve -gen grid -n 10000 -trace trace.txt -concurrency 16
+//
+// Trace files contain one request per line ('#' starts a comment):
+//
+//	changli eps=0.3 seed=4 [scale=0.05] [skip2=true]
+//	cover lambda=0.5 seed=2
+//	net lambda=0.5 seed=1
+//	cluster v=17 eps=0.3 seed=4 [scale=0.05]
+//	ball v=17 k=2
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/graphio"
+	"repro/internal/ldd"
+	"repro/internal/netdecomp"
+	"repro/internal/par"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// buildGraph constructs the requested generated topology on roughly n
+// vertices (mirrors cmd/ldd's families).
+func buildGraph(kind string, n int, seed uint64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, errors.New("n must be >= 2")
+	}
+	rng := xrand.New(seed + 0x5e7e)
+	switch kind {
+	case "cycle":
+		return gen.Cycle(n), nil
+	case "path":
+		return gen.Path(n), nil
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return gen.Grid(side, side), nil
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return gen.Torus(side, side), nil
+	case "gnp":
+		return gen.GNP(n, 6/float64(n), rng), nil
+	case "regular":
+		return gen.RandomRegular(n, 4, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}
+
+// request is one parsed workload operation.
+type request struct {
+	op     string // changli | cover | net | cluster | ball
+	cl     ldd.Params
+	en     ldd.ENParams
+	net    netdecomp.Params
+	vertex int32
+	radius int
+}
+
+// issue executes the request against the engine.
+func (r request) issue(e *engine.Engine, h engine.Handle) error {
+	switch r.op {
+	case "changli":
+		_, err := e.ChangLi(h, r.cl)
+		return err
+	case "cover":
+		_, err := e.SparseCover(h, r.en)
+		return err
+	case "net":
+		_, err := e.NetDecomp(h, r.net)
+		return err
+	case "cluster":
+		_, err := e.ClusterOf(h, r.cl, []int32{r.vertex})
+		return err
+	case "ball":
+		_, err := e.Balls(h, []int32{r.vertex}, r.radius, 1)
+		return err
+	default:
+		return fmt.Errorf("unknown op %q", r.op)
+	}
+}
+
+// parseTraceLine parses one "op key=value ..." request line.
+func parseTraceLine(text string, n int) (request, bool, error) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return request{}, false, nil
+	}
+	r := request{op: fields[0]}
+	kv := make(map[string]string, len(fields)-1)
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return r, false, fmt.Errorf("bad token %q", f)
+		}
+		kv[k] = v
+	}
+	getF := func(key string, def float64) (float64, error) {
+		s, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+	getI := func(key string, def int) (int, error) {
+		s, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		return strconv.Atoi(s)
+	}
+	var err error
+	switch r.op {
+	case "changli", "cluster":
+		if r.cl.Epsilon, err = getF("eps", 0.3); err != nil {
+			return r, false, err
+		}
+		if r.cl.Scale, err = getF("scale", 0.05); err != nil {
+			return r, false, err
+		}
+		var seed int
+		if seed, err = getI("seed", 1); err != nil {
+			return r, false, err
+		}
+		r.cl.Seed = uint64(seed)
+		r.cl.SkipPhase2 = kv["skip2"] == "true"
+	case "cover", "net":
+		var lambda float64
+		if lambda, err = getF("lambda", 0.5); err != nil {
+			return r, false, err
+		}
+		var seed int
+		if seed, err = getI("seed", 1); err != nil {
+			return r, false, err
+		}
+		if r.op == "cover" {
+			r.en = ldd.ENParams{Lambda: lambda, Seed: uint64(seed)}
+		} else {
+			r.net = netdecomp.Params{Lambda: lambda, Seed: uint64(seed)}
+		}
+	case "ball":
+		if r.radius, err = getI("k", 2); err != nil {
+			return r, false, err
+		}
+	default:
+		return r, false, fmt.Errorf("unknown op %q", r.op)
+	}
+	if r.op == "cluster" || r.op == "ball" {
+		var v int
+		if v, err = getI("v", 0); err != nil {
+			return r, false, err
+		}
+		if v < 0 || v >= n {
+			return r, false, fmt.Errorf("vertex %d out of range [0, %d)", v, n)
+		}
+		r.vertex = int32(v)
+	}
+	return r, true, nil
+}
+
+// readTrace parses a trace file into a request list.
+func readTrace(path string, n int) ([]request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []request
+	s := bufio.NewScanner(f)
+	line := 0
+	for s.Scan() {
+		line++
+		r, ok, err := parseTraceLine(s.Text(), n)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// synthesize generates a reproducible closed-loop workload: each worker
+// draws its own request stream from xrand.Stream(seed, worker, ·), mixing
+// decomposition requests over a small parameter space (so the cache can
+// pay off) with cluster and ball point queries against those same
+// decompositions.
+func synthesize(rng *xrand.RNG, n, seedSpace int, eps, scale float64) request {
+	p := ldd.Params{Epsilon: eps, Scale: scale, Seed: uint64(rng.Intn(seedSpace))}
+	switch roll := rng.Intn(10); {
+	case roll < 4:
+		return request{op: "changli", cl: p}
+	case roll < 7:
+		return request{op: "cluster", cl: p, vertex: int32(rng.Intn(n))}
+	case roll < 9:
+		return request{op: "ball", vertex: int32(rng.Intn(n)), radius: 1 + rng.Intn(3)}
+	default:
+		return request{op: "cover", en: ldd.ENParams{Lambda: 0.5, Seed: uint64(rng.Intn(seedSpace))}}
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	load := fs.String("load", "", "graph file to load (format by extension; see internal/graphio)")
+	genKind := fs.String("gen", "gnp", "generated family when -load is empty: cycle|path|grid|torus|gnp|regular")
+	n := fs.Int("n", 2000, "approximate vertex count for -gen")
+	genSeed := fs.Uint64("genseed", 1, "generator seed")
+	eps := fs.Float64("eps", 0.3, "epsilon for synthetic decomposition requests")
+	scale := fs.Float64("scale", 0.05, "radius scale for synthetic decomposition requests")
+	requests := fs.Int("requests", 10000, "synthetic request count (ignored with -trace)")
+	concurrency := fs.Int("concurrency", par.Workers(0), "closed-loop client goroutines")
+	seedSpace := fs.Int("seedspace", 4, "distinct decomposition seeds in the synthetic workload")
+	capacity := fs.Int("capacity", 0, "engine cache capacity (0 = default)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	trace := fs.String("trace", "", "replay this request trace instead of synthesizing")
+	warm := fs.Bool("warm", true, "precompute the synthetic seed space before timing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests <= 0 || *concurrency <= 0 || *seedSpace <= 0 {
+		return errors.New("requests, concurrency, and seedspace must be positive")
+	}
+
+	var g *graph.Graph
+	var err error
+	if *load != "" {
+		if g, err = graphio.Load(*load); err != nil {
+			return err
+		}
+	} else if g, err = buildGraph(*genKind, *n, *genSeed); err != nil {
+		return err
+	}
+	if g.N() == 0 {
+		return errors.New("empty graph")
+	}
+
+	e := engine.New(engine.Options{Capacity: *capacity})
+	h := e.Register(g)
+	fmt.Fprintf(w, "graph: %v  fingerprint: %s\n", g, h.Fingerprint().Short())
+
+	var work []request
+	if *trace != "" {
+		if work, err = readTrace(*trace, g.N()); err != nil {
+			return err
+		}
+		if len(work) == 0 {
+			return errors.New("trace contains no requests")
+		}
+		fmt.Fprintf(w, "trace: %d requests from %s\n", len(work), *trace)
+	}
+
+	if *warm && *trace == "" {
+		t0 := time.Now()
+		for s := 0; s < *seedSpace; s++ {
+			if _, err := e.ChangLi(h, ldd.Params{Epsilon: *eps, Scale: *scale, Seed: uint64(s)}); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "warm: %d decompositions in %v\n", *seedSpace, time.Since(t0).Round(time.Millisecond))
+	}
+
+	total := *requests
+	if *trace != "" {
+		total = len(work)
+	}
+	errs := make([]error, *concurrency)
+	t0 := time.Now()
+	par.ForEach(*concurrency, *concurrency, func(_, client int) {
+		rng := xrand.Stream(*seed, client, 0x5e12e)
+		// Closed loop: each client issues its share back to back.
+		for i := client; i < total; i += *concurrency {
+			var r request
+			if *trace != "" {
+				r = work[i]
+			} else {
+				r = synthesize(rng, g.N(), *seedSpace, *eps, *scale)
+			}
+			if err := r.issue(e, h); err != nil {
+				errs[client] = err
+				return
+			}
+		}
+	})
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	st := e.Stats()
+	lookups := st.Hits + st.Misses + st.Dedup
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(st.Hits+st.Dedup) / float64(lookups)
+	}
+	fmt.Fprintf(w, "served %d requests in %v with %d clients: %.0f req/s\n",
+		total, elapsed.Round(time.Microsecond), *concurrency,
+		float64(total)/elapsed.Seconds())
+	fmt.Fprintf(w, "cache: %d hits, %d dedup joins, %d misses (hit rate %.1f%%), %d computations, %d evictions, %d batch queries\n",
+		st.Hits, st.Dedup, st.Misses, 100*hitRate, st.Computations, st.Evictions, st.Queries)
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/graphio"
+)
+
+func TestSyntheticWorkload(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-gen", "gnp", "-n", "300", "-requests", "400",
+		"-concurrency", "4", "-seedspace", "2", "-seed", "7"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"fingerprint:", "req/s", "hit rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGraphFamilies(t *testing.T) {
+	for _, kind := range []string{"cycle", "path", "grid", "torus", "gnp", "regular"} {
+		if _, err := buildGraph(kind, 64, 1); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildGraph("nope", 64, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := buildGraph("cycle", 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestLoadedGraphWorkload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.el.gz")
+	if err := graphio.Save(path, gen.Grid(12, 12)); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-load", path, "-requests", "100", "-concurrency", "2", "-seedspace", "2"}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.txt")
+	content := `# warm one decomposition, then query it
+changli eps=0.3 seed=1 scale=0.05
+changli eps=0.3 seed=1 scale=0.05
+cluster v=5 eps=0.3 seed=1 scale=0.05
+ball v=9 k=2
+cover lambda=0.5 seed=2
+net lambda=0.5 seed=3
+`
+	if err := os.WriteFile(trace, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := []string{"-gen", "cycle", "-n", "200", "-trace", trace, "-concurrency", "2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "trace: 6 requests") {
+		t.Fatalf("trace count missing:\n%s", out.String())
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"unknown-op":   "frobnicate x=1\n",
+		"bad-token":    "changli eps\n",
+		"bad-number":   "changli eps=abc\n",
+		"out-of-range": "ball v=100000 k=1\n",
+		"empty":        "# nothing\n",
+	} {
+		path := filepath.Join(dir, name+".txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args := []string{"-gen", "cycle", "-n", "100", "-trace", path}
+		if err := run(args, io.Discard); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	args := []string{"-gen", "cycle", "-n", "100", "-trace", filepath.Join(dir, "missing.txt")}
+	if err := run(args, io.Discard); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-requests", "0"},
+		{"-concurrency", "0"},
+		{"-seedspace", "0"},
+		{"-load", "nope.unknownext"},
+		{"-gen", "bogus"},
+	} {
+		if err := run(append(args, "-n", "64"), io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

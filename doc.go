@@ -15,4 +15,12 @@
 // preparation sparse covers, per-region local solves, per-vertex ball
 // queries — across a bounded worker pool (internal/par) with
 // deterministic, worker-count-independent results.
+//
+// On top of the single-shot pipelines sits a serving layer: internal/engine
+// caches decomposition results by (graph fingerprint, parameters),
+// collapses concurrent identical requests into one computation, and answers
+// batch queries (cluster-of-vertex, ball lookups, per-cluster local solves)
+// from the cached structure; internal/graphio loads and saves real-world
+// graphs in edge-list, DIMACS, and METIS formats (plain or gzip); cmd/serve
+// drives the engine with replayed or synthetic request load.
 package repro

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/ldd"
+	"repro/internal/xrand"
+)
+
+func benchGraph() *graph.Graph {
+	return gen.GNP(2000, 8.0/2000, xrand.New(1))
+}
+
+func benchParams() ldd.Params {
+	return ldd.Params{Epsilon: 0.3, Seed: 11, Scale: 0.05}
+}
+
+// BenchmarkEngineCachedQuery times the cache-hit request path: the
+// decomposition is computed once in warm-up, then every iteration is a
+// fingerprint-keyed lookup. Compare against BenchmarkColdChangLi on the
+// same graph and parameters: the acceptance bar is a >= 10x speedup, and in
+// practice the gap is several orders of magnitude.
+func BenchmarkEngineCachedQuery(b *testing.B) {
+	g := benchGraph()
+	e := New(Options{})
+	h := e.Register(g)
+	p := benchParams()
+	if _, err := e.ChangLi(h, p); err != nil {
+		b.Fatal(err)
+	}
+	base := e.Stats().Computations
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ChangLi(h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := e.Stats().Computations; got != base {
+		b.Fatalf("cached path ran %d decompositions", got-base)
+	}
+}
+
+// BenchmarkColdChangLi is the uncached baseline: a full ldd.ChangLi run per
+// iteration on the same graph and parameters as BenchmarkEngineCachedQuery.
+func BenchmarkColdChangLi(b *testing.B) {
+	g := benchGraph()
+	p := benchParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ldd.ChangLi(g, p)
+	}
+}
+
+// BenchmarkEngineBallsBatch times the workspace-reservoir query path: 64
+// radius-2 ball lookups per iteration.
+func BenchmarkEngineBallsBatch(b *testing.B) {
+	g := benchGraph()
+	e := New(Options{})
+	h := e.Register(g)
+	vs := make([]int32, 64)
+	for i := range vs {
+		vs[i] = int32(i * 31 % g.N())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Balls(h, vs, 2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

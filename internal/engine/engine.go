@@ -1,0 +1,390 @@
+// Package engine is the concurrent serving layer over the decomposition
+// pipeline: it fronts ldd.ChangLi, ldd.SparseCover, and netdecomp.Decompose
+// behind a request API that amortizes work across callers. A decomposition
+// is computed at most once per (graph fingerprint, parameters) pair — an
+// LRU cache holds completed results, a singleflight table collapses N
+// concurrent identical requests into one underlying computation, and a
+// sync.Pool-backed workspace reservoir keeps the traversal scratch of the
+// batch query paths warm across requests.
+//
+// The request flow for every decomposition call is
+//
+//	fingerprint → cache lookup → singleflight join → compute → cache fill
+//
+// and the batch query methods (cluster-of-vertex, ball lookup, per-cluster
+// local solves) serve from the cached decomposition without recomputing it.
+//
+// Results returned by the engine are shared across callers and must be
+// treated as immutable; copy anything you need to mutate.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/ilp"
+	"repro/internal/ldd"
+	"repro/internal/netdecomp"
+	"repro/internal/par"
+	"repro/internal/solve"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Capacity bounds the number of cached decomposition results across
+	// all graphs and algorithms. <= 0 means the default (64).
+	Capacity int
+}
+
+func (o Options) capacity() int {
+	if o.Capacity <= 0 {
+		return 64
+	}
+	return o.Capacity
+}
+
+// Stats is a snapshot of the engine's monotonic counters.
+type Stats struct {
+	// Hits counts requests answered from the completed-result cache.
+	Hits uint64
+	// Misses counts requests that started a new computation.
+	Misses uint64
+	// Dedup counts requests that joined an in-flight identical computation
+	// instead of starting their own (the singleflight savings).
+	Dedup uint64
+	// Computations counts underlying decomposition runs; Misses and
+	// Computations agree unless a computation panicked.
+	Computations uint64
+	// Evictions counts cache entries dropped by the LRU policy.
+	Evictions uint64
+	// Queries counts batch query calls (cluster-of, balls, local solves).
+	Queries uint64
+}
+
+// cacheKey identifies one decomposition result: the graph's content
+// fingerprint plus a canonical parameter encoding. Parallelism knobs
+// (ldd.Params.Workers) are deliberately excluded — results are
+// bit-identical for every worker count, so they must share a cache slot.
+type cacheKey struct {
+	fp     graphio.Fingerprint
+	params string
+}
+
+// entry is one cache slot: completed when ready is closed. Cluster
+// materialization is cached lazily so repeated per-cluster queries do not
+// rebuild the vertex lists.
+type entry struct {
+	ready chan struct{}
+	val   any
+	err   error
+
+	clustersOnce sync.Once
+	clusters     [][]int32
+}
+
+// Engine is the concurrent decomposition server. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Engine struct {
+	capacity int
+
+	mu       sync.Mutex
+	graphs   map[graphio.Fingerprint]*graph.Graph
+	cache    *lruCache           // completed entries, LRU-bounded
+	inflight map[cacheKey]*entry // computations in progress
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	dedup        atomic.Uint64
+	computations atomic.Uint64
+	evictions    atomic.Uint64
+	queries      atomic.Uint64
+
+	wsPool sync.Pool // *graph.Workspace reservoir for the query paths
+}
+
+// New constructs an Engine.
+func New(o Options) *Engine {
+	e := &Engine{
+		capacity: o.capacity(),
+		graphs:   make(map[graphio.Fingerprint]*graph.Graph),
+		inflight: make(map[cacheKey]*entry),
+	}
+	e.cache = newLRU(e.capacity)
+	e.wsPool.New = func() any { return graph.NewWorkspace(0) }
+	return e
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		Dedup:        e.dedup.Load(),
+		Computations: e.computations.Load(),
+		Evictions:    e.evictions.Load(),
+		Queries:      e.queries.Load(),
+	}
+}
+
+// Handle names a registered graph: the graph plus its content fingerprint,
+// computed once at registration.
+type Handle struct {
+	g  *graph.Graph
+	fp graphio.Fingerprint
+}
+
+// Graph returns the underlying graph.
+func (h Handle) Graph() *graph.Graph { return h.g }
+
+// Fingerprint returns the graph's content fingerprint.
+func (h Handle) Fingerprint() graphio.Fingerprint { return h.fp }
+
+// Register fingerprints g and returns a request handle. Graphs with equal
+// fingerprints collapse to the first registered instance, so two callers
+// that loaded the same file through different formats share cache entries
+// and backing storage. Registered graphs are retained until Unregister —
+// the LRU capacity bounds cached results, not graphs — so long-running
+// multi-tenant servers must Unregister graphs they are done with.
+func (e *Engine) Register(g *graph.Graph) Handle {
+	fp := graphio.FingerprintOf(g)
+	e.mu.Lock()
+	if prev, ok := e.graphs[fp]; ok {
+		g = prev
+	} else {
+		e.graphs[fp] = g
+	}
+	e.mu.Unlock()
+	return Handle{g: g, fp: fp}
+}
+
+// Unregister drops the engine's reference to h's graph and every cached
+// decomposition of it. Outstanding handles and results remain valid (they
+// hold their own references); subsequent requests through such a handle
+// simply recompute and re-cache. In-flight computations are left to finish
+// and cache normally.
+func (e *Engine) Unregister(h Handle) {
+	e.mu.Lock()
+	delete(e.graphs, h.fp)
+	if removed := e.cache.removeFingerprint(h.fp); removed > 0 {
+		e.evictions.Add(uint64(removed))
+	}
+	e.mu.Unlock()
+}
+
+// do runs the cache → singleflight → compute flow for one request key.
+func (e *Engine) do(key cacheKey, compute func() any) (any, error) {
+	e.mu.Lock()
+	if ent, ok := e.cache.get(key); ok {
+		e.hits.Add(1)
+		e.mu.Unlock()
+		return ent.val, nil
+	}
+	if ent, ok := e.inflight[key]; ok {
+		e.dedup.Add(1)
+		e.mu.Unlock()
+		<-ent.ready
+		return ent.val, ent.err
+	}
+	ent := &entry{ready: make(chan struct{})}
+	e.inflight[key] = ent
+	e.misses.Add(1)
+	e.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ent.err = fmt.Errorf("engine: computation for %q panicked: %v", key.params, r)
+			}
+			close(ent.ready)
+			e.mu.Lock()
+			delete(e.inflight, key)
+			if ent.err == nil {
+				if ev := e.cache.add(key, ent); ev > 0 {
+					e.evictions.Add(uint64(ev))
+				}
+			}
+			e.mu.Unlock()
+		}()
+		e.computations.Add(1)
+		ent.val = compute()
+	}()
+	return ent.val, ent.err
+}
+
+// getEntry is the read path of do used by the cluster queries: it returns
+// the entry itself so lazily materialized per-entry state can be shared.
+func (e *Engine) getEntry(key cacheKey, compute func() any) (*entry, error) {
+	e.mu.Lock()
+	if ent, ok := e.cache.get(key); ok {
+		e.hits.Add(1)
+		e.mu.Unlock()
+		return ent, nil
+	}
+	e.mu.Unlock()
+	if _, err := e.do(key, compute); err != nil {
+		return nil, err
+	}
+	// The entry is now cached (do only stores successful computations).
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.cache.get(key); ok {
+		return ent, nil
+	}
+	// Evicted between fill and re-read under heavy churn: extremely small
+	// window; surface as a retryable error rather than recursing.
+	return nil, fmt.Errorf("engine: result for %q evicted before use; raise Options.Capacity", key.params)
+}
+
+func changLiKey(fp graphio.Fingerprint, p ldd.Params) cacheKey {
+	return cacheKey{fp: fp, params: fmt.Sprintf(
+		"changli|eps=%g|ntilde=%d|seed=%d|scale=%g|skip2=%t",
+		p.Epsilon, p.NTilde, p.Seed, p.Scale, p.SkipPhase2)}
+}
+
+func sparseCoverKey(fp graphio.Fingerprint, p ldd.ENParams) cacheKey {
+	return cacheKey{fp: fp, params: fmt.Sprintf(
+		"cover|lambda=%g|ntilde=%d|seed=%d", p.Lambda, p.NTilde, p.Seed)}
+}
+
+func netDecompKey(fp graphio.Fingerprint, p netdecomp.Params) cacheKey {
+	return cacheKey{fp: fp, params: fmt.Sprintf(
+		"net|lambda=%g|ntilde=%d|seed=%d", p.Lambda, p.NTilde, p.Seed)}
+}
+
+// ChangLi returns the Theorem 1.1 decomposition of h's graph under p,
+// computing it at most once per (fingerprint, params). The result is
+// shared; treat it as immutable.
+func (e *Engine) ChangLi(h Handle, p ldd.Params) (*ldd.Decomposition, error) {
+	v, err := e.do(changLiKey(h.fp, p), func() any { return ldd.ChangLi(h.g, p) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ldd.Decomposition), nil
+}
+
+// SparseCover returns the Lemma C.2 sparse cover of h's graph under p,
+// cached like ChangLi.
+func (e *Engine) SparseCover(h Handle, p ldd.ENParams) (*ldd.Cover, error) {
+	v, err := e.do(sparseCoverKey(h.fp, p), func() any { return ldd.SparseCover(h.g, nil, p) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ldd.Cover), nil
+}
+
+// NetDecomp returns the Linial–Saks style colored network decomposition of
+// h's graph under p, cached like ChangLi.
+func (e *Engine) NetDecomp(h Handle, p netdecomp.Params) (*netdecomp.Decomposition, error) {
+	v, err := e.do(netDecompKey(h.fp, p), func() any { return netdecomp.Decompose(h.g, p) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*netdecomp.Decomposition), nil
+}
+
+// ClusterOf answers a batch of cluster-of-vertex queries against the cached
+// ChangLi decomposition (computing it on first use). The returned slice is
+// caller-owned.
+func (e *Engine) ClusterOf(h Handle, p ldd.Params, vs []int32) ([]int32, error) {
+	e.queries.Add(1)
+	d, err := e.ChangLi(h, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(vs))
+	for i, v := range vs {
+		if v < 0 || int(v) >= len(d.ClusterOf) {
+			return nil, fmt.Errorf("engine: vertex %d out of range [0, %d)", v, len(d.ClusterOf))
+		}
+		out[i] = d.ClusterOf[v]
+	}
+	return out, nil
+}
+
+// Balls answers a batch of ball queries N^radius(v) on h's graph, fanning
+// out across the worker pool with per-worker workspaces drawn from the
+// engine's reservoir. workers <= 0 means GOMAXPROCS. The returned slices
+// are caller-owned.
+func (e *Engine) Balls(h Handle, vs []int32, radius, workers int) ([][]int32, error) {
+	e.queries.Add(1)
+	n := h.g.N()
+	for _, v := range vs {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("engine: vertex %d out of range [0, %d)", v, n)
+		}
+	}
+	out := make([][]int32, len(vs))
+	workers = min(par.Workers(workers), len(vs))
+	if workers == 0 {
+		return out, nil
+	}
+	wss := make([]*graph.Workspace, workers)
+	for i := range wss {
+		wss[i] = e.acquireWS()
+	}
+	par.ForEach(workers, len(vs), func(w, i int) {
+		ball := h.g.BallWithWorkspace(wss[w], int(vs[i]), radius)
+		out[i] = append([]int32(nil), ball...)
+	})
+	for _, ws := range wss {
+		e.releaseWS(ws)
+	}
+	return out, nil
+}
+
+// ClusterSolve is the result of one per-cluster local solve.
+type ClusterSolve struct {
+	// Cluster is the cluster id in the decomposition.
+	Cluster int
+	// Value is the local objective value (weight packed / weight paid).
+	Value int64
+	// Method is the solver path that produced it.
+	Method solve.Method
+}
+
+// LocalSolves runs the per-cluster local solve of inst over every cluster
+// of the cached ChangLi decomposition of h's graph under p, computing the
+// decomposition at most once and fanning the independent per-cluster
+// solves out across the worker pool (workers <= 0 means GOMAXPROCS).
+// Packing instances use solve.PackingLocal, covering instances
+// solve.CoveringLocal; inst must have one variable per graph vertex.
+func (e *Engine) LocalSolves(h Handle, p ldd.Params, inst *ilp.Instance, opt solve.Options, workers int) ([]ClusterSolve, error) {
+	e.queries.Add(1)
+	if inst.NumVars() != h.g.N() {
+		return nil, fmt.Errorf("engine: instance has %d variables, graph has %d vertices", inst.NumVars(), h.g.N())
+	}
+	key := changLiKey(h.fp, p)
+	ent, err := e.getEntry(key, func() any { return ldd.ChangLi(h.g, p) })
+	if err != nil {
+		return nil, err
+	}
+	d := ent.val.(*ldd.Decomposition)
+	ent.clustersOnce.Do(func() { ent.clusters = d.Clusters() })
+	clusters := ent.clusters
+
+	out := make([]ClusterSolve, len(clusters))
+	errs := make([]error, len(clusters))
+	par.ForEach(workers, len(clusters), func(_, c int) {
+		switch inst.Kind() {
+		case ilp.Covering:
+			_, val, m, err := solve.CoveringLocal(inst, clusters[c], opt)
+			out[c] = ClusterSolve{Cluster: c, Value: val, Method: m}
+			errs[c] = err
+		default:
+			_, val, m := solve.PackingLocal(inst, clusters[c], opt)
+			out[c] = ClusterSolve{Cluster: c, Value: val, Method: m}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) acquireWS() *graph.Workspace { return e.wsPool.Get().(*graph.Workspace) }
+func (e *Engine) releaseWS(ws *graph.Workspace) { e.wsPool.Put(ws) }

@@ -1,0 +1,371 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/graphio"
+	"repro/internal/ilp"
+	"repro/internal/ldd"
+	"repro/internal/netdecomp"
+	"repro/internal/problems"
+	"repro/internal/solve"
+	"repro/internal/xrand"
+)
+
+func testParams() ldd.Params {
+	return ldd.Params{Epsilon: 0.3, Seed: 11, Scale: 0.05}
+}
+
+func TestSingleflight64Goroutines(t *testing.T) {
+	g := gen.GNP(600, 8.0/600, xrand.New(5))
+	e := New(Options{})
+	h := e.Register(g)
+	p := testParams()
+
+	const goroutines = 64
+	results := make([]*ldd.Decomposition, goroutines)
+	errs := make([]error, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			results[i], errs[i] = e.ChangLi(h, p)
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different result instance", i)
+		}
+	}
+	st := e.Stats()
+	if st.Computations != 1 {
+		t.Fatalf("64 identical requests ran %d computations, want exactly 1", st.Computations)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Dedup != goroutines-1 {
+		t.Fatalf("hits+dedup = %d+%d, want %d", st.Hits, st.Dedup, goroutines-1)
+	}
+
+	// Bit-identical to a direct run with the same seed (and to a direct
+	// run with a different worker count, which shares the cache key).
+	direct := ldd.ChangLi(g, p)
+	pw := p
+	pw.Workers = 3
+	if got, err := e.ChangLi(h, pw); err != nil || got != results[0] {
+		t.Fatalf("Workers-only param change missed the cache: %v %v", got, err)
+	}
+	if len(direct.ClusterOf) != len(results[0].ClusterOf) {
+		t.Fatal("length mismatch vs direct run")
+	}
+	for v := range direct.ClusterOf {
+		if direct.ClusterOf[v] != results[0].ClusterOf[v] {
+			t.Fatalf("vertex %d: engine %d != direct %d", v, results[0].ClusterOf[v], direct.ClusterOf[v])
+		}
+	}
+}
+
+func TestCacheHitDoesZeroWork(t *testing.T) {
+	g := gen.Cycle(400)
+	e := New(Options{})
+	h := e.Register(g)
+	p := testParams()
+	if _, err := e.ChangLi(h, p); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats()
+	for i := 0; i < 100; i++ {
+		if _, err := e.ChangLi(h, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Stats()
+	if after.Computations != before.Computations {
+		t.Fatalf("cache hits ran %d extra computations", after.Computations-before.Computations)
+	}
+	if after.Hits != before.Hits+100 {
+		t.Fatalf("hits went %d -> %d, want +100", before.Hits, after.Hits)
+	}
+}
+
+func TestDistinctParamsAndAlgorithmsMiss(t *testing.T) {
+	g := gen.Grid(12, 12)
+	e := New(Options{})
+	h := e.Register(g)
+	p := testParams()
+	p2 := p
+	p2.Seed++
+	if _, err := e.ChangLi(h, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ChangLi(h, p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SparseCover(h, ldd.ENParams{Lambda: 0.5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NetDecomp(h, netdecomp.Params{Lambda: 0.5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Computations != 4 {
+		t.Fatalf("4 distinct requests ran %d computations", st.Computations)
+	}
+	// All four now served from cache.
+	e.ChangLi(h, p)
+	e.ChangLi(h, p2)
+	e.SparseCover(h, ldd.ENParams{Lambda: 0.5, Seed: 2})
+	e.NetDecomp(h, netdecomp.Params{Lambda: 0.5, Seed: 3})
+	if st := e.Stats(); st.Computations != 4 {
+		t.Fatalf("cache round ran %d computations, want 4", st.Computations)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	g := gen.Cycle(200)
+	e := New(Options{Capacity: 2})
+	h := e.Register(g)
+	p := testParams()
+	for seed := uint64(0); seed < 3; seed++ {
+		pp := p
+		pp.Seed = seed
+		if _, err := e.ChangLi(h, pp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// seed 0 was evicted; re-requesting recomputes it.
+	pp := p
+	pp.Seed = 0
+	if _, err := e.ChangLi(h, pp); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Computations != 4 {
+		t.Fatalf("computations = %d, want 4 after eviction refill", st.Computations)
+	}
+	// seed 2 is still resident (most recently used before the refill).
+	pp.Seed = 2
+	e.ChangLi(h, pp)
+	if st := e.Stats(); st.Computations != 4 {
+		t.Fatalf("resident entry recomputed (computations = %d)", st.Computations)
+	}
+}
+
+func TestRegisterCollapsesEqualGraphs(t *testing.T) {
+	// The same graph loaded through two different formats must share one
+	// cache: serialize through edge-list and DIMACS and re-read.
+	g := gen.GNP(150, 0.06, xrand.New(9))
+	var el, dm bytes.Buffer
+	if err := graphio.Write(&el, graphio.EdgeList, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(&dm, graphio.DIMACS, g); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := graphio.Read(&el, graphio.EdgeList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graphio.Read(strings.NewReader(dm.String()), graphio.DIMACS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{})
+	h1 := e.Register(g1)
+	h2 := e.Register(g2)
+	if h1.Fingerprint() != h2.Fingerprint() {
+		t.Fatal("formats produced different fingerprints")
+	}
+	if h1.Graph() != h2.Graph() {
+		t.Fatal("equal-fingerprint graphs not collapsed to one instance")
+	}
+	p := testParams()
+	e.ChangLi(h1, p)
+	e.ChangLi(h2, p)
+	if st := e.Stats(); st.Computations != 1 {
+		t.Fatalf("cross-handle requests ran %d computations, want 1", st.Computations)
+	}
+}
+
+func TestClusterOfBatch(t *testing.T) {
+	g := gen.Grid(10, 10)
+	e := New(Options{})
+	h := e.Register(g)
+	p := testParams()
+	d, err := e.ChangLi(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := []int32{0, 5, 99, 42}
+	got, err := e.ClusterOf(h, p, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if got[i] != d.ClusterOf[v] {
+			t.Fatalf("vertex %d: got cluster %d, want %d", v, got[i], d.ClusterOf[v])
+		}
+	}
+	if _, err := e.ClusterOf(h, p, []int32{100}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if st := e.Stats(); st.Computations != 1 {
+		t.Fatalf("batch query recomputed (computations = %d)", st.Computations)
+	}
+}
+
+func TestBallsBatch(t *testing.T) {
+	g := gen.GNP(300, 5.0/300, xrand.New(2))
+	e := New(Options{})
+	h := e.Register(g)
+	vs := []int32{0, 17, 123, 299, 17}
+	for _, workers := range []int{1, 4} {
+		got, err := e.Balls(h, vs, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vs {
+			want := g.Ball(int(v), 2)
+			if len(got[i]) != len(want) {
+				t.Fatalf("workers=%d vertex %d: ball size %d != %d", workers, v, len(got[i]), len(want))
+			}
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("workers=%d vertex %d: ball element %d mismatch", workers, v, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBallsValidatesVertices(t *testing.T) {
+	g := gen.Cycle(10)
+	e := New(Options{})
+	h := e.Register(g)
+	for _, v := range []int32{-1, 10} {
+		if _, err := e.Balls(h, []int32{0, v}, 1, 2); err == nil {
+			t.Fatalf("vertex %d accepted", v)
+		}
+	}
+	if got, err := e.Balls(h, nil, 1, 0); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v %v", got, err)
+	}
+}
+
+func TestUnregisterDropsGraphAndCache(t *testing.T) {
+	g := gen.Cycle(100)
+	e := New(Options{})
+	h := e.Register(g)
+	p := testParams()
+	if _, err := e.ChangLi(h, p); err != nil {
+		t.Fatal(err)
+	}
+	e.Unregister(h)
+	if st := e.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// The old handle still works; the result is recomputed and re-cached.
+	if _, err := e.ChangLi(h, p); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Computations != 2 {
+		t.Fatalf("computations = %d, want 2 after unregister", st.Computations)
+	}
+	// A fresh registration no longer collapses onto the dropped instance.
+	h2 := e.Register(gen.Cycle(100))
+	if h2.Fingerprint() != h.Fingerprint() {
+		t.Fatal("fingerprint changed")
+	}
+}
+
+func TestLocalSolves(t *testing.T) {
+	g := gen.GNP(200, 6.0/200, xrand.New(4))
+	e := New(Options{})
+	h := e.Register(g)
+	p := testParams()
+
+	for _, prob := range []problems.Problem{problems.MIS, problems.MinVertexCover} {
+		inst, err := problems.Build(prob, g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := e.LocalSolves(h, p, inst, solve.Options{}, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", prob, err)
+		}
+		d, _ := e.ChangLi(h, p)
+		clusters := d.Clusters()
+		if len(sol) != len(clusters) {
+			t.Fatalf("%s: %d solves for %d clusters", prob, len(sol), len(clusters))
+		}
+		for c, cs := range sol {
+			var wantVal int64
+			var wantM solve.Method
+			if inst.Kind() == ilp.Covering {
+				_, wantVal, wantM, err = solve.CoveringLocal(inst, clusters[c], solve.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				_, wantVal, wantM = solve.PackingLocal(inst, clusters[c], solve.Options{})
+			}
+			if cs.Value != wantVal || cs.Method != wantM {
+				t.Fatalf("%s cluster %d: got (%d, %s), want (%d, %s)", prob, c, cs.Value, cs.Method, wantVal, wantM)
+			}
+		}
+	}
+	// One ChangLi underneath it all.
+	if st := e.Stats(); st.Computations != 1 {
+		t.Fatalf("local solves recomputed the decomposition (computations = %d)", st.Computations)
+	}
+	// Variable-count mismatch is rejected.
+	bad, err := problems.Build(problems.MIS, gen.Cycle(7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LocalSolves(h, p, bad, solve.Options{}, 0); err == nil {
+		t.Fatal("instance/graph size mismatch accepted")
+	}
+}
+
+func TestComputePanicBecomesError(t *testing.T) {
+	e := New(Options{})
+	key := cacheKey{params: "test|panic"}
+	_, err := e.do(key, func() any { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	// The failed computation is not cached: a later request recomputes.
+	v, err := e.do(key, func() any { return 7 })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("recovery request failed: %v %v", v, err)
+	}
+	if st := e.Stats(); st.Computations != 2 {
+		t.Fatalf("computations = %d, want 2", st.Computations)
+	}
+}
+
+func TestErrorsWrapNothingWeird(t *testing.T) {
+	// Engine errors are plain wrapped errors, usable with errors.Is/As.
+	e := New(Options{})
+	_, err := e.do(cacheKey{params: "x"}, func() any { panic(errors.New("inner")) })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

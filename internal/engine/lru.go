@@ -1,0 +1,87 @@
+package engine
+
+import "repro/internal/graphio"
+
+type fingerprint = graphio.Fingerprint
+
+// lruCache is a minimal intrusive LRU map from cache key to completed
+// entry. It is not goroutine-safe; the Engine guards it with its mutex.
+type lruCache struct {
+	capacity   int
+	items      map[cacheKey]*lruNode
+	head, tail *lruNode // sentinels; head.next is most recently used
+}
+
+type lruNode struct {
+	key        cacheKey
+	ent        *entry
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lruCache {
+	c := &lruCache{capacity: capacity, items: make(map[cacheKey]*lruNode)}
+	c.head = &lruNode{}
+	c.tail = &lruNode{}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c
+}
+
+func (c *lruCache) len() int { return len(c.items) }
+
+func (c *lruCache) unlink(n *lruNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.next = c.head.next
+	n.prev = c.head
+	c.head.next.prev = n
+	c.head.next = n
+}
+
+// get returns the entry for key, promoting it to most recently used.
+func (c *lruCache) get(key cacheKey) (*entry, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return n.ent, true
+}
+
+// removeFingerprint drops every entry whose key carries the given
+// fingerprint and returns how many were removed.
+func (c *lruCache) removeFingerprint(fp fingerprint) (removed int) {
+	for key, n := range c.items {
+		if key.fp == fp {
+			c.unlink(n)
+			delete(c.items, key)
+			removed++
+		}
+	}
+	return removed
+}
+
+// add inserts (or refreshes) key and reports how many entries were evicted
+// to respect the capacity.
+func (c *lruCache) add(key cacheKey, ent *entry) (evicted int) {
+	if n, ok := c.items[key]; ok {
+		n.ent = ent
+		c.unlink(n)
+		c.pushFront(n)
+		return 0
+	}
+	n := &lruNode{key: key, ent: ent}
+	c.items[key] = n
+	c.pushFront(n)
+	for len(c.items) > c.capacity {
+		last := c.tail.prev
+		c.unlink(last)
+		delete(c.items, last.key)
+		evicted++
+	}
+	return evicted
+}

@@ -162,6 +162,59 @@ func compareEdges(a, b [2]int32) int {
 	return int(a[1]) - int(b[1])
 }
 
+// CSR exposes the raw compressed-sparse-row arrays: offsets has length N()+1
+// and adj holds the concatenated sorted neighbor lists. Both slices alias
+// internal storage and must not be modified. This is the stable wire form
+// used by internal/graphio for streaming serialization and fingerprinting.
+func (g *Graph) CSR() (offsets, adj []int32) {
+	return g.offsets, g.adj
+}
+
+// FromCSR constructs a Graph directly from compressed-sparse-row arrays,
+// validating the representation invariants the rest of the package relies
+// on: len(offsets) >= 1, offsets monotone with offsets[0] == 0 and
+// offsets[n] == len(adj), every neighbor in range, each list strictly
+// sorted (no duplicate edges), no self-loops, and adjacency symmetry. The
+// arrays are retained (not copied); callers must not modify them afterwards.
+func FromCSR(offsets, adj []int32) (*Graph, error) {
+	if len(offsets) == 0 || offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: CSR offsets must start with 0 (len %d)", len(offsets))
+	}
+	n := len(offsets) - 1
+	if int(offsets[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: CSR offsets[n]=%d != len(adj)=%d", offsets[n], len(adj))
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("graph: CSR offsets not monotone at vertex %d", v)
+		}
+		nb := adj[offsets[v]:offsets[v+1]]
+		for i, w := range nb {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: neighbor %d of vertex %d out of range [0,%d)", w, v, n)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: self-loop on vertex %d", v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				return nil, fmt.Errorf("graph: adjacency of vertex %d not strictly sorted at position %d", v, i)
+			}
+		}
+	}
+	g := &Graph{offsets: offsets, adj: adj, m: len(adj) / 2}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd adjacency length %d cannot be symmetric", len(adj))
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if !g.HasEdge(int(w), v) {
+				return nil, fmt.Errorf("graph: asymmetric edge %d->%d", v, w)
+			}
+		}
+	}
+	return g, nil
+}
+
 // FromEdges builds a graph on n vertices from an explicit edge list.
 func FromEdges(n int, edges [][2]int) *Graph {
 	b := NewBuilder(n)

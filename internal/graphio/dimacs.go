@@ -1,0 +1,103 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// readDIMACS parses the DIMACS graph format: 'c' comment lines, exactly one
+// "p edge n m" (or "p col n m") problem line before any edge, and m
+// "e u v" descriptors with 1-indexed endpoints.
+func readDIMACS(r io.Reader) (*graph.Graph, error) {
+	ls := newLineScanner(r)
+	var acc *edgeAccum
+	wantEdges := 0
+	for {
+		text, line, ok := ls.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			continue
+		case "p":
+			if acc != nil {
+				return nil, fmt.Errorf("%w: line %d: duplicate problem line", ErrMalformed, line)
+			}
+			if len(fields) != 4 || (fields[1] != "edge" && fields[1] != "col") {
+				return nil, fmt.Errorf("%w: line %d: want \"p edge n m\", got %q", ErrMalformed, line, text)
+			}
+			n, err := parseInt(fields[2], line)
+			if err != nil {
+				return nil, err
+			}
+			m, err := parseInt(fields[3], line)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkHeader(n, m, line); err != nil {
+				return nil, err
+			}
+			acc = newEdgeAccum(n, m)
+			wantEdges = m
+		case "e":
+			if acc == nil {
+				return nil, fmt.Errorf("%w: line %d: edge before problem line", ErrMalformed, line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: want \"e u v\", got %q", ErrMalformed, line, text)
+			}
+			u, err := parseInt(fields[1], line)
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseInt(fields[2], line)
+			if err != nil {
+				return nil, err
+			}
+			if u < 1 || v < 1 {
+				return nil, fmt.Errorf("%w: line %d: DIMACS endpoints are 1-indexed, got %d %d", ErrMalformed, line, u, v)
+			}
+			if acc.edges >= wantEdges {
+				return nil, fmt.Errorf("%w: line %d: more than the %d edges announced in the problem line", ErrMalformed, line, wantEdges)
+			}
+			if err := acc.add(u-1, v-1); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown descriptor %q", ErrMalformed, line, fields[0])
+		}
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("%w: missing problem line", ErrMalformed)
+	}
+	if acc.edges != wantEdges {
+		return nil, fmt.Errorf("%w: problem line announced %d edges, found %d", ErrMalformed, wantEdges, acc.edges)
+	}
+	return acc.build()
+}
+
+// writeDIMACS serializes g as "p edge n m" followed by 1-indexed "e u v"
+// descriptors with u < v.
+func writeDIMACS(w io.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(w, "p edge %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, "e %d %d\n", u+1, v+1)
+		}
+	})
+	return werr
+}

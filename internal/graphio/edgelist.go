@@ -1,0 +1,88 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// readEdgeList parses the plain edge-list format: optional '#' comment and
+// blank lines, one "n m" header, then exactly m "u v" lines (0-indexed).
+func readEdgeList(r io.Reader) (*graph.Graph, error) {
+	ls := newLineScanner(r)
+	var acc *edgeAccum
+	wantEdges := 0
+	for {
+		text, line, ok := ls.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if acc == nil {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: want header \"n m\", got %q", ErrMalformed, line, text)
+			}
+			n, err := parseInt(fields[0], line)
+			if err != nil {
+				return nil, err
+			}
+			m, err := parseInt(fields[1], line)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkHeader(n, m, line); err != nil {
+				return nil, err
+			}
+			acc = newEdgeAccum(n, m)
+			wantEdges = m
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: line %d: want edge \"u v\", got %q", ErrMalformed, line, text)
+		}
+		u, err := parseInt(fields[0], line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseInt(fields[1], line)
+		if err != nil {
+			return nil, err
+		}
+		if acc.edges >= wantEdges {
+			return nil, fmt.Errorf("%w: line %d: more than the %d edges announced in the header", ErrMalformed, line, wantEdges)
+		}
+		if err := acc.add(u, v); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("%w: missing \"n m\" header", ErrMalformed)
+	}
+	if acc.edges != wantEdges {
+		return nil, fmt.Errorf("%w: header announced %d edges, found %d", ErrMalformed, wantEdges, acc.edges)
+	}
+	return acc.build()
+}
+
+// writeEdgeList serializes g as "n m" followed by the edges with u < v,
+// 0-indexed, in lexicographic order.
+func writeEdgeList(w io.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(w, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, "%d %d\n", u, v)
+		}
+	})
+	return werr
+}

@@ -1,0 +1,291 @@
+// Package graphio reads and writes graphs in the three interchange formats
+// common to graph-algorithm tooling — plain edge lists, DIMACS, and METIS —
+// in both plain-text and gzip-compressed form, and fingerprints graphs for
+// use as cache keys.
+//
+// All readers parse directly into the compressed-sparse-row representation
+// of graph.Graph (degree count, prefix sum, fill, per-list sort) without
+// building intermediate adjacency maps, and validate strictly: out-of-range
+// endpoints, self-loops, duplicate edges, header/count mismatches, and
+// malformed tokens are errors, not silently-dropped input. A graph loaded
+// from any of the three formats therefore has the identical CSR — and the
+// identical Fingerprint — as the original, which is what lets the engine
+// cache decompositions across callers that load the same graph through
+// different formats.
+package graphio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"slices"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Format identifies a supported on-disk graph format.
+type Format int
+
+const (
+	// EdgeList is a plain "n m" header followed by m "u v" lines with
+	// 0-indexed endpoints; '#' starts a comment.
+	EdgeList Format = iota + 1
+	// DIMACS is the DIMACS graph format: 'c' comment lines, one
+	// "p edge n m" problem line, and m "e u v" lines with 1-indexed
+	// endpoints.
+	DIMACS
+	// METIS is the METIS/Chaco adjacency format: an "n m" header line
+	// followed by n lines, where line i lists the 1-indexed neighbors of
+	// vertex i; '%' starts a comment.
+	METIS
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case EdgeList:
+		return "edgelist"
+	case DIMACS:
+		return "dimacs"
+	case METIS:
+		return "metis"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ErrMalformed wraps every parse-time validation failure.
+var ErrMalformed = errors.New("graphio: malformed input")
+
+// Read parses a graph in the given format from r.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	switch f {
+	case EdgeList:
+		return readEdgeList(br)
+	case DIMACS:
+		return readDIMACS(br)
+	case METIS:
+		return readMETIS(br)
+	default:
+		return nil, fmt.Errorf("graphio: unknown format %d", int(f))
+	}
+}
+
+// Write serializes g in the given format to w.
+func Write(w io.Writer, f Format, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var err error
+	switch f {
+	case EdgeList:
+		err = writeEdgeList(bw, g)
+	case DIMACS:
+		err = writeDIMACS(bw, g)
+	case METIS:
+		err = writeMETIS(bw, g)
+	default:
+		return fmt.Errorf("graphio: unknown format %d", int(f))
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// FormatForPath infers (format, gzipped) from a file name: a trailing ".gz"
+// marks gzip compression, and the preceding extension selects the format —
+// ".el"/".edges" for EdgeList, ".dimacs"/".col" for DIMACS,
+// ".metis"/".graph" for METIS.
+func FormatForPath(path string) (Format, bool, error) {
+	name := path
+	gzipped := false
+	if strings.HasSuffix(name, ".gz") {
+		gzipped = true
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(name, ".el"), strings.HasSuffix(name, ".edges"):
+		return EdgeList, gzipped, nil
+	case strings.HasSuffix(name, ".dimacs"), strings.HasSuffix(name, ".col"):
+		return DIMACS, gzipped, nil
+	case strings.HasSuffix(name, ".metis"), strings.HasSuffix(name, ".graph"):
+		return METIS, gzipped, nil
+	default:
+		return 0, gzipped, fmt.Errorf("graphio: cannot infer format from path %q", path)
+	}
+}
+
+// Load reads a graph from path, inferring format and gzip compression from
+// the file name (see FormatForPath).
+func Load(path string) (*graph.Graph, error) {
+	f, gzipped, err := FormatForPath(path)
+	if err != nil {
+		return nil, err
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	var r io.Reader = file
+	if gzipped {
+		zr, err := gzip.NewReader(file)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	g, err := Read(r, f)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Save writes a graph to path, inferring format and gzip compression from
+// the file name (see FormatForPath).
+func Save(path string, g *graph.Graph) error {
+	f, gzipped, err := FormatForPath(path)
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if gzipped {
+		zw := gzip.NewWriter(file)
+		if err := Write(zw, f, g); err != nil {
+			zw.Close()
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	} else if err := Write(file, f, g); err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+// CSR arrays index with int32, so a parsable header must fit these bounds;
+// anything larger is rejected before allocation rather than trusted into a
+// make() call (a one-line hostile file must not panic or OOM the process).
+const (
+	maxHeaderVertices = math.MaxInt32 - 1
+	maxHeaderEdges    = math.MaxInt32 / 2
+	// preallocCap bounds how many entries a header is trusted to
+	// preallocate; beyond it, buffers grow as the stream actually
+	// delivers data.
+	preallocCap = 1 << 20
+)
+
+// checkHeader validates header counts against the CSR bounds.
+func checkHeader(n, m, line int) error {
+	if n < 0 || m < 0 {
+		return fmt.Errorf("%w: line %d: negative header counts", ErrMalformed, line)
+	}
+	if n > maxHeaderVertices || m > maxHeaderEdges {
+		return fmt.Errorf("%w: line %d: header counts n=%d m=%d exceed CSR bounds", ErrMalformed, line, n, m)
+	}
+	return nil
+}
+
+// edgeAccum assembles a CSR from a stream of validated undirected edges:
+// degrees are counted on the fly, and the flat endpoint buffer is scattered
+// into adjacency position once the stream ends. No per-vertex maps or
+// nested slices are built.
+type edgeAccum struct {
+	n     int
+	deg   []int32
+	flat  []int32 // u0 v0 u1 v1 ...
+	edges int
+}
+
+func newEdgeAccum(n, m int) *edgeAccum {
+	return &edgeAccum{n: n, deg: make([]int32, n), flat: make([]int32, 0, min(2*m, preallocCap))}
+}
+
+// add validates and records one undirected edge.
+func (a *edgeAccum) add(u, v int) error {
+	if u < 0 || u >= a.n || v < 0 || v >= a.n {
+		return fmt.Errorf("%w: edge endpoint out of range: {%d, %d} with n=%d", ErrMalformed, u, v, a.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: self-loop on vertex %d", ErrMalformed, u)
+	}
+	a.deg[u]++
+	a.deg[v]++
+	a.flat = append(a.flat, int32(u), int32(v))
+	a.edges++
+	return nil
+}
+
+// build finalizes the CSR and constructs the validated Graph. Duplicate
+// edges surface here as non-strictly-sorted adjacency (rejected by
+// graph.FromCSR).
+func (a *edgeAccum) build() (*graph.Graph, error) {
+	offsets := make([]int32, a.n+1)
+	for v := 0; v < a.n; v++ {
+		offsets[v+1] = offsets[v] + a.deg[v]
+	}
+	adj := make([]int32, offsets[a.n])
+	cursor := make([]int32, a.n)
+	copy(cursor, offsets[:a.n])
+	for i := 0; i < len(a.flat); i += 2 {
+		u, v := a.flat[i], a.flat[i+1]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	for v := 0; v < a.n; v++ {
+		slices.Sort(adj[offsets[v]:offsets[v+1]])
+	}
+	g, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return g, nil
+}
+
+// lineScanner wraps bufio.Scanner with a line counter and a generous buffer
+// (METIS adjacency lines grow with max degree).
+type lineScanner struct {
+	s    *bufio.Scanner
+	line int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	return &lineScanner{s: s}
+}
+
+// next returns the next line, its number, and whether one was read.
+func (ls *lineScanner) next() (string, int, bool) {
+	if !ls.s.Scan() {
+		return "", ls.line, false
+	}
+	ls.line++
+	return ls.s.Text(), ls.line, true
+}
+
+func (ls *lineScanner) err() error { return ls.s.Err() }
+
+// parseInt parses a single non-negative integer token.
+func parseInt(tok string, line int) (int, error) {
+	x, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("%w: line %d: bad integer %q", ErrMalformed, line, tok)
+	}
+	return x, nil
+}

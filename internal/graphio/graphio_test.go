@@ -1,0 +1,218 @@
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+var allFormats = []Format{EdgeList, DIMACS, METIS}
+
+// sameCSR reports whether two graphs have identical CSR arrays.
+func sameCSR(a, b *graph.Graph) bool {
+	ao, aa := a.CSR()
+	bo, ba := b.CSR()
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	return bytes.Equal(int32Bytes(ao), int32Bytes(bo)) && bytes.Equal(int32Bytes(aa), int32Bytes(ba))
+}
+
+func int32Bytes(s []int32) []byte {
+	out := make([]byte, 0, 4*len(s))
+	for _, x := range s {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return out
+}
+
+// testGraphs is the round-trip corpus: degenerate shapes (empty, edgeless,
+// isolated final vertex) plus structured and random topologies.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := xrand.New(7)
+	withIsolated := graph.NewBuilder(6)
+	withIsolated.AddEdge(0, 1)
+	withIsolated.AddEdge(1, 4)
+	return map[string]*graph.Graph{
+		"empty":    graph.NewBuilder(0).Build(),
+		"edgeless": graph.NewBuilder(5).Build(),
+		"isolated": withIsolated.Build(),
+		"cycle":    gen.Cycle(17),
+		"grid":     gen.Grid(6, 9),
+		"complete": gen.Complete(9),
+		"gnp":      gen.GNP(120, 0.07, rng),
+	}
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, f := range allFormats {
+			var buf bytes.Buffer
+			if err := Write(&buf, f, g); err != nil {
+				t.Fatalf("%s/%s: write: %v", name, f, err)
+			}
+			got, err := Read(&buf, f)
+			if err != nil {
+				t.Fatalf("%s/%s: read: %v", name, f, err)
+			}
+			if !sameCSR(g, got) {
+				t.Fatalf("%s/%s: round-trip CSR mismatch: wrote %v, read %v", name, f, g, got)
+			}
+			if FingerprintOf(g) != FingerprintOf(got) {
+				t.Fatalf("%s/%s: fingerprint changed across round-trip", name, f)
+			}
+		}
+	}
+}
+
+func TestRoundTripFilesAndGzip(t *testing.T) {
+	g := gen.GNP(200, 0.05, xrand.New(3))
+	dir := t.TempDir()
+	for _, name := range []string{
+		"g.el", "g.edges", "g.dimacs", "g.col", "g.metis", "g.graph",
+		"g.el.gz", "g.dimacs.gz", "g.metis.gz",
+	} {
+		path := filepath.Join(dir, name)
+		if err := Save(path, g); err != nil {
+			t.Fatalf("save %s: %v", name, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if !sameCSR(g, got) {
+			t.Fatalf("%s: file round-trip CSR mismatch", name)
+		}
+	}
+	if _, _, err := FormatForPath("mystery.bin"); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.el")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestCrossFormatFingerprint is the acceptance check: a >= 100k-edge
+// generated graph written to and re-read from all three formats (plus gzip)
+// yields bit-identical CSRs and hence identical fingerprints.
+func TestCrossFormatFingerprint(t *testing.T) {
+	g := gen.GNP(20000, 11.0/20000, xrand.New(42))
+	if g.M() < 100000 {
+		t.Fatalf("generator produced only %d edges; want >= 100000", g.M())
+	}
+	want := FingerprintOf(g)
+	for _, f := range allFormats {
+		var buf bytes.Buffer
+		if err := Write(&buf, f, g); err != nil {
+			t.Fatalf("%s: write: %v", f, err)
+		}
+		got, err := Read(&buf, f)
+		if err != nil {
+			t.Fatalf("%s: read: %v", f, err)
+		}
+		if fp := FingerprintOf(got); fp != want {
+			t.Fatalf("%s: fingerprint %s != original %s", f, fp.Short(), want.Short())
+		}
+	}
+	// Gzip path too, via files.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.metis.gz")
+	if err := Save(path, g); err != nil {
+		t.Fatalf("save gzip: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load gzip: %v", err)
+	}
+	if fp := FingerprintOf(got); fp != want {
+		t.Fatalf("gzip: fingerprint %s != original %s", fp.Short(), want.Short())
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	a := gen.Cycle(50)
+	b := gen.Path(50)
+	c := gen.Cycle(51)
+	fa, fb, fc := FingerprintOf(a), FingerprintOf(b), FingerprintOf(c)
+	if fa == fb || fa == fc || fb == fc {
+		t.Fatalf("distinct graphs share a fingerprint: %s %s %s", fa.Short(), fb.Short(), fc.Short())
+	}
+	if FingerprintOf(gen.Cycle(50)) != fa {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		format Format
+		input  string
+	}{
+		{"el-no-header", EdgeList, "# only a comment\n"},
+		{"el-huge-m", EdgeList, "2 4000000000000000000\n"},
+		{"el-huge-n", EdgeList, "4000000000000000000 1\n0 1\n"},
+		{"dimacs-huge-m", DIMACS, "p edge 2 4000000000000000000\n"},
+		{"metis-huge-m", METIS, "2 4000000000000000000\n"},
+		{"el-bad-header", EdgeList, "3\n"},
+		{"el-bad-token", EdgeList, "3 1\n0 x\n"},
+		{"el-out-of-range", EdgeList, "3 1\n0 3\n"},
+		{"el-negative", EdgeList, "3 1\n0 -1\n"},
+		{"el-self-loop", EdgeList, "3 1\n1 1\n"},
+		{"el-duplicate", EdgeList, "3 2\n0 1\n1 0\n"},
+		{"el-too-few", EdgeList, "3 2\n0 1\n"},
+		{"el-too-many", EdgeList, "3 1\n0 1\n1 2\n"},
+		{"dimacs-no-p", DIMACS, "c hi\ne 1 2\n"},
+		{"dimacs-double-p", DIMACS, "p edge 3 0\np edge 3 0\n"},
+		{"dimacs-bad-kind", DIMACS, "p matrix 3 1\ne 1 2\n"},
+		{"dimacs-zero-indexed", DIMACS, "p edge 3 1\ne 0 1\n"},
+		{"dimacs-unknown-desc", DIMACS, "p edge 3 1\nq 1 2\n"},
+		{"dimacs-count", DIMACS, "p edge 3 2\ne 1 2\n"},
+		{"metis-no-header", METIS, "% only a comment\n"},
+		{"metis-weighted", METIS, "2 1 011\n2 1\n1 1\n"},
+		{"metis-missing-lines", METIS, "3 2\n2 3\n"},
+		{"metis-extra-lines", METIS, "2 1\n2\n1\n1\n"},
+		{"metis-zero-indexed", METIS, "2 1\n1\n0\n"},
+		{"metis-self-loop", METIS, "2 1\n1\n2\n"},
+		{"metis-asymmetric", METIS, "3 2\n2 3\n1\n2\n"},
+		{"metis-count-mismatch", METIS, "2 2\n2\n1\n"},
+		{"metis-duplicate", METIS, "2 2\n2 2\n1 1\n"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.input), tc.format)
+		if err == nil {
+			t.Errorf("%s: malformed input accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", tc.name, err)
+		}
+	}
+}
+
+func TestCorruptGzipRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.el.gz")
+	if err := Save(path, gen.Cycle(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-stream: the loader must fail, not return a partial graph.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("5 5\n0 1\n"))
+	zw.Flush() // flushed but never Closed: stream ends without the gzip trailer
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("truncated gzip accepted")
+	}
+}

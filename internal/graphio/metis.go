@@ -1,0 +1,129 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// readMETIS parses the METIS/Chaco adjacency format: an "n m" header line
+// (an optional trailing all-zero fmt token is accepted), then exactly n
+// adjacency lines, where line i lists the 1-indexed neighbors of vertex i.
+// '%' comment lines may appear anywhere and do not count toward the n
+// lines. Because neighbors arrive grouped by vertex, this reader streams
+// straight into the CSR arrays — offsets grow one vertex at a time and the
+// shared adjacency buffer is appended in place.
+func readMETIS(r io.Reader) (*graph.Graph, error) {
+	ls := newLineScanner(r)
+	var (
+		offsets   []int32
+		adj       []int32
+		n, m      int
+		gotHeader bool
+	)
+	for {
+		text, line, ok := ls.next()
+		if !ok {
+			break
+		}
+		if strings.HasPrefix(strings.TrimSpace(text), "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if !gotHeader {
+			if len(fields) == 0 {
+				continue
+			}
+			if len(fields) != 2 && len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: want header \"n m\", got %q", ErrMalformed, line, text)
+			}
+			var err error
+			if n, err = parseInt(fields[0], line); err != nil {
+				return nil, err
+			}
+			if m, err = parseInt(fields[1], line); err != nil {
+				return nil, err
+			}
+			if err := checkHeader(n, m, line); err != nil {
+				return nil, err
+			}
+			if len(fields) == 3 && strings.Trim(fields[2], "0") != "" {
+				return nil, fmt.Errorf("%w: line %d: weighted METIS variant %q not supported", ErrMalformed, line, fields[2])
+			}
+			gotHeader = true
+			offsets = make([]int32, 1, min(n+1, preallocCap))
+			adj = make([]int32, 0, min(2*m, preallocCap))
+			continue
+		}
+		v := len(offsets) - 1 // 0-indexed vertex this line describes
+		if v >= n {
+			if len(fields) == 0 {
+				continue // trailing blank lines are tolerated
+			}
+			return nil, fmt.Errorf("%w: line %d: more than the %d adjacency lines announced in the header", ErrMalformed, line, n)
+		}
+		for _, tok := range fields {
+			w, err := parseInt(tok, line)
+			if err != nil {
+				return nil, err
+			}
+			if w < 1 || w > n {
+				return nil, fmt.Errorf("%w: line %d: neighbor %d out of range [1, %d]", ErrMalformed, line, w, n)
+			}
+			if w-1 == v {
+				return nil, fmt.Errorf("%w: line %d: self-loop on vertex %d", ErrMalformed, line, w)
+			}
+			adj = append(adj, int32(w-1))
+		}
+		offsets = append(offsets, int32(len(adj)))
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	if !gotHeader {
+		return nil, fmt.Errorf("%w: missing \"n m\" header", ErrMalformed)
+	}
+	if len(offsets)-1 != n {
+		return nil, fmt.Errorf("%w: header announced %d vertices, found %d adjacency lines", ErrMalformed, n, len(offsets)-1)
+	}
+	if len(adj) != 2*m {
+		return nil, fmt.Errorf("%w: header announced %d edges, found %d adjacency entries (want %d)", ErrMalformed, m, len(adj), 2*m)
+	}
+	// METIS does not promise sorted neighbor lists; sort to the CSR
+	// invariant. Duplicates then surface in graph.FromCSR.
+	for v := 0; v < n; v++ {
+		slices.Sort(adj[offsets[v]:offsets[v+1]])
+	}
+	g, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return g, nil
+}
+
+// writeMETIS serializes g as an "n m" header followed by one 1-indexed
+// neighbor line per vertex (isolated vertices produce empty lines).
+func writeMETIS(w io.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(w, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			sep := " "
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%d", sep, u+1); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,6 +34,12 @@ func Workers(requested int) int {
 // goroutine with zero overhead — the sequential path is literally the same
 // code, which keeps "Workers: 1" runs trivially identical to parallel ones
 // for deterministic fn.
+//
+// A panic inside fn does not crash the process from a worker goroutine: the
+// first panic value observed is re-thrown on the calling goroutine after
+// the surviving workers drain (a panicking worker stops pulling tasks, so
+// remaining tasks may or may not run — callers must treat a panicked
+// ForEach as having no usable output).
 func ForEach(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
@@ -50,10 +56,17 @@ func ForEach(workers, n int, fn func(worker, i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -64,4 +77,7 @@ func ForEach(workers, n int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }

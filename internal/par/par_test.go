@@ -1,6 +1,9 @@
 package par
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7} {
@@ -28,4 +31,80 @@ func TestForEachWorkerIDsBounded(t *testing.T) {
 
 func TestForEachEmpty(t *testing.T) {
 	ForEach(4, 0, func(worker, i int) { t.Fatal("must not run") })
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	for _, req := range []int{0, -1, -100} {
+		if got := Workers(req); got != runtime.GOMAXPROCS(0) {
+			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS = %d", req, got, runtime.GOMAXPROCS(0))
+		}
+	}
+	for _, req := range []int{1, 2, 1000} {
+		if got := Workers(req); got != req {
+			t.Fatalf("Workers(%d) = %d, want %d", req, got, req)
+		}
+	}
+}
+
+// TestForEachSingleWorkerOrdering pins the documented sequential-path
+// contract: with one worker every task runs inline, in index order, on
+// worker id 0.
+func TestForEachSingleWorkerOrdering(t *testing.T) {
+	n := 500
+	var order []int
+	ForEach(1, n, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("single-worker task %d ran on worker %d", i, worker)
+		}
+		order = append(order, i)
+	})
+	if len(order) != n {
+		t.Fatalf("ran %d tasks, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("task order[%d] = %d; single-worker path must run in index order", i, got)
+		}
+	}
+	// n <= workers collapses to the inline path too: a single task must
+	// also run inline in order.
+	ran := false
+	ForEach(8, 1, func(worker, i int) { ran = worker == 0 && i == 0 })
+	if !ran {
+		t.Fatal("n=1 did not run inline on worker 0")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(workers, 64, func(worker, i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestForEachPanicDrains checks that a panicking worker does not leak the
+// others: ForEach re-panics only after every worker goroutine exited.
+func TestForEachPanicDrains(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic swallowed")
+		}
+	}()
+	ForEach(4, 1000, func(worker, i int) {
+		panic(i) // every task panics; only one value is re-thrown
+	})
 }
