@@ -228,3 +228,5 @@ func BenchmarkExtensionWeightedLDD(b *testing.B) {
 }
 
 func BenchmarkE13SpannerTail(b *testing.B) { benchExperiment(b, "E13") }
+
+func BenchmarkE14RegistrySweep(b *testing.B) { benchExperiment(b, "E14") }

@@ -2,7 +2,9 @@
 // bench_baseline.sh and prints the per-benchmark ns/op, B/op, and allocs/op
 // deltas. With -threshold t (default 0.10), any benchmark whose ns/op
 // regressed by more than t (as a fraction) makes the command exit with
-// status 1, so CI can gate on it.
+// status 1, so CI can gate on it. Benchmarks present in only one baseline
+// are reported as added/removed and never fail the diff — a new benchmark
+// in HEAD must not break comparisons against older baselines.
 //
 // Usage:
 //
@@ -133,8 +135,11 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 		}
 	}
 	sort.Strings(names)
+	if len(oldBase) == 0 && len(newBase) == 0 {
+		return 0, fmt.Errorf("no benchmarks in either %s or %s", oldPath, newPath)
+	}
 	if len(names) == 0 {
-		return 0, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+		fmt.Fprintf(w, "no common benchmarks between %s and %s; only added/removed entries follow\n", oldPath, newPath)
 	}
 
 	tw := newTabWriter(w)
@@ -155,15 +160,26 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 	}
 	tw.Flush()
 
+	// One-sided benchmarks are informational, never fatal: report them
+	// sorted as removed (old only) / added (new only) and continue.
+	var removed, added []string
 	for name := range oldBase {
 		if _, ok := newBase[name]; !ok {
-			fmt.Fprintf(w, "only in %s: %s\n", oldPath, name)
+			removed = append(removed, name)
 		}
 	}
 	for name := range newBase {
 		if _, ok := oldBase[name]; !ok {
-			fmt.Fprintf(w, "only in %s: %s\n", newPath, name)
+			added = append(added, name)
 		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+	for _, name := range removed {
+		fmt.Fprintf(w, "removed (only in %s): %s\n", oldPath, name)
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "added (only in %s): %s\n", newPath, name)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "%d benchmark(s) regressed ns/op beyond %.0f%%\n", regressions, 100**threshold)

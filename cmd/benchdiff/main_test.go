@@ -39,7 +39,7 @@ func TestDiffNoRegression(t *testing.T) {
 	if reg != 0 {
 		t.Fatalf("reported %d regressions within threshold:\n%s", reg, out.String())
 	}
-	for _, want := range []string{"BenchmarkFoo-8", "-10.0%", "only in " + o + ": BenchmarkGone-8", "only in " + n + ": BenchmarkNew-8"} {
+	for _, want := range []string{"BenchmarkFoo-8", "-10.0%", "removed (only in " + o + "): BenchmarkGone-8", "added (only in " + n + "): BenchmarkNew-8"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
@@ -119,18 +119,40 @@ func TestDiffErrors(t *testing.T) {
 	bad := writeBaseline(t, dir, "bad.json", "{not json")
 	noName := writeBaseline(t, dir, "noname.json", `[{"ns_per_op": 5}]`)
 	noNs := writeBaseline(t, dir, "nons.json", `[{"name": "BenchmarkX-8"}]`)
-	disjoint := writeBaseline(t, dir, "disjoint.json", `[{"name": "BenchmarkOther-8", "ns_per_op": 5}]`)
+	empty := writeBaseline(t, dir, "empty.json", `[]`)
 	for _, args := range [][]string{
 		{good},
 		{good, bad},
 		{good, noName},
 		{good, noNs},
-		{good, disjoint},
+		{empty, empty},
 		{good, filepath.Join(dir, "missing.json")},
 		{"-threshold", "-1", good, good},
 	} {
 		if _, err := run(args, io.Discard); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestDisjointBaselinesDoNotFail pins the added/removed satellite: a
+// benchmark present in only one baseline is reported and the diff
+// continues with exit status 0, even when nothing is common.
+func TestDisjointBaselinesDoNotFail(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBaseline(t, dir, "good.json", oldBase)
+	disjoint := writeBaseline(t, dir, "disjoint.json", `[{"name": "BenchmarkOther-8", "ns_per_op": 5}]`)
+	var out strings.Builder
+	regressions, err := run([]string{good, disjoint}, &out)
+	if err != nil {
+		t.Fatalf("disjoint baselines failed: %v", err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", regressions)
+	}
+	for _, want := range []string{"no common benchmarks", "added (only in " + disjoint + "): BenchmarkOther-8"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
 	}
 }

@@ -1,15 +1,18 @@
 // Command experiments regenerates the reproduction's experiment tables
-// (E1–E13 in DESIGN.md / EXPERIMENTS.md).
+// (E1–E14 in DESIGN.md / EXPERIMENTS.md). E14 sweeps the unified algorithm
+// registry (internal/algo), invoking every family by name.
 //
 // Usage:
 //
-//	experiments [-id E4] [-seed 1] [-quick]
+//	experiments [-id E4] [-seed 1] [-quick] [-timeout 2m]
 //
 // Without -id, every experiment runs in order. -quick shrinks the sweeps to
-// the sizes used by the benchmark targets.
+// the sizes used by the benchmark targets; -timeout bounds the whole run
+// (registry-driven experiments stop at the deadline).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,13 +32,20 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	id := fs.String("id", "", "experiment id (E1..E13); empty runs all")
+	id := fs.String("id", "", "experiment id (E1..E14); empty runs all")
 	seed := fs.Uint64("seed", 1, "root random seed")
 	quick := fs.Bool("quick", false, "shrink sweeps (benchmark-sized)")
+	timeout := fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := expt.Config{Seed: *seed, Quick: *quick}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := expt.Config{Seed: *seed, Quick: *quick, Ctx: ctx}
 	var selected []expt.Experiment
 	if *id == "" {
 		selected = expt.All()
@@ -43,7 +53,7 @@ func run(args []string, w io.Writer) error {
 		for _, one := range strings.Split(*id, ",") {
 			e, ok := expt.Lookup(strings.TrimSpace(one))
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (valid: E1..E13)", one)
+				return fmt.Errorf("unknown experiment %q (valid: E1..E14)", one)
 			}
 			selected = append(selected, e)
 		}

@@ -34,3 +34,34 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunRegistrySweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "E14", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== E14") {
+		t.Fatal("E14 table not rendered")
+	}
+	for _, name := range []string{"changli", "weighted", "sparsecover", "netdecomp", "gkm", "covering", "packing", "solve"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("registry sweep missing family %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "SHAPE VIOLATION") {
+		t.Fatalf("registry sweep reported failures:\n%s", out)
+	}
+}
+
+func TestRunTimeoutBoundsRegistrySweep(t *testing.T) {
+	// With an already-expired deadline the sweep rows error out but the
+	// command itself still renders the table.
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "E14", "-quick", "-timeout", "1ns"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SHAPE VIOLATION") {
+		t.Fatalf("expired deadline did not surface in the table:\n%s", buf.String())
+	}
+}

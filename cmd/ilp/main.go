@@ -1,24 +1,32 @@
 // Command ilp builds a packing or covering problem on a generated graph and
-// approximates it with the Chang–Li (PODC 2023) algorithms or the GKM17
-// baseline, reporting value, ratio against the exact optimum when one is
+// approximates it through the algorithm registry (internal/algo): the
+// Chang–Li (PODC 2023) solvers, the GKM17 baseline, or the centralized
+// local-solver dispatcher, all invocable by name and deadline-bounded with
+// -timeout. It reports value, ratio against the exact optimum when one is
 // computable, and the LOCAL round complexity.
 //
 // Usage:
 //
 //	ilp -problem mis -graph cycle -n 200 -eps 0.25 -algo chang-li
+//	ilp -problem mds -graph tree -n 60 -algo gkm -scale 0.4
+//	ilp -problem vc -graph grid -n 400 -algo solve -timeout 5s
 //
-// Problems: mis, vc, mds, kdom (use -k), matching.
+// Problems: mis, vc, mds, kdom (use -k), matching. -algo chang-li resolves
+// to the packing or covering solver by the problem's kind; any registry
+// ILP name (packing, covering, gkm, solve) is accepted directly.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"strconv"
 
-	"repro/internal/core"
+	"repro/internal/algo"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/ilp"
@@ -61,6 +69,24 @@ func buildGraph(kind string, n int, seed uint64) (*graph.Graph, error) {
 	}
 }
 
+// problemOf maps the CLI problem name to the typed problem.
+func problemOf(name string) (problems.Problem, error) {
+	switch name {
+	case "mis":
+		return problems.MIS, nil
+	case "vc":
+		return problems.MinVertexCover, nil
+	case "mds":
+		return problems.MinDominatingSet, nil
+	case "matching":
+		return problems.MaxMatching, nil
+	case "kdom":
+		return problems.KDominatingSet, nil
+	default:
+		return 0, fmt.Errorf("unknown problem %q (want mis|vc|mds|kdom|matching)", name)
+	}
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ilp", flag.ContinueOnError)
 	probName := fs.String("problem", "mis", "mis | vc | mds | kdom | matching")
@@ -68,82 +94,99 @@ func run(args []string, w io.Writer) error {
 	n := fs.Int("n", 200, "approximate vertex count")
 	k := fs.Int("k", 2, "distance for kdom")
 	eps := fs.Float64("eps", 0.25, "approximation parameter")
-	algoName := fs.String("algo", "chang-li", "chang-li | gkm")
+	algoName := fs.String("algo", "chang-li", "chang-li | gkm | packing | covering | solve")
 	seed := fs.Uint64("seed", 1, "random seed")
 	scale := fs.Float64("scale", 0, "radius scale (0 = paper constants)")
 	prep := fs.Int("prep", 3, "preparation decompositions (0 = paper's 16 ln n)")
+	timeout := fs.Duration("timeout", 0, "deadline for the solve (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	prob, err := problemOf(*probName)
+	if err != nil {
+		return err
+	}
+	if prob == problems.KDominatingSet && *k < 1 {
+		return fmt.Errorf("kdom needs k >= 1, got %d", *k)
 	}
 	g, err := buildGraph(*graphKind, *n, *seed)
 	if err != nil {
 		return err
 	}
-	var algo core.Solver
-	switch *algoName {
-	case "chang-li":
-		algo = core.SolverChangLi
-	case "gkm":
-		algo = core.SolverGKM
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algoName)
+
+	// chang-li resolves to the Theorem 1.2 / 1.3 solver by problem kind;
+	// anything else must be an ILP-capable registry name.
+	name := *algoName
+	if name == "chang-li" {
+		if prob.Kind() == ilp.Packing {
+			name = "packing"
+		} else {
+			name = "covering"
+		}
 	}
-	opts := core.Options{
-		Epsilon: *eps, Algorithm: algo, Seed: *seed, Scale: *scale, PrepRuns: *prep,
+	spec, ok := algo.Get(name)
+	if !ok || spec.Caps.Kind != algo.KindILP {
+		return fmt.Errorf("unknown ILP algorithm %q (want chang-li, gkm, packing, covering, or solve)", *algoName)
 	}
 
-	var prob problems.Problem
-	switch *probName {
-	case "mis":
-		prob = problems.MIS
-	case "vc":
-		prob = problems.MinVertexCover
-	case "mds":
-		prob = problems.MinDominatingSet
-	case "matching":
-		prob = problems.MaxMatching
-	case "kdom":
-		inst, err := problems.BuildK(*k, g, nil)
-		if err != nil {
-			return err
-		}
-		rep, err := core.SolveILP(inst, opts)
-		if err != nil {
-			return err
-		}
-		printReport(w, fmt.Sprintf("%d-distance dominating set", *k), g, rep)
-		if !problems.VerifyK(problems.KDominatingSet, *k, g, rep.Solution) {
-			return errors.New("verification failed: not a k-dominating set")
-		}
-		fmt.Fprintln(w, "verified: valid k-dominating set")
-		return nil
-	default:
-		return fmt.Errorf("unknown problem %q", *probName)
+	p := algo.Params{
+		"problem": *probName,
+		"k":       strconv.Itoa(*k),
 	}
+	setIf := func(key, val string) {
+		if spec.Has(key) {
+			p[key] = val
+		}
+	}
+	setIf("eps", strconv.FormatFloat(*eps, 'g', -1, 64))
+	setIf("seed", strconv.FormatUint(*seed, 10))
+	setIf("scale", strconv.FormatFloat(*scale, 'g', -1, 64))
+	setIf("prep", strconv.Itoa(*prep))
 
-	rep, err := core.Solve(prob, g, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := spec.RunSpec(ctx, g, p)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("solve exceeded the %v deadline: %w", *timeout, err)
+		}
 		return err
 	}
-	printReport(w, prob.String(), g, rep)
-	if rep.Optimum >= 0 {
+
+	fmt.Fprintf(w, "%s on %v via %s:\n", prob, g, spec.Name)
+	fmt.Fprintf(w, "value=%d rounds=%d feasible=%v", res.Value, res.Rounds, res.Feasible)
+
+	// Verification against the problem semantics (not just the ILP).
+	var verified bool
+	if prob == problems.KDominatingSet {
+		verified = problems.VerifyK(prob, *k, g, res.Solution)
+	} else {
+		verified = problems.Verify(prob, g, res.Solution)
+	}
+	if !verified {
+		fmt.Fprintln(w)
+		return fmt.Errorf("verification failed: solution is not a valid %s", prob)
+	}
+
+	// Ratio against the exact optimum when a poly-time oracle applies.
+	if optVal, oerr := problems.ExactOptimum(prob, g); oerr == nil && optVal > 0 {
+		ratio := float64(res.Value) / float64(optVal)
+		fmt.Fprintf(w, " optimum=%d\n", optVal)
 		target := 1 - *eps
 		cmp := ">="
-		if rep.Kind == ilp.Covering {
+		if prob.Kind() == ilp.Covering {
 			target = 1 + *eps
 			cmp = "<="
 		}
 		fmt.Fprintf(w, "ratio %.4f (target %s %.4f, exact local solves: %v)\n",
-			rep.Ratio, cmp, target, rep.Exact)
+			ratio, cmp, target, res.Exact)
+	} else {
+		fmt.Fprintln(w)
 	}
+	fmt.Fprintf(w, "verified: valid %s\n", prob)
 	return nil
-}
-
-func printReport(w io.Writer, name string, g *graph.Graph, rep *core.Report) {
-	fmt.Fprintf(w, "%s on %v via %s:\n", name, g, rep.Algorithm)
-	fmt.Fprintf(w, "value=%d rounds=%d feasible=%v", rep.Value, rep.Rounds, rep.Feasible)
-	if rep.Optimum >= 0 {
-		fmt.Fprintf(w, " optimum=%d", rep.Optimum)
-	}
-	fmt.Fprintln(w)
 }

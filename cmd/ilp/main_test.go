@@ -46,3 +46,28 @@ func TestBuildGraphILP(t *testing.T) {
 		t.Fatal("unknown family accepted")
 	}
 }
+
+func TestRunRegistryILPNames(t *testing.T) {
+	cases := [][]string{
+		{"-problem", "mis", "-graph", "cycle", "-n", "60", "-algo", "packing", "-prep", "2"},
+		{"-problem", "vc", "-graph", "cycle", "-n", "60", "-algo", "covering", "-prep", "2"},
+		{"-problem", "mis", "-graph", "cycle", "-n", "60", "-algo", "solve"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	// Kind mismatch through the registry is rejected.
+	if err := run([]string{"-problem", "vc", "-graph", "cycle", "-n", "40", "-algo", "packing", "-prep", "2"}, io.Discard); err == nil {
+		t.Fatal("covering problem accepted by the packing solver")
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	err := run([]string{"-problem", "mis", "-graph", "gnp", "-n", "3000",
+		"-prep", "2", "-timeout", "1ns"}, io.Discard)
+	if err == nil {
+		t.Fatal("1ns deadline did not abort the solve")
+	}
+}

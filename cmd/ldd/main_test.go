@@ -57,3 +57,44 @@ func TestRunWithRepair(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunRegistryFamilies(t *testing.T) {
+	for _, algoName := range []string{"weighted", "sparsecover", "netdecomp", "en"} {
+		args := []string{"-graph", "cycle", "-n", "150", "-eps", "0.3", "-algo", algoName, "-scale", "0.05"}
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("%s: %v", algoName, err)
+		}
+	}
+}
+
+func TestRunWithParamsOverride(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-graph", "cycle", "-n", "200", "-algo", "chang-li",
+		"-scale", "0.05", "-params", "eps=0.4 skip2=true"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chang-li") && !strings.Contains(out.String(), "changli") {
+		t.Fatalf("algorithm name missing from output:\n%s", out.String())
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	// A 1ns deadline must abort the run with a deadline error.
+	err := run([]string{"-graph", "cycle", "-n", "2000", "-eps", "0.1", "-timeout", "1ns"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline error", err)
+	}
+}
+
+func TestRepairReachesAllDecomposers(t *testing.T) {
+	// -repair must actually run the diameter cleanup for every family that
+	// supports it (it used to be silently dropped for non-changli algos).
+	for _, algoName := range []string{"chang-li", "elkin-neiman", "blackbox", "weighted"} {
+		args := []string{"-graph", "cycle", "-n", "200", "-eps", "0.3", "-scale", "0.05",
+			"-algo", algoName, "-repair"}
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("%s -repair: %v", algoName, err)
+		}
+	}
+}

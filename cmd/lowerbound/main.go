@@ -8,15 +8,18 @@
 //
 // Usage:
 //
-//	lowerbound [-n 400] [-trials 200] [-maxt 6] [-seed 1]
+//	lowerbound [-n 400] [-trials 200] [-maxt 6] [-seed 1] [-timeout 30s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/graph/gen"
 	"repro/internal/lower"
@@ -35,8 +38,15 @@ func run(args []string, w io.Writer) error {
 	trials := fs.Int("trials", 200, "trials per rate estimate")
 	maxT := fs.Int("maxt", 6, "largest round budget to test")
 	seed := fs.Uint64("seed", 1, "random seed")
+	timeout := fs.Duration("timeout", 0, "deadline for the whole experiment (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *n%2 != 0 {
 		*n++
@@ -51,8 +61,14 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "%4d  (t exceeds girth/2; balls no longer trees)\n", t)
 			continue
 		}
-		rateA := lower.InclusionRate(bip, t, *trials, *seed+uint64(t))
-		rateB := lower.InclusionRate(odd, t, *trials, *seed+uint64(t)+1000)
+		rateA, err := lower.InclusionRateCtx(ctx, bip, t, *trials, *seed+uint64(t))
+		if err != nil {
+			return deadlineErr(err, *timeout)
+		}
+		rateB, err := lower.InclusionRateCtx(ctx, odd, t, *trials, *seed+uint64(t)+1000)
+		if err != nil {
+			return deadlineErr(err, *timeout)
+		}
 		fmt.Fprintf(w, "%4d  %12.4f  %12.4f  %10.4f  %14.4f\n",
 			t, rateA, rateB, math.Abs(rateA-rateB), 0.5-rateA)
 	}
@@ -61,10 +77,21 @@ func run(args []string, w io.Writer) error {
 	base := gen.Cycle(60)
 	for _, x := range []int{0, 1, 2, 4, 8} {
 		gx := lower.SubdivideForMIS(base, x)
-		rate := lower.InclusionRate(gx, 3, *trials/2, *seed+uint64(x)*77)
+		rate, err := lower.InclusionRateCtx(ctx, gx, 3, *trials/2, *seed+uint64(x)*77)
+		if err != nil {
+			return deadlineErr(err, *timeout)
+		}
 		fmt.Fprintf(w, "  x=%d: n=%d rate=%.4f ratio-to-opt=%.4f\n", x, gx.N(), rate, rate/0.5)
 	}
 	fmt.Fprintln(w, "interpretation: fixed-round algorithms fall further from optimal as x ~ 1/eps grows,")
 	fmt.Fprintln(w, "matching the Omega(log n / eps) lower bound of Theorem 1.4.")
 	return nil
+}
+
+// deadlineErr annotates context errors with the configured deadline.
+func deadlineErr(err error, timeout time.Duration) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("experiment exceeded the %v deadline: %w", timeout, err)
+	}
+	return err
 }

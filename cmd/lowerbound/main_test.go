@@ -22,3 +22,10 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunDeadline(t *testing.T) {
+	err := run([]string{"-n", "400", "-trials", "5000", "-maxt", "6", "-timeout", "1ns"}, io.Discard)
+	if err == nil {
+		t.Fatal("1ns deadline did not abort the experiment")
+	}
+}

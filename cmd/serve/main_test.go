@@ -112,3 +112,82 @@ func TestFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestMixedAlgorithmTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "mixed.txt")
+	content := `# one request per registered family, plus point queries
+changli eps=0.3 seed=1 scale=0.05
+weighted eps=0.3 seed=1 scale=0.05
+en lambda=0.4 seed=1
+mpx lambda=0.4 seed=1
+blackbox eps=0.3 seed=1 scale=0.05
+sparsecover lambda=0.5 seed=2
+netdecomp lambda=0.5 seed=3
+packing problem=mis prep=2 seed=1
+covering problem=vc prep=2 seed=1
+gkm problem=mis scale=0.4 seed=1
+solve problem=mis
+cluster v=5 eps=0.3 seed=1 scale=0.05
+ball v=9 k=2
+`
+	if err := os.WriteFile(trace, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := []string{"-gen", "cycle", "-n", "150", "-trace", trace, "-concurrency", "2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "trace: 13 requests") {
+		t.Fatalf("trace count missing:\n%s", out.String())
+	}
+}
+
+func TestSyntheticWorkloadWithAlgoAndTimeout(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-gen", "cycle", "-n", "200", "-requests", "200",
+		"-concurrency", "2", "-seedspace", "2", "-algo", "netdecomp",
+		"-timeout", "30s"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"req/s", "evictions", "dedup joins", "deadlines:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTinyTimeoutCountsNotFails(t *testing.T) {
+	// A 1ns deadline expires before any request completes; the run must
+	// still succeed and report the deadline count.
+	var out strings.Builder
+	args := []string{"-gen", "cycle", "-n", "300", "-requests", "50",
+		"-concurrency", "2", "-seedspace", "2", "-timeout", "1ns", "-warm=false"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "deadlines: 50 of 50") {
+		t.Fatalf("expected all requests to exceed the deadline:\n%s", out.String())
+	}
+}
+
+func TestUnknownAlgoFlagRejected(t *testing.T) {
+	if err := run([]string{"-gen", "cycle", "-n", "100", "-algo", "quantum"}, io.Discard); err == nil {
+		t.Fatal("unknown -algo accepted")
+	}
+}
+
+func TestTraceRejectsEmptyParamValue(t *testing.T) {
+	// "eps=" must fail at trace load time, exactly like it would fail in
+	// the runner (no silent default substitution in the cache key).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty-value.txt")
+	if err := os.WriteFile(path, []byte("changli eps= seed=1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-gen", "cycle", "-n", "100", "-trace", path}, io.Discard); err == nil {
+		t.Fatal("empty param value accepted")
+	}
+}

@@ -8,7 +8,7 @@
 // adversarial families.
 //
 // The public API lives in internal/core; see README.md for the map and
-// bench_test.go for the experiment regeneration targets (E1–E12).
+// bench_test.go for the experiment regeneration targets (E1–E14).
 //
 // The hot path runs on reusable, allocation-free traversal workspaces
 // (graph.Workspace, one per goroutine) and fans independent work — the
@@ -16,11 +16,23 @@
 // queries — across a bounded worker pool (internal/par) with
 // deterministic, worker-count-independent results.
 //
-// On top of the single-shot pipelines sits a serving layer: internal/engine
-// caches decomposition results by (graph fingerprint, parameters),
-// collapses concurrent identical requests into one computation, and answers
-// batch queries (cluster-of-vertex, ball lookups, per-cluster local solves)
-// from the cached structure; internal/graphio loads and saves real-world
-// graphs in edge-list, DIMACS, and METIS formats (plain or gzip); cmd/serve
-// drives the engine with replayed or synthetic request load.
+// Every algorithm family is registered in internal/algo, the unified
+// serving surface: a name-indexed registry of typed runners
+// Run(ctx, graph, params) with flag- and trace-friendly parameter bags,
+// capability metadata, and a uniform result envelope. Cancellation is
+// threaded through every compute layer — the worker pool stops
+// dispatching, the phase loops, label searches, and branch-and-bound
+// solvers poll the context at coarse strides — so any request can be
+// deadline-bounded without warm-path cost.
+//
+// On top sits the serving layer: internal/engine caches results by
+// (graph fingerprint, algorithm, canonical parameters), collapses
+// concurrent identical requests into one computation (joiners survive a
+// cancelled initiator by retrying), and answers batch queries
+// (cluster-of-vertex, ball lookups, per-cluster local solves) from the
+// cached structure; internal/graphio loads and saves real-world graphs in
+// edge-list, DIMACS, and METIS formats (plain or gzip), fuzz-tested
+// against hostile inputs; cmd/serve drives the engine with replayed or
+// synthetic request load, mixing algorithms freely and bounding each
+// request with a deadline.
 package repro

@@ -1,0 +1,152 @@
+package algo
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/xrand"
+)
+
+// cancelTestGraph is large enough that a paper-constants ChangLi run takes
+// well over a second, so a millisecond-scale cancel lands mid-computation.
+func cancelTestGraph() *graph.Graph {
+	return gen.RandomRegular(20000, 4, xrand.New(7))
+}
+
+// runCancelled launches the named algorithm on a goroutine, cancels the
+// context once the run is underway, and returns (error, wall time from
+// cancel to return).
+func runCancelled(t *testing.T, g *graph.Graph, name string, p Params, after time.Duration) (error, time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(ctx, name, g, p)
+		ch <- outcome{res, err}
+	}()
+	time.Sleep(after)
+	cancelAt := time.Now()
+	cancel()
+	select {
+	case out := <-ch:
+		if out.err == nil {
+			// The run beat the cancel; not an error, but the caller should
+			// use a bigger graph or a shorter delay.
+			t.Logf("%s completed before cancellation took effect", name)
+			return nil, time.Since(cancelAt)
+		}
+		return out.err, time.Since(cancelAt)
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: cancelled run did not return within 30s", name)
+		return nil, 0
+	}
+}
+
+// TestCancelMidDecompositionReturnsPromptly is the satellite acceptance
+// test: cancelling a large paper-constants decomposition mid-run returns
+// context.Canceled promptly (well before the multi-second full runtime),
+// leaks no goroutines, and leaves the pooled workspaces reusable.
+func TestCancelMidDecompositionReturnsPromptly(t *testing.T) {
+	g := cancelTestGraph()
+	before := runtime.NumGoroutine()
+
+	err, latency := runCancelled(t, g, "changli", Params{"eps": "0.1", "seed": "3"}, 30*time.Millisecond)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err != nil && latency > 5*time.Second {
+		t.Fatalf("cancelled run took %v to return", latency)
+	}
+
+	// No goroutine leaks: the worker pool must drain after cancellation.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+	}
+
+	// Pooled workspaces stay reusable: a fresh small run on the same pool
+	// completes and produces a valid separation.
+	small := gen.Cycle(400)
+	res, err := Run(context.Background(), "changli", small, Params{"eps": "0.3", "scale": "0.05", "seed": "1"})
+	if err != nil {
+		t.Fatalf("post-cancel run failed: %v", err)
+	}
+	if res.NumClusters == 0 {
+		t.Fatal("post-cancel run produced no clusters")
+	}
+}
+
+// TestDeadlineBoundedRun proves the deadline path: a request with a tight
+// deadline returns context.DeadlineExceeded instead of holding the caller
+// for the full decomposition.
+func TestDeadlineBoundedRun(t *testing.T) {
+	g := cancelTestGraph()
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, "changli", g, Params{"eps": "0.1", "seed": "3"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("machine fast enough to finish inside the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("deadline-bounded run held for %v", elapsed)
+	}
+}
+
+// TestCancelSweepAllFamilies cancels every registered family mid-run (or
+// lets fast families finish) and verifies none of them errors with
+// anything but a context error, none leaks goroutines, and each family
+// still completes cleanly afterwards.
+func TestCancelSweepAllFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-family cancel sweep is slow")
+	}
+	big := cancelTestGraph()
+	small := gen.Cycle(100)
+	for _, name := range Names() {
+		graphFor := big
+		p := Params{}
+		switch name {
+		case "packing", "covering", "gkm", "solve":
+			// ILP instance build is itself O(n); mid-size keeps the sweep fast
+			// while leaving enough work to cancel into.
+			graphFor = gen.RandomRegular(3000, 4, xrand.New(9))
+			if name == "gkm" {
+				p = Params{"scale": "0.4"}
+			}
+		case "en", "mpx", "sparsecover", "netdecomp":
+			p = Params{"lambda": "0.05"}
+		case "blackbox":
+			// The k-th power-graph materialization is one uncancellable
+			// block; size the instance so the cancellable phases dominate.
+			graphFor = gen.RandomRegular(4000, 4, xrand.New(9))
+			p = Params{"eps": "0.25"}
+		case "changli", "weighted":
+			p = Params{"eps": "0.1"}
+		}
+		err, _ := runCancelled(t, graphFor, name, p, 10*time.Millisecond)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled or nil", name, err)
+		}
+		if _, err := Run(context.Background(), name, small, quickParams(t, name)); err != nil {
+			t.Fatalf("%s: post-cancel run failed: %v", name, err)
+		}
+	}
+}

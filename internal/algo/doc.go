@@ -1,0 +1,44 @@
+package algo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarkdownTable renders the registry as a GitHub-flavored markdown table
+// (name, aliases, kind, capabilities, parameters, summary). README.md
+// embeds this table verbatim; TestReadmeTableInSync regenerates it and
+// fails when the two drift, so the docs are always derived from the
+// registry rather than hand-maintained.
+func MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| name | aliases | kind | capabilities | parameters | summary |\n")
+	b.WriteString("|------|---------|------|--------------|------------|---------|\n")
+	for _, s := range All() {
+		var caps []string
+		if s.Caps.Seeded {
+			caps = append(caps, "seeded")
+		}
+		if s.Caps.Weighted {
+			caps = append(caps, "weighted")
+		}
+		if s.Caps.Workers {
+			caps = append(caps, "workers")
+		}
+		if len(caps) == 0 {
+			caps = append(caps, "-")
+		}
+		params := make([]string, len(s.Defs))
+		for i, d := range s.Defs {
+			params[i] = fmt.Sprintf("%s=%s", d.Key, d.Default)
+		}
+		aliases := strings.Join(s.Aliases, ", ")
+		if aliases == "" {
+			aliases = "-"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | `%s` | %s |\n",
+			s.Name, aliases, s.Caps.Kind, strings.Join(caps, ", "),
+			strings.Join(params, " "), s.Summary)
+	}
+	return b.String()
+}

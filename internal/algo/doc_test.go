@@ -1,0 +1,32 @@
+package algo
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReadmeTableInSync regenerates the algorithms table from the registry
+// and fails when README.md's embedded copy (between the algo-table
+// markers) has drifted — the docs are derived from the code, not
+// hand-maintained. Regenerate with:
+//
+//	go test ./internal/algo/ -run ReadmeTable -v   (the diff names the fix)
+func TestReadmeTableInSync(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("README.md not readable: %v", err)
+	}
+	s := string(data)
+	const begin, end = "<!-- algo-table:begin -->\n", "<!-- algo-table:end -->"
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatal("README.md is missing the algo-table markers")
+	}
+	got := s[i+len(begin) : j]
+	want := MarkdownTable()
+	if got != want {
+		t.Fatalf("README algorithms table is stale; replace the block between the markers with:\n%s", want)
+	}
+}

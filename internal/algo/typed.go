@@ -1,0 +1,102 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/ldd"
+	"repro/internal/netdecomp"
+)
+
+// This file bridges the typed parameter structs of the compute packages to
+// the registry: fast cache-key builders for the engine's hot typed request
+// paths (a single Sprintf instead of a Params bag round-trip) and the
+// matching Params constructors. TestTypedKeysMatchGeneric pins each fast
+// key to Spec.CacheKey over the corresponding Params, so the two paths can
+// never drift apart and always share cache slots.
+
+// ChangLiKey is the cache key of a changli run under p (repair=false).
+// Hand-assembled with strconv appends: this runs on the engine's
+// cache-hit path, where fmt.Sprintf would be the dominant cost.
+func ChangLiKey(p ldd.Params) string {
+	var b [96]byte
+	buf := append(b[:0], "changli|eps="...)
+	buf = strconv.AppendFloat(buf, p.Epsilon, 'g', -1, 64)
+	buf = append(buf, "|ntilde="...)
+	buf = strconv.AppendInt(buf, int64(p.NTilde), 10)
+	buf = append(buf, "|seed="...)
+	buf = strconv.AppendUint(buf, p.Seed, 10)
+	buf = append(buf, "|scale="...)
+	buf = strconv.AppendFloat(buf, p.Scale, 'g', -1, 64)
+	buf = append(buf, "|skip2="...)
+	buf = strconv.AppendBool(buf, p.SkipPhase2)
+	buf = append(buf, "|repair=false"...)
+	return string(buf)
+}
+
+// ChangLiParams converts an ldd.Params to the registry bag.
+func ChangLiParams(p ldd.Params) Params {
+	return Params{
+		"eps":     formatFloat(p.Epsilon),
+		"ntilde":  strconv.Itoa(p.NTilde),
+		"seed":    strconv.FormatUint(p.Seed, 10),
+		"scale":   formatFloat(p.Scale),
+		"skip2":   strconv.FormatBool(p.SkipPhase2),
+		"workers": strconv.Itoa(p.Workers),
+	}
+}
+
+// RunChangLi executes the changli family directly from typed params,
+// returning the registry envelope (used by the engine's compute path).
+func RunChangLi(ctx context.Context, g *graph.Graph, p ldd.Params) (*Result, error) {
+	s, _ := Get("changli")
+	return s.RunSpec(ctx, g, ChangLiParams(p))
+}
+
+// SparseCoverKey is the cache key of a sparsecover run under p.
+func SparseCoverKey(p ldd.ENParams) string {
+	return fmt.Sprintf("sparsecover|lambda=%g|ntilde=%d|seed=%d",
+		p.Lambda, p.NTilde, p.Seed)
+}
+
+// SparseCoverParams converts an ldd.ENParams to the registry bag.
+func SparseCoverParams(p ldd.ENParams) Params {
+	return Params{
+		"lambda": formatFloat(p.Lambda),
+		"ntilde": strconv.Itoa(p.NTilde),
+		"seed":   strconv.FormatUint(p.Seed, 10),
+	}
+}
+
+// RunSparseCover executes the sparsecover family from typed params.
+func RunSparseCover(ctx context.Context, g *graph.Graph, p ldd.ENParams) (*Result, error) {
+	s, _ := Get("sparsecover")
+	return s.RunSpec(ctx, g, SparseCoverParams(p))
+}
+
+// NetDecompKey is the cache key of a netdecomp run under p.
+func NetDecompKey(p netdecomp.Params) string {
+	return fmt.Sprintf("netdecomp|lambda=%g|ntilde=%d|seed=%d",
+		p.Lambda, p.NTilde, p.Seed)
+}
+
+// NetDecompParams converts a netdecomp.Params to the registry bag.
+func NetDecompParams(p netdecomp.Params) Params {
+	return Params{
+		"lambda": formatFloat(p.Lambda),
+		"ntilde": strconv.Itoa(p.NTilde),
+		"seed":   strconv.FormatUint(p.Seed, 10),
+	}
+}
+
+// RunNetDecomp executes the netdecomp family from typed params.
+func RunNetDecomp(ctx context.Context, g *graph.Graph, p netdecomp.Params) (*Result, error) {
+	s, _ := Get("netdecomp")
+	return s.RunSpec(ctx, g, NetDecompParams(p))
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

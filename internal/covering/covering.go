@@ -23,6 +23,7 @@
 package covering
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -186,6 +187,14 @@ func (s *state) fix(v int32) {
 
 // Solve runs the Theorem 1.3 algorithm on a covering instance.
 func Solve(inst *ilp.Instance, p Params) (*Result, error) {
+	return SolveCtx(context.Background(), inst, p)
+}
+
+// SolveCtx is Solve with cancellation: the context is checked between the
+// preparation fan-out, each Phase-1 carving iteration (and each carve
+// within it), and the Phase-2 per-region fan-out; a cancelled run returns
+// ctx.Err() promptly and releases its pooled workspaces.
+func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error) {
 	g := inst.Hypergraph().Primal()
 	n := g.N()
 	d := derive(n, p)
@@ -223,13 +232,15 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 		prepSeeds[run] = rootRNG.Split(uint64(run) + 0xc0e).Uint64()
 	}
 	covs := make([]*ldd.Cover, d.prepRuns)
-	par.ForEach(workers, d.prepRuns, func(w, run int) {
+	if err := par.ForEachCtx(ctx, workers, d.prepRuns, func(w, run int) {
 		covs[run] = ldd.SparseCoverWS(g, nil, ldd.ENParams{
 			Lambda: lambdaPrep,
 			NTilde: d.nTilde,
 			Seed:   prepSeeds[run],
 		}, wks[w].lws)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var members [][]int32
 	for _, cov := range covs {
 		for _, m := range cov.Clusters {
@@ -241,7 +252,7 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 	clusters := make([]prepCluster, len(members))
 	prepErrs := make([]error, len(members))
 	prepExact := make([]bool, len(members))
-	par.ForEach(workers, len(members), func(w, i int) {
+	if err := par.ForEachCtx(ctx, workers, len(members), func(w, i int) {
 		wk := wks[w]
 		pc := prepCluster{members: members[i]}
 		var ex1, ex2 bool
@@ -253,7 +264,9 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 		pc.wSC, ex2, prepErrs[i] = st.localValue(sc)
 		prepExact[i] = ex1 && ex2
 		clusters[i] = pc
-	})
+	}); err != nil {
+		return nil, err
+	}
 	rc.StartPhase()
 	for _, cov := range covs {
 		rc.Charge(cov.Rounds)
@@ -275,6 +288,9 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 	// sees, so the iteration is inherently sequential; it runs on worker
 	// 0's scratch.
 	for i := 1; i <= d.t; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		interval := d.intervals[i-1]
 		rc.StartPhase()
 		for ci := range clusters {
@@ -289,6 +305,9 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 			if !xrand.Stream(p.Seed, ci, uint64(coverLabel+i)).Bernoulli(prob) {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := st.growCarveCovering(pc.members, interval[0], interval[1], wks[0]); err != nil {
 				return nil, err
 			}
@@ -300,11 +319,14 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 
 	// --- Phase 2: sparse cover + per-region local solves --------------------
 	lambdaFinal := math.Log1p(eps / 5)
-	cov := ldd.SparseCover(g, st.alive, ldd.ENParams{
+	cov, err := ldd.SparseCoverCtx(ctx, g, st.alive, ldd.ENParams{
 		Lambda: lambdaFinal,
 		NTilde: d.nTilde,
 		Seed:   rootRNG.Split(0xf17a1).Uint64(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	rc.Charge(cov.Rounds)
 
 	// Regions: residual sparse-cover clusters plus removed components. All
@@ -328,9 +350,11 @@ func Solve(inst *ilp.Instance, p Params) (*Result, error) {
 	chosen := make([][]int32, len(regions))
 	regionErrs := make([]error, len(regions))
 	regionExact := make([]bool, len(regions))
-	par.ForEach(workers, len(regions), func(w, i int) {
+	if err := par.ForEachCtx(ctx, workers, len(regions), func(w, i int) {
 		chosen[i], regionExact[i], regionErrs[i] = st.localCoverAgainst(regions[i], usedSnapshot, wks[w])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	rc.StartPhase()
 	for i := range regions {
 		if regionErrs[i] != nil {
@@ -552,4 +576,3 @@ func coeffOf(inst *ilp.Instance, j, v int) float64 {
 	}
 	return 0
 }
-

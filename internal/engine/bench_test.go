@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -27,14 +28,14 @@ func BenchmarkEngineCachedQuery(b *testing.B) {
 	e := New(Options{})
 	h := e.Register(g)
 	p := benchParams()
-	if _, err := e.ChangLi(h, p); err != nil {
+	if _, err := e.ChangLi(context.Background(), h, p); err != nil {
 		b.Fatal(err)
 	}
 	base := e.Stats().Computations
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.ChangLi(h, p); err != nil {
+		if _, err := e.ChangLi(context.Background(), h, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +70,7 @@ func BenchmarkEngineBallsBatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Balls(h, vs, 2, 0); err != nil {
+		if _, err := e.Balls(context.Background(), h, vs, 2, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/graph/gen"
+	"repro/internal/ldd"
+	"repro/internal/xrand"
+)
+
+// TestRunRegistryPath drives the generic name-indexed request path: every
+// registered algorithm family is servable through the engine, cached by
+// (fingerprint, algo, params).
+func TestRunRegistryPath(t *testing.T) {
+	g := gen.Cycle(150)
+	e := New(Options{})
+	h := e.Register(g)
+	cases := []struct {
+		name string
+		p    algo.Params
+	}{
+		{"changli", algo.Params{"eps": "0.3", "scale": "0.05"}},
+		{"weighted", algo.Params{"eps": "0.3", "scale": "0.05"}},
+		{"en", algo.Params{"lambda": "0.4"}},
+		{"mpx", algo.Params{"lambda": "0.4"}},
+		{"blackbox", algo.Params{"eps": "0.3", "scale": "0.05"}},
+		{"sparsecover", algo.Params{"lambda": "0.5"}},
+		{"netdecomp", algo.Params{"lambda": "0.5"}},
+		{"packing", algo.Params{"problem": "mis", "prep": "2"}},
+		{"covering", algo.Params{"problem": "vc", "prep": "2"}},
+		{"gkm", algo.Params{"problem": "mis", "scale": "0.4"}},
+		{"solve", algo.Params{"problem": "mis"}},
+	}
+	for _, c := range cases {
+		res, err := e.Run(context.Background(), h, c.name, c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Algorithm != c.name {
+			t.Fatalf("%s: envelope says %q", c.name, res.Algorithm)
+		}
+		// Second request is a cache hit returning the same instance.
+		res2, err := e.Run(context.Background(), h, c.name, c.p)
+		if err != nil || res2 != res {
+			t.Fatalf("%s: cache miss on identical request (%v)", c.name, err)
+		}
+	}
+	if st := e.Stats(); st.Computations != uint64(len(cases)) {
+		t.Fatalf("computations = %d, want %d", st.Computations, len(cases))
+	}
+	if _, err := e.Run(context.Background(), h, "nope", nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := e.Run(context.Background(), h, "changli", algo.Params{"bogus": "1"}); err == nil {
+		t.Fatal("unknown param accepted")
+	}
+}
+
+// TestTypedAndGenericShareCache pins the tentpole cache-key property: the
+// typed ChangLi path and the generic Run("changli") path collide on the
+// same cache slot.
+func TestTypedAndGenericShareCache(t *testing.T) {
+	g := gen.Grid(12, 12)
+	e := New(Options{})
+	h := e.Register(g)
+	p := ldd.Params{Epsilon: 0.3, Seed: 11, Scale: 0.05}
+	d, err := e.ChangLi(context.Background(), h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), h, "changli",
+		algo.Params{"eps": "0.3", "seed": "11", "scale": "0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raw.(*ldd.Decomposition) != d {
+		t.Fatal("typed and generic requests did not share a cache slot")
+	}
+	if st := e.Stats(); st.Computations != 1 {
+		t.Fatalf("computations = %d, want 1", st.Computations)
+	}
+}
+
+// TestDeadlineBoundedRequest verifies a deadline-expired request returns
+// promptly with context.DeadlineExceeded, the error is not cached, and the
+// engine remains serviceable.
+func TestDeadlineBoundedRequest(t *testing.T) {
+	g := gen.RandomRegular(8000, 4, xrand.New(7))
+	e := New(Options{})
+	h := e.Register(g)
+	p := ldd.Params{Epsilon: 0.1, Seed: 3} // paper constants: seconds of work
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.ChangLi(ctx, h, p)
+	if err == nil {
+		t.Skip("machine fast enough to finish inside the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline-bounded request held for %v", elapsed)
+	}
+	if st := e.Stats(); st.Cancellations == 0 {
+		t.Fatal("cancellation not counted")
+	}
+	// The failure was not cached; a fresh unbounded request computes fine
+	// on a small graph.
+	h2 := e.Register(gen.Cycle(200))
+	p2 := ldd.Params{Epsilon: 0.3, Seed: 3, Scale: 0.05}
+	if _, err := e.ChangLi(context.Background(), h2, p2); err != nil {
+		t.Fatalf("engine unusable after deadline: %v", err)
+	}
+}
+
+// TestJoinerAbandonsWaitOnCancel verifies a singleflight joiner whose own
+// context dies stops waiting without disturbing the initiator's
+// computation.
+func TestJoinerAbandonsWaitOnCancel(t *testing.T) {
+	e := New(Options{})
+	release := make(chan struct{})
+	key := cacheKey{key: "test|slow"}
+
+	var initiator sync.WaitGroup
+	initiator.Add(1)
+	started := make(chan struct{})
+	go func() {
+		defer initiator.Done()
+		_, _ = e.do(context.Background(), key, func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := e.do(ctx, key, func(context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joiner err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	initiator.Wait()
+	// The initiator's result was cached despite the joiner bailing.
+	v, err := e.do(context.Background(), key, func(context.Context) (any, error) { return nil, nil })
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("initiator result lost: %v %v", v, err)
+	}
+	st := e.Stats()
+	if st.Dedup != 1 || st.Cancellations != 1 {
+		t.Fatalf("dedup=%d cancellations=%d, want 1 and 1", st.Dedup, st.Cancellations)
+	}
+}
+
+// TestJoinerRetriesAfterInitiatorCancelled verifies the foreign-cancel
+// path: when the initiating request is cancelled mid-compute, a joiner
+// with a live context retries the computation itself instead of
+// propagating the stranger's cancellation.
+func TestJoinerRetriesAfterInitiatorCancelled(t *testing.T) {
+	e := New(Options{})
+	key := cacheKey{key: "test|retry"}
+	initiatorCtx, cancelInitiator := context.WithCancel(context.Background())
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = e.do(initiatorCtx, key, func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	}()
+	<-started
+
+	joined := make(chan struct{})
+	var joinVal any
+	var joinErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(joined)
+		joinVal, joinErr = e.do(context.Background(), key, func(context.Context) (any, error) {
+			return "recomputed", nil
+		})
+	}()
+	<-joined
+	time.Sleep(20 * time.Millisecond) // let the joiner park on the entry
+	cancelInitiator()
+	wg.Wait()
+
+	if joinErr != nil || joinVal != "recomputed" {
+		t.Fatalf("joiner got (%v, %v), want recomputed", joinVal, joinErr)
+	}
+	if st := e.Stats(); st.Computations != 2 {
+		t.Fatalf("computations = %d, want 2 (cancelled + retry)", st.Computations)
+	}
+}
+
+// TestEvictionAndDedupCountersExposed pins the Stats satellite: evictions
+// and dedup joins are counted and visible in a snapshot.
+func TestEvictionAndDedupCountersExposed(t *testing.T) {
+	g := gen.Cycle(120)
+	e := New(Options{Capacity: 1})
+	h := e.Register(g)
+	for seed := uint64(0); seed < 3; seed++ {
+		if _, err := e.ChangLi(context.Background(), h, ldd.Params{Epsilon: 0.3, Seed: seed, Scale: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+}

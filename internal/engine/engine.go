@@ -1,28 +1,39 @@
-// Package engine is the concurrent serving layer over the decomposition
-// pipeline: it fronts ldd.ChangLi, ldd.SparseCover, and netdecomp.Decompose
-// behind a request API that amortizes work across callers. A decomposition
-// is computed at most once per (graph fingerprint, parameters) pair — an
-// LRU cache holds completed results, a singleflight table collapses N
-// concurrent identical requests into one underlying computation, and a
-// sync.Pool-backed workspace reservoir keeps the traversal scratch of the
-// batch query paths warm across requests.
+// Package engine is the concurrent serving layer over the algorithm
+// registry (internal/algo): any registered algorithm family is invocable by
+// name against a registered graph behind a request API that amortizes work
+// across callers. A result is computed at most once per (graph fingerprint,
+// algorithm, canonical parameters) triple — an LRU cache holds completed
+// results, a singleflight table collapses N concurrent identical requests
+// into one underlying computation, and a sync.Pool-backed workspace
+// reservoir keeps the traversal scratch of the batch query paths warm
+// across requests.
 //
-// The request flow for every decomposition call is
+// The request flow for every call is
 //
 //	fingerprint → cache lookup → singleflight join → compute → cache fill
 //
 // and the batch query methods (cluster-of-vertex, ball lookup, per-cluster
 // local solves) serve from the cached decomposition without recomputing it.
 //
+// Every request takes a context: a cancelled or deadline-expired request
+// stops promptly — computations poll the context in their outer loops, a
+// joiner abandons its singleflight wait without disturbing the computation,
+// and a computation cancelled by its initiating request is retried by any
+// surviving joiner whose own context is still live. Error results are never
+// cached.
+//
 // Results returned by the engine are shared across callers and must be
 // treated as immutable; copy anything you need to mutate.
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/algo"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/ilp"
@@ -34,8 +45,8 @@ import (
 
 // Options configures an Engine.
 type Options struct {
-	// Capacity bounds the number of cached decomposition results across
-	// all graphs and algorithms. <= 0 means the default (64).
+	// Capacity bounds the number of cached results across all graphs and
+	// algorithms. <= 0 means the default (64).
 	Capacity int
 }
 
@@ -55,22 +66,27 @@ type Stats struct {
 	// Dedup counts requests that joined an in-flight identical computation
 	// instead of starting their own (the singleflight savings).
 	Dedup uint64
-	// Computations counts underlying decomposition runs; Misses and
-	// Computations agree unless a computation panicked.
+	// Computations counts underlying algorithm runs; Misses and
+	// Computations agree unless a computation panicked or was retried
+	// after a cancelled initiator abandoned it.
 	Computations uint64
-	// Evictions counts cache entries dropped by the LRU policy.
+	// Evictions counts cache entries dropped by the LRU policy (capacity
+	// overflow or Unregister).
 	Evictions uint64
 	// Queries counts batch query calls (cluster-of, balls, local solves).
 	Queries uint64
+	// Cancellations counts requests that returned a context error
+	// (deadline exceeded or cancelled) instead of a result.
+	Cancellations uint64
 }
 
-// cacheKey identifies one decomposition result: the graph's content
-// fingerprint plus a canonical parameter encoding. Parallelism knobs
-// (ldd.Params.Workers) are deliberately excluded — results are
-// bit-identical for every worker count, so they must share a cache slot.
+// cacheKey identifies one cached result: the graph's content fingerprint
+// plus the algorithm's canonical cache key (name + canonicalized
+// parameters, parallelism knobs excluded — results are bit-identical for
+// every worker count, so they must share a cache slot).
 type cacheKey struct {
-	fp     graphio.Fingerprint
-	params string
+	fp  graphio.Fingerprint
+	key string
 }
 
 // entry is one cache slot: completed when ready is closed. Cluster
@@ -85,7 +101,7 @@ type entry struct {
 	clusters     [][]int32
 }
 
-// Engine is the concurrent decomposition server. The zero value is not
+// Engine is the concurrent algorithm server. The zero value is not
 // usable; construct with New. All methods are safe for concurrent use.
 type Engine struct {
 	capacity int
@@ -95,12 +111,13 @@ type Engine struct {
 	cache    *lruCache           // completed entries, LRU-bounded
 	inflight map[cacheKey]*entry // computations in progress
 
-	hits         atomic.Uint64
-	misses       atomic.Uint64
-	dedup        atomic.Uint64
-	computations atomic.Uint64
-	evictions    atomic.Uint64
-	queries      atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	dedup         atomic.Uint64
+	computations  atomic.Uint64
+	evictions     atomic.Uint64
+	queries       atomic.Uint64
+	cancellations atomic.Uint64
 
 	wsPool sync.Pool // *graph.Workspace reservoir for the query paths
 }
@@ -120,12 +137,13 @@ func New(o Options) *Engine {
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Hits:         e.hits.Load(),
-		Misses:       e.misses.Load(),
-		Dedup:        e.dedup.Load(),
-		Computations: e.computations.Load(),
-		Evictions:    e.evictions.Load(),
-		Queries:      e.queries.Load(),
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		Dedup:         e.dedup.Load(),
+		Computations:  e.computations.Load(),
+		Evictions:     e.evictions.Load(),
+		Queries:       e.queries.Load(),
+		Cancellations: e.cancellations.Load(),
 	}
 }
 
@@ -161,10 +179,10 @@ func (e *Engine) Register(g *graph.Graph) Handle {
 }
 
 // Unregister drops the engine's reference to h's graph and every cached
-// decomposition of it. Outstanding handles and results remain valid (they
-// hold their own references); subsequent requests through such a handle
-// simply recompute and re-cache. In-flight computations are left to finish
-// and cache normally.
+// result for it. Outstanding handles and results remain valid (they hold
+// their own references); subsequent requests through such a handle simply
+// recompute and re-cache. In-flight computations are left to finish and
+// cache normally.
 func (e *Engine) Unregister(h Handle) {
 	e.mu.Lock()
 	delete(e.graphs, h.fp)
@@ -174,49 +192,78 @@ func (e *Engine) Unregister(h Handle) {
 	e.mu.Unlock()
 }
 
-// do runs the cache → singleflight → compute flow for one request key.
-func (e *Engine) do(key cacheKey, compute func() any) (any, error) {
-	e.mu.Lock()
-	if ent, ok := e.cache.get(key); ok {
-		e.hits.Add(1)
+// ctxErr reports whether err is a context cancellation/deadline error.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// do runs the cache → singleflight → compute flow for one request key. The
+// compute closure receives the initiating request's context; a joiner whose
+// own context dies abandons the wait, and a joiner that outlives a
+// cancelled initiator retries the computation under its own context.
+func (e *Engine) do(ctx context.Context, key cacheKey, compute func(context.Context) (any, error)) (any, error) {
+	for {
+		e.mu.Lock()
+		if ent, ok := e.cache.get(key); ok {
+			e.hits.Add(1)
+			e.mu.Unlock()
+			return ent.val, nil
+		}
+		if ent, ok := e.inflight[key]; ok {
+			e.dedup.Add(1)
+			e.mu.Unlock()
+			select {
+			case <-ent.ready:
+			case <-ctx.Done():
+				e.cancellations.Add(1)
+				return nil, ctx.Err()
+			}
+			if ent.err != nil {
+				if ctxErr(ent.err) && ctx.Err() == nil {
+					// The initiator was cancelled, we were not: retry under
+					// our own context.
+					continue
+				}
+				if ctxErr(ent.err) {
+					e.cancellations.Add(1)
+				}
+				return nil, ent.err
+			}
+			return ent.val, nil
+		}
+		ent := &entry{ready: make(chan struct{})}
+		e.inflight[key] = ent
+		e.misses.Add(1)
 		e.mu.Unlock()
-		return ent.val, nil
-	}
-	if ent, ok := e.inflight[key]; ok {
-		e.dedup.Add(1)
-		e.mu.Unlock()
-		<-ent.ready
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					ent.err = fmt.Errorf("engine: computation for %q panicked: %v", key.key, r)
+				}
+				close(ent.ready)
+				e.mu.Lock()
+				delete(e.inflight, key)
+				if ent.err == nil {
+					if ev := e.cache.add(key, ent); ev > 0 {
+						e.evictions.Add(uint64(ev))
+					}
+				}
+				e.mu.Unlock()
+			}()
+			e.computations.Add(1)
+			ent.val, ent.err = compute(ctx)
+		}()
+		if ctxErr(ent.err) {
+			e.cancellations.Add(1)
+		}
 		return ent.val, ent.err
 	}
-	ent := &entry{ready: make(chan struct{})}
-	e.inflight[key] = ent
-	e.misses.Add(1)
-	e.mu.Unlock()
-
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				ent.err = fmt.Errorf("engine: computation for %q panicked: %v", key.params, r)
-			}
-			close(ent.ready)
-			e.mu.Lock()
-			delete(e.inflight, key)
-			if ent.err == nil {
-				if ev := e.cache.add(key, ent); ev > 0 {
-					e.evictions.Add(uint64(ev))
-				}
-			}
-			e.mu.Unlock()
-		}()
-		e.computations.Add(1)
-		ent.val = compute()
-	}()
-	return ent.val, ent.err
 }
 
 // getEntry is the read path of do used by the cluster queries: it returns
 // the entry itself so lazily materialized per-entry state can be shared.
-func (e *Engine) getEntry(key cacheKey, compute func() any) (*entry, error) {
+func (e *Engine) getEntry(ctx context.Context, key cacheKey, compute func(context.Context) (any, error)) (*entry, error) {
 	e.mu.Lock()
 	if ent, ok := e.cache.get(key); ok {
 		e.hits.Add(1)
@@ -224,7 +271,7 @@ func (e *Engine) getEntry(key cacheKey, compute func() any) (*entry, error) {
 		return ent, nil
 	}
 	e.mu.Unlock()
-	if _, err := e.do(key, compute); err != nil {
+	if _, err := e.do(ctx, key, compute); err != nil {
 		return nil, err
 	}
 	// The entry is now cached (do only stores successful computations).
@@ -235,62 +282,76 @@ func (e *Engine) getEntry(key cacheKey, compute func() any) (*entry, error) {
 	}
 	// Evicted between fill and re-read under heavy churn: extremely small
 	// window; surface as a retryable error rather than recursing.
-	return nil, fmt.Errorf("engine: result for %q evicted before use; raise Options.Capacity", key.params)
+	return nil, fmt.Errorf("engine: result for %q evicted before use; raise Options.Capacity", key.key)
 }
 
-func changLiKey(fp graphio.Fingerprint, p ldd.Params) cacheKey {
-	return cacheKey{fp: fp, params: fmt.Sprintf(
-		"changli|eps=%g|ntilde=%d|seed=%d|scale=%g|skip2=%t",
-		p.Epsilon, p.NTilde, p.Seed, p.Scale, p.SkipPhase2)}
-}
-
-func sparseCoverKey(fp graphio.Fingerprint, p ldd.ENParams) cacheKey {
-	return cacheKey{fp: fp, params: fmt.Sprintf(
-		"cover|lambda=%g|ntilde=%d|seed=%d", p.Lambda, p.NTilde, p.Seed)}
-}
-
-func netDecompKey(fp graphio.Fingerprint, p netdecomp.Params) cacheKey {
-	return cacheKey{fp: fp, params: fmt.Sprintf(
-		"net|lambda=%g|ntilde=%d|seed=%d", p.Lambda, p.NTilde, p.Seed)}
-}
-
-// ChangLi returns the Theorem 1.1 decomposition of h's graph under p,
-// computing it at most once per (fingerprint, params). The result is
-// shared; treat it as immutable.
-func (e *Engine) ChangLi(h Handle, p ldd.Params) (*ldd.Decomposition, error) {
-	v, err := e.do(changLiKey(h.fp, p), func() any { return ldd.ChangLi(h.g, p) })
+// Run invokes any registered algorithm by name against h's graph,
+// computing it at most once per (fingerprint, algorithm, canonical params).
+// The returned envelope is shared; treat it as immutable.
+func (e *Engine) Run(ctx context.Context, h Handle, name string, p algo.Params) (*algo.Result, error) {
+	s, ok := algo.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q", name)
+	}
+	key, err := s.CacheKey(p)
 	if err != nil {
 		return nil, err
 	}
-	return v.(*ldd.Decomposition), nil
+	v, err := e.do(ctx, cacheKey{fp: h.fp, key: key}, func(ctx context.Context) (any, error) {
+		return s.RunSpec(ctx, h.g, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*algo.Result), nil
+}
+
+// ChangLi returns the Theorem 1.1 decomposition of h's graph under p,
+// computing it at most once per (fingerprint, params). This is the typed
+// hot path of Run("changli", ...): it shares cache slots with the generic
+// path (algo.ChangLiKey == Spec.CacheKey by construction) while building
+// the key with a single Sprintf. The result is shared; treat it as
+// immutable.
+func (e *Engine) ChangLi(ctx context.Context, h Handle, p ldd.Params) (*ldd.Decomposition, error) {
+	v, err := e.do(ctx, cacheKey{fp: h.fp, key: algo.ChangLiKey(p)}, func(ctx context.Context) (any, error) {
+		return algo.RunChangLi(ctx, h.g, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*algo.Result).Raw.(*ldd.Decomposition), nil
 }
 
 // SparseCover returns the Lemma C.2 sparse cover of h's graph under p,
 // cached like ChangLi.
-func (e *Engine) SparseCover(h Handle, p ldd.ENParams) (*ldd.Cover, error) {
-	v, err := e.do(sparseCoverKey(h.fp, p), func() any { return ldd.SparseCover(h.g, nil, p) })
+func (e *Engine) SparseCover(ctx context.Context, h Handle, p ldd.ENParams) (*ldd.Cover, error) {
+	v, err := e.do(ctx, cacheKey{fp: h.fp, key: algo.SparseCoverKey(p)}, func(ctx context.Context) (any, error) {
+		return algo.RunSparseCover(ctx, h.g, p)
+	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*ldd.Cover), nil
+	return v.(*algo.Result).Raw.(*ldd.Cover), nil
 }
 
 // NetDecomp returns the Linial–Saks style colored network decomposition of
 // h's graph under p, cached like ChangLi.
-func (e *Engine) NetDecomp(h Handle, p netdecomp.Params) (*netdecomp.Decomposition, error) {
-	v, err := e.do(netDecompKey(h.fp, p), func() any { return netdecomp.Decompose(h.g, p) })
+func (e *Engine) NetDecomp(ctx context.Context, h Handle, p netdecomp.Params) (*netdecomp.Decomposition, error) {
+	v, err := e.do(ctx, cacheKey{fp: h.fp, key: algo.NetDecompKey(p)}, func(ctx context.Context) (any, error) {
+		return algo.RunNetDecomp(ctx, h.g, p)
+	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*netdecomp.Decomposition), nil
+	return v.(*algo.Result).Raw.(*netdecomp.Decomposition), nil
 }
 
 // ClusterOf answers a batch of cluster-of-vertex queries against the cached
 // ChangLi decomposition (computing it on first use). The returned slice is
 // caller-owned.
-func (e *Engine) ClusterOf(h Handle, p ldd.Params, vs []int32) ([]int32, error) {
+func (e *Engine) ClusterOf(ctx context.Context, h Handle, p ldd.Params, vs []int32) ([]int32, error) {
 	e.queries.Add(1)
-	d, err := e.ChangLi(h, p)
+	d, err := e.ChangLi(ctx, h, p)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +369,7 @@ func (e *Engine) ClusterOf(h Handle, p ldd.Params, vs []int32) ([]int32, error) 
 // out across the worker pool with per-worker workspaces drawn from the
 // engine's reservoir. workers <= 0 means GOMAXPROCS. The returned slices
 // are caller-owned.
-func (e *Engine) Balls(h Handle, vs []int32, radius, workers int) ([][]int32, error) {
+func (e *Engine) Balls(ctx context.Context, h Handle, vs []int32, radius, workers int) ([][]int32, error) {
 	e.queries.Add(1)
 	n := h.g.N()
 	for _, v := range vs {
@@ -325,12 +386,16 @@ func (e *Engine) Balls(h Handle, vs []int32, radius, workers int) ([][]int32, er
 	for i := range wss {
 		wss[i] = e.acquireWS()
 	}
-	par.ForEach(workers, len(vs), func(w, i int) {
+	err := par.ForEachCtx(ctx, workers, len(vs), func(w, i int) {
 		ball := h.g.BallWithWorkspace(wss[w], int(vs[i]), radius)
 		out[i] = append([]int32(nil), ball...)
 	})
 	for _, ws := range wss {
 		e.releaseWS(ws)
+	}
+	if err != nil {
+		e.cancellations.Add(1)
+		return nil, err
 	}
 	return out, nil
 }
@@ -351,33 +416,40 @@ type ClusterSolve struct {
 // solves out across the worker pool (workers <= 0 means GOMAXPROCS).
 // Packing instances use solve.PackingLocal, covering instances
 // solve.CoveringLocal; inst must have one variable per graph vertex.
-func (e *Engine) LocalSolves(h Handle, p ldd.Params, inst *ilp.Instance, opt solve.Options, workers int) ([]ClusterSolve, error) {
+func (e *Engine) LocalSolves(ctx context.Context, h Handle, p ldd.Params, inst *ilp.Instance, opt solve.Options, workers int) ([]ClusterSolve, error) {
 	e.queries.Add(1)
 	if inst.NumVars() != h.g.N() {
 		return nil, fmt.Errorf("engine: instance has %d variables, graph has %d vertices", inst.NumVars(), h.g.N())
 	}
-	key := changLiKey(h.fp, p)
-	ent, err := e.getEntry(key, func() any { return ldd.ChangLi(h.g, p) })
+	key := cacheKey{fp: h.fp, key: algo.ChangLiKey(p)}
+	ent, err := e.getEntry(ctx, key, func(ctx context.Context) (any, error) {
+		return algo.RunChangLi(ctx, h.g, p)
+	})
 	if err != nil {
 		return nil, err
 	}
-	d := ent.val.(*ldd.Decomposition)
+	d := ent.val.(*algo.Result).Raw.(*ldd.Decomposition)
 	ent.clustersOnce.Do(func() { ent.clusters = d.Clusters() })
 	clusters := ent.clusters
 
 	out := make([]ClusterSolve, len(clusters))
 	errs := make([]error, len(clusters))
-	par.ForEach(workers, len(clusters), func(_, c int) {
+	ferr := par.ForEachCtx(ctx, workers, len(clusters), func(_, c int) {
 		switch inst.Kind() {
 		case ilp.Covering:
-			_, val, m, err := solve.CoveringLocal(inst, clusters[c], opt)
+			_, val, m, err := solve.CoveringLocalCtx(ctx, inst, clusters[c], opt)
 			out[c] = ClusterSolve{Cluster: c, Value: val, Method: m}
 			errs[c] = err
 		default:
-			_, val, m := solve.PackingLocal(inst, clusters[c], opt)
+			_, val, m, err := solve.PackingLocalCtx(ctx, inst, clusters[c], opt)
 			out[c] = ClusterSolve{Cluster: c, Value: val, Method: m}
+			errs[c] = err
 		}
 	})
+	if ferr != nil {
+		e.cancellations.Add(1)
+		return nil, ferr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -386,5 +458,5 @@ func (e *Engine) LocalSolves(h Handle, p ldd.Params, inst *ilp.Instance, opt sol
 	return out, nil
 }
 
-func (e *Engine) acquireWS() *graph.Workspace { return e.wsPool.Get().(*graph.Workspace) }
+func (e *Engine) acquireWS() *graph.Workspace   { return e.wsPool.Get().(*graph.Workspace) }
 func (e *Engine) releaseWS(ws *graph.Workspace) { e.wsPool.Put(ws) }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -16,6 +17,9 @@ import (
 	"repro/internal/solve"
 	"repro/internal/xrand"
 )
+
+// bg is the uncancellable context of the plain request-path tests.
+var bg = context.Background()
 
 func testParams() ldd.Params {
 	return ldd.Params{Epsilon: 0.3, Seed: 11, Scale: 0.05}
@@ -37,7 +41,7 @@ func TestSingleflight64Goroutines(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait()
-			results[i], errs[i] = e.ChangLi(h, p)
+			results[i], errs[i] = e.ChangLi(bg, h, p)
 		}(i)
 	}
 	start.Done()
@@ -67,7 +71,7 @@ func TestSingleflight64Goroutines(t *testing.T) {
 	direct := ldd.ChangLi(g, p)
 	pw := p
 	pw.Workers = 3
-	if got, err := e.ChangLi(h, pw); err != nil || got != results[0] {
+	if got, err := e.ChangLi(bg, h, pw); err != nil || got != results[0] {
 		t.Fatalf("Workers-only param change missed the cache: %v %v", got, err)
 	}
 	if len(direct.ClusterOf) != len(results[0].ClusterOf) {
@@ -85,12 +89,12 @@ func TestCacheHitDoesZeroWork(t *testing.T) {
 	e := New(Options{})
 	h := e.Register(g)
 	p := testParams()
-	if _, err := e.ChangLi(h, p); err != nil {
+	if _, err := e.ChangLi(bg, h, p); err != nil {
 		t.Fatal(err)
 	}
 	before := e.Stats()
 	for i := 0; i < 100; i++ {
-		if _, err := e.ChangLi(h, p); err != nil {
+		if _, err := e.ChangLi(bg, h, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,26 +114,26 @@ func TestDistinctParamsAndAlgorithmsMiss(t *testing.T) {
 	p := testParams()
 	p2 := p
 	p2.Seed++
-	if _, err := e.ChangLi(h, p); err != nil {
+	if _, err := e.ChangLi(bg, h, p); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.ChangLi(h, p2); err != nil {
+	if _, err := e.ChangLi(bg, h, p2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.SparseCover(h, ldd.ENParams{Lambda: 0.5, Seed: 2}); err != nil {
+	if _, err := e.SparseCover(bg, h, ldd.ENParams{Lambda: 0.5, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.NetDecomp(h, netdecomp.Params{Lambda: 0.5, Seed: 3}); err != nil {
+	if _, err := e.NetDecomp(bg, h, netdecomp.Params{Lambda: 0.5, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Computations != 4 {
 		t.Fatalf("4 distinct requests ran %d computations", st.Computations)
 	}
 	// All four now served from cache.
-	e.ChangLi(h, p)
-	e.ChangLi(h, p2)
-	e.SparseCover(h, ldd.ENParams{Lambda: 0.5, Seed: 2})
-	e.NetDecomp(h, netdecomp.Params{Lambda: 0.5, Seed: 3})
+	e.ChangLi(bg, h, p)
+	e.ChangLi(bg, h, p2)
+	e.SparseCover(bg, h, ldd.ENParams{Lambda: 0.5, Seed: 2})
+	e.NetDecomp(bg, h, netdecomp.Params{Lambda: 0.5, Seed: 3})
 	if st := e.Stats(); st.Computations != 4 {
 		t.Fatalf("cache round ran %d computations, want 4", st.Computations)
 	}
@@ -143,7 +147,7 @@ func TestLRUEviction(t *testing.T) {
 	for seed := uint64(0); seed < 3; seed++ {
 		pp := p
 		pp.Seed = seed
-		if _, err := e.ChangLi(h, pp); err != nil {
+		if _, err := e.ChangLi(bg, h, pp); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -153,7 +157,7 @@ func TestLRUEviction(t *testing.T) {
 	// seed 0 was evicted; re-requesting recomputes it.
 	pp := p
 	pp.Seed = 0
-	if _, err := e.ChangLi(h, pp); err != nil {
+	if _, err := e.ChangLi(bg, h, pp); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Computations != 4 {
@@ -161,7 +165,7 @@ func TestLRUEviction(t *testing.T) {
 	}
 	// seed 2 is still resident (most recently used before the refill).
 	pp.Seed = 2
-	e.ChangLi(h, pp)
+	e.ChangLi(bg, h, pp)
 	if st := e.Stats(); st.Computations != 4 {
 		t.Fatalf("resident entry recomputed (computations = %d)", st.Computations)
 	}
@@ -196,8 +200,8 @@ func TestRegisterCollapsesEqualGraphs(t *testing.T) {
 		t.Fatal("equal-fingerprint graphs not collapsed to one instance")
 	}
 	p := testParams()
-	e.ChangLi(h1, p)
-	e.ChangLi(h2, p)
+	e.ChangLi(bg, h1, p)
+	e.ChangLi(bg, h2, p)
 	if st := e.Stats(); st.Computations != 1 {
 		t.Fatalf("cross-handle requests ran %d computations, want 1", st.Computations)
 	}
@@ -208,12 +212,12 @@ func TestClusterOfBatch(t *testing.T) {
 	e := New(Options{})
 	h := e.Register(g)
 	p := testParams()
-	d, err := e.ChangLi(h, p)
+	d, err := e.ChangLi(bg, h, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	vs := []int32{0, 5, 99, 42}
-	got, err := e.ClusterOf(h, p, vs)
+	got, err := e.ClusterOf(bg, h, p, vs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +226,7 @@ func TestClusterOfBatch(t *testing.T) {
 			t.Fatalf("vertex %d: got cluster %d, want %d", v, got[i], d.ClusterOf[v])
 		}
 	}
-	if _, err := e.ClusterOf(h, p, []int32{100}); err == nil {
+	if _, err := e.ClusterOf(bg, h, p, []int32{100}); err == nil {
 		t.Fatal("out-of-range vertex accepted")
 	}
 	if st := e.Stats(); st.Computations != 1 {
@@ -236,7 +240,7 @@ func TestBallsBatch(t *testing.T) {
 	h := e.Register(g)
 	vs := []int32{0, 17, 123, 299, 17}
 	for _, workers := range []int{1, 4} {
-		got, err := e.Balls(h, vs, 2, workers)
+		got, err := e.Balls(bg, h, vs, 2, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,11 +263,11 @@ func TestBallsValidatesVertices(t *testing.T) {
 	e := New(Options{})
 	h := e.Register(g)
 	for _, v := range []int32{-1, 10} {
-		if _, err := e.Balls(h, []int32{0, v}, 1, 2); err == nil {
+		if _, err := e.Balls(bg, h, []int32{0, v}, 1, 2); err == nil {
 			t.Fatalf("vertex %d accepted", v)
 		}
 	}
-	if got, err := e.Balls(h, nil, 1, 0); err != nil || len(got) != 0 {
+	if got, err := e.Balls(bg, h, nil, 1, 0); err != nil || len(got) != 0 {
 		t.Fatalf("empty batch: %v %v", got, err)
 	}
 }
@@ -273,7 +277,7 @@ func TestUnregisterDropsGraphAndCache(t *testing.T) {
 	e := New(Options{})
 	h := e.Register(g)
 	p := testParams()
-	if _, err := e.ChangLi(h, p); err != nil {
+	if _, err := e.ChangLi(bg, h, p); err != nil {
 		t.Fatal(err)
 	}
 	e.Unregister(h)
@@ -281,7 +285,7 @@ func TestUnregisterDropsGraphAndCache(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 	// The old handle still works; the result is recomputed and re-cached.
-	if _, err := e.ChangLi(h, p); err != nil {
+	if _, err := e.ChangLi(bg, h, p); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Computations != 2 {
@@ -305,11 +309,11 @@ func TestLocalSolves(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := e.LocalSolves(h, p, inst, solve.Options{}, 0)
+		sol, err := e.LocalSolves(bg, h, p, inst, solve.Options{}, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", prob, err)
 		}
-		d, _ := e.ChangLi(h, p)
+		d, _ := e.ChangLi(bg, h, p)
 		clusters := d.Clusters()
 		if len(sol) != len(clusters) {
 			t.Fatalf("%s: %d solves for %d clusters", prob, len(sol), len(clusters))
@@ -339,20 +343,20 @@ func TestLocalSolves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.LocalSolves(h, p, bad, solve.Options{}, 0); err == nil {
+	if _, err := e.LocalSolves(bg, h, p, bad, solve.Options{}, 0); err == nil {
 		t.Fatal("instance/graph size mismatch accepted")
 	}
 }
 
 func TestComputePanicBecomesError(t *testing.T) {
 	e := New(Options{})
-	key := cacheKey{params: "test|panic"}
-	_, err := e.do(key, func() any { panic("kaboom") })
+	key := cacheKey{key: "test|panic"}
+	_, err := e.do(bg, key, func(context.Context) (any, error) { panic("kaboom") })
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("panic not surfaced as error: %v", err)
 	}
 	// The failed computation is not cached: a later request recomputes.
-	v, err := e.do(key, func() any { return 7 })
+	v, err := e.do(bg, key, func(context.Context) (any, error) { return 7, nil })
 	if err != nil || v.(int) != 7 {
 		t.Fatalf("recovery request failed: %v %v", v, err)
 	}
@@ -364,7 +368,7 @@ func TestComputePanicBecomesError(t *testing.T) {
 func TestErrorsWrapNothingWeird(t *testing.T) {
 	// Engine errors are plain wrapped errors, usable with errors.Is/As.
 	e := New(Options{})
-	_, err := e.do(cacheKey{params: "x"}, func() any { panic(errors.New("inner")) })
+	_, err := e.do(bg, cacheKey{key: "x"}, func(context.Context) (any, error) { panic(errors.New("inner")) })
 	if err == nil {
 		t.Fatal("expected error")
 	}

@@ -1,5 +1,5 @@
 // Package expt is the experiment harness: one function per experiment in
-// the index of DESIGN.md (E1–E13), each regenerating the corresponding
+// the index of DESIGN.md (E1–E14), each regenerating the corresponding
 // "table" of the reproduction. The paper is a theory paper with no
 // empirical tables of its own, so each experiment measures the quantity a
 // theorem bounds and reports whether the claimed shape holds (see
@@ -11,6 +11,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -24,6 +25,9 @@ type Config struct {
 	// Quick shrinks trial counts and graph sizes (used by the benchmark
 	// targets so `go test -bench=.` completes in minutes).
 	Quick bool
+	// Ctx bounds the run (nil means context.Background()): experiments
+	// that invoke algorithms through the registry stop at its deadline.
+	Ctx context.Context
 }
 
 func (c Config) trials(full, quick int) int {
@@ -124,6 +128,7 @@ func All() []Experiment {
 		{"E11", "k-distance dominating set (Def. 1.3 example)", E11KDomSet},
 		{"E12", "concentration lemmas A.1-A.2 empirical tails", E12Concentration},
 		{"E13", "spanner size tail (Sec 6 / FGdV22 open question)", E13SpannerTail},
+		{"E14", "unified algorithm registry sweep", E14RegistrySweep},
 	}
 	sort.Slice(exps, func(i, j int) bool { return lessID(exps[i].ID, exps[j].ID) })
 	return exps

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(exps))
 	}
 	// IDs are E1..E12 in numeric order.
 	for i, e := range exps {

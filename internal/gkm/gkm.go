@@ -27,6 +27,7 @@
 package gkm
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -83,15 +84,28 @@ func (p Params) horizon(nTilde int) int {
 // this guarantees that any constraint touching a removed ball lies entirely
 // within the one-larger ball.
 func SolvePacking(inst *ilp.Instance, p Params) *Result {
-	return run(inst, p, true)
+	r, _ := run(context.Background(), inst, p, true)
+	return r
+}
+
+// SolvePackingCtx is SolvePacking with cancellation: the context is
+// checked per color class and per carved cluster.
+func SolvePackingCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error) {
+	return run(ctx, inst, p, true)
 }
 
 // SolveCovering runs the baseline on a covering instance.
 func SolveCovering(inst *ilp.Instance, p Params) *Result {
-	return run(inst, p, false)
+	r, _ := run(context.Background(), inst, p, false)
+	return r
 }
 
-func run(inst *ilp.Instance, p Params, packing bool) *Result {
+// SolveCoveringCtx is SolveCovering with cancellation.
+func SolveCoveringCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error) {
+	return run(ctx, inst, p, false)
+}
+
+func run(ctx context.Context, inst *ilp.Instance, p Params, packing bool) (*Result, error) {
 	g := inst.Hypergraph().Primal()
 	n := g.N()
 	nTilde := p.NTilde
@@ -106,7 +120,10 @@ func run(inst *ilp.Instance, p Params, packing bool) *Result {
 	// Step 2: network decomposition of G^{2k}. Building the power graph is
 	// free locally; the decomposition itself costs rounds_nd * 2k in G.
 	power := g.PowerWithWorkspace(ws, 2*k)
-	nd := netdecomp.Decompose(power, netdecomp.Params{NTilde: nTilde, Seed: p.Seed})
+	nd, err := netdecomp.DecomposeCtx(ctx, power, netdecomp.Params{NTilde: nTilde, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
 	rc.Charge(nd.Rounds * 2 * k)
 
 	alive := make([]bool, n)
@@ -124,10 +141,16 @@ func run(inst *ilp.Instance, p Params, packing bool) *Result {
 	byColor := nd.ClustersByColor()
 	var scratch gkmScratch
 	for _, clusterIDs := range byColor {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Same-color clusters are > 2k apart in G; their k-radius carving
 		// regions are disjoint, so they run in parallel: one phase.
 		rc.StartPhase()
 		for _, cid := range clusterIDs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cluster := clusters[cid]
 			// The cluster leader gathers N^k(cluster) and simulates the
 			// sequential carving for the centres inside the cluster.
@@ -159,7 +182,7 @@ func run(inst *ilp.Instance, p Params, packing bool) *Result {
 		Exact:    exact,
 		Colors:   nd.NumColors,
 		Horizon:  k,
-	}
+	}, nil
 }
 
 // carve runs the sequential ball-growing step at a centre on the residual

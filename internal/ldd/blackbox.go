@@ -1,6 +1,7 @@
 package ldd
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -38,6 +39,13 @@ type BlackboxParams struct {
 //     left at the end (≤ O(εn) in expectation/whp, per the proof sketch)
 //     is deleted.
 func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
+	d, _ := BlackboxCtx(context.Background(), g, p)
+	return d
+}
+
+// BlackboxCtx is Blackbox with cancellation: the context is checked once
+// per repetition, per inner base decomposition, and per carved cluster.
+func BlackboxCtx(ctx context.Context, g *graph.Graph, p BlackboxParams) (*Decomposition, error) {
 	n := g.N()
 	eps := p.Epsilon
 	if eps <= 0 {
@@ -74,7 +82,11 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 	gws := graph.AcquireWorkspace()
 	defer graph.ReleaseWorkspace(gws)
 	var aliveList, back, seedSet []int32
+	done := ctx.Done()
 	for rep := 0; rep < reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Materialize the alive-induced subgraph and its k-th power.
 		aliveList = aliveList[:0]
 		for v := 0; v < n; v++ {
@@ -97,10 +109,14 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 		// Base (1/2, O(log n)) decomposition on the power graph.
 		seed := rootRNG.Split(uint64(rep) + 0xb1ac).Uint64()
 		var base *Decomposition
+		var err error
 		if p.UseElkinNeimanBase {
-			base = ElkinNeiman(power, nil, ENParams{Lambda: 0.5, NTilde: nTilde, Seed: seed})
+			base, err = ElkinNeimanCtx(ctx, power, nil, ENParams{Lambda: 0.5, NTilde: nTilde, Seed: seed})
 		} else {
-			base = ChangLi(power, Params{Epsilon: 0.5, NTilde: nTilde, Seed: seed, Scale: p.Scale})
+			base, err = ChangLiCtx(ctx, power, Params{Epsilon: 0.5, NTilde: nTilde, Seed: seed, Scale: p.Scale})
+		}
+		if err != nil {
+			return nil, err
 		}
 		rc.Charge(base.Rounds * k) // power-graph rounds simulated in G
 
@@ -113,6 +129,13 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 		rc.StartPhase()
 		carved := 0
 		for _, cluster := range base.Clusters() {
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			// Map power-graph ids back to g's ids.
 			seedSet = seedSet[:0]
 			for _, v := range cluster {
@@ -155,6 +178,5 @@ func Blackbox(g *graph.Graph, p BlackboxParams) *Decomposition {
 	}
 	// Whatever is still alive after the repetitions is deleted.
 	num := relabel(clusterOf)
-	return &Decomposition{ClusterOf: clusterOf, NumClusters: num, Rounds: rc.Total()}
+	return &Decomposition{ClusterOf: clusterOf, NumClusters: num, Rounds: rc.Total()}, nil
 }
-

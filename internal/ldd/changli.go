@@ -1,6 +1,7 @@
 package ldd
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -102,11 +103,13 @@ func derive(n int, p Params) Derived {
 // the radius reaches the whole component, the component size is used, which
 // avoids the O(n·m) blowup at paper-scale radii. The per-vertex ball
 // queries are independent and fan out across the worker pool, each worker
-// on its own traversal workspace.
-func ballSizes(g *graph.Graph, alive []bool, radius, workers int) []int {
+// on its own traversal workspace; cancelling ctx stops the fan-out between
+// tasks.
+func ballSizes(ctx context.Context, g *graph.Graph, alive []bool, radius, workers int) ([]int, error) {
 	n := g.N()
 	sizes := make([]int, n)
 	cws := graph.AcquireWorkspace()
+	defer graph.ReleaseWorkspace(cws)
 	comp, count := g.ComponentsAliveWithWorkspace(cws, alive)
 	compSize := make([]int, count)
 	for v := 0; v < n; v++ {
@@ -116,7 +119,8 @@ func ballSizes(g *graph.Graph, alive []bool, radius, workers int) []int {
 	}
 	workers = par.Workers(workers)
 	wss := acquireGraphWorkspaces(workers)
-	par.ForEach(workers, n, func(w, v int) {
+	defer releaseGraphWorkspaces(wss)
+	err := par.ForEachCtx(ctx, workers, n, func(w, v int) {
 		if alive != nil && !alive[v] {
 			return
 		}
@@ -128,9 +132,10 @@ func ballSizes(g *graph.Graph, alive []bool, radius, workers int) []int {
 		}
 		sizes[v] = len(g.BallAliveWithWorkspace(wss[w], v, radius, alive))
 	})
-	releaseGraphWorkspaces(wss)
-	graph.ReleaseWorkspace(cws)
-	return sizes
+	if err != nil {
+		return nil, err
+	}
+	return sizes, nil
 }
 
 // ChangLi runs the Theorem 1.1 low-diameter decomposition: Phase 1 (t
@@ -140,6 +145,16 @@ func ballSizes(g *graph.Graph, alive []bool, radius, workers int) []int {
 // unclustered vertices holds with probability 1 - 1/poly(n); every cluster
 // has weak diameter O(t·R).
 func ChangLi(g *graph.Graph, p Params) *Decomposition {
+	d, _ := ChangLiCtx(context.Background(), g, p)
+	return d
+}
+
+// ChangLiCtx is ChangLi with cancellation: the context is checked between
+// phases and between the independent tasks of each fan-out (never
+// per-vertex inside a traversal), so a cancelled or deadline-expired run
+// returns ctx.Err() promptly, releases its pooled workspaces, and leaves
+// no goroutines behind.
+func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, error) {
 	n := g.N()
 	d := derive(n, p)
 	eps := p.Epsilon
@@ -162,10 +177,14 @@ func ChangLi(g *graph.Graph, p Params) *Decomposition {
 	rc.StartPhase()
 	rc.Charge(min(d.EstimateRadius, n))
 	rc.EndPhase()
-	nv := ballSizes(g, alive, d.EstimateRadius, p.Workers)
+	nv, err := ballSizes(ctx, g, alive, d.EstimateRadius, p.Workers)
+	if err != nil {
+		return nil, err
+	}
 
 	workers := par.Workers(p.Workers)
 	wss := acquireGraphWorkspaces(workers)
+	defer releaseGraphWorkspaces(wss)
 	var centres []int32
 	iterations := d.T
 	if !p.SkipPhase2 {
@@ -197,9 +216,12 @@ func ChangLi(g *graph.Graph, p Params) *Decomposition {
 			}
 		}
 		outcomes := make([]*CarveOutcome, len(centres))
-		par.ForEach(workers, len(centres), func(w, j int) {
+		err := par.ForEachCtx(ctx, workers, len(centres), func(w, j int) {
 			outcomes[j] = GrowCarveWS(g, int(centres[j]), interval[0], interval[1], alive, wss[w])
 		})
+		if err != nil {
+			return nil, err
+		}
 		for _, oc := range outcomes {
 			if oc != nil {
 				rc.Charge(interval[1])
@@ -208,14 +230,16 @@ func ChangLi(g *graph.Graph, p Params) *Decomposition {
 		rc.EndPhase()
 		applyCarves(outcomes, alive, removed, deletedMark)
 	}
-	releaseGraphWorkspaces(wss)
 
 	// Phase 3: Elkin–Neiman with λ = ε/10 on the residual graph.
-	en := ElkinNeiman(g, alive, ENParams{
+	en, err := ElkinNeimanCtx(ctx, g, alive, ENParams{
 		Lambda: eps / 10,
 		NTilde: d.NTilde,
 		Seed:   xrand.New(p.Seed).Split(phase3Label).Uint64(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	rc.Charge(en.Rounds)
 
 	// Assemble: carve clusters are the connected components of the removed
@@ -242,5 +266,5 @@ func ChangLi(g *graph.Graph, p Params) *Decomposition {
 		ClusterOf:   clusterOf,
 		NumClusters: num,
 		Rounds:      rc.Total(),
-	}
+	}, nil
 }

@@ -1,6 +1,7 @@
 package ldd
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -82,7 +83,12 @@ type labelItem struct {
 // the workspace (the per-vertex slices keep their capacity across calls, so
 // warm runs allocate only when a vertex collects more labels than ever
 // before).
-func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack float64, ws *Workspace) [][]label {
+// done is an optional cancellation channel (nil means uncancellable): the
+// pop loop polls it every topLabelsCheckMask+1 pops — a coarse stride, so
+// the warm path pays one closed-channel poll per ~4k pops — and returns
+// (nil, false) when it fires; callers must then discard the workspace
+// contents of this call (the workspace itself stays reusable).
+func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack float64, ws *Workspace, done <-chan struct{}) ([][]label, bool) {
 	n := g.N()
 	ws.reserve(n)
 	out := ws.labels[:n]
@@ -97,7 +103,17 @@ func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack f
 		pq = append(pq, labelItem{label: label{source: int32(v), value: shifts[v]}, vertex: int32(v)})
 	}
 	heapInit(pq)
+	pops := 0
 	for len(pq) > 0 {
+		if done != nil && pops&topLabelsCheckMask == 0 {
+			select {
+			case <-done:
+				ws.heap = pq
+				return nil, false
+			default:
+			}
+		}
+		pops++
 		var it labelItem
 		pq, it = heapPop(pq)
 		v := it.vertex
@@ -142,8 +158,12 @@ func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack f
 		}
 	}
 	ws.heap = pq
-	return out
+	return out, true
 }
+
+// topLabelsCheckMask sets the cancellation polling stride of topLabels:
+// one non-blocking channel poll every 4096 heap pops.
+const topLabelsCheckMask = 4095
 
 // ElkinNeiman runs the Lemma C.1 decomposition on the alive-induced
 // subgraph of g (alive == nil means the whole graph). Each vertex is deleted
@@ -157,14 +177,44 @@ func ElkinNeiman(g *graph.Graph, alive []bool, p ENParams) *Decomposition {
 	return d
 }
 
+// ElkinNeimanCtx is ElkinNeiman with cancellation (see ChangLiCtx).
+func ElkinNeimanCtx(ctx context.Context, g *graph.Graph, alive []bool, p ENParams) (*Decomposition, error) {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	return ElkinNeimanWSCtx(ctx, g, alive, p, ws)
+}
+
 // ElkinNeimanWS is ElkinNeiman running on a caller-owned Workspace; loops
 // that run many decompositions (preparation phases, netdecomp) hold one
 // workspace per goroutine and call this directly.
 func ElkinNeimanWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace) *Decomposition {
+	d, _ := elkinNeimanWS(g, alive, p, ws, nil)
+	return d
+}
+
+// ElkinNeimanWSCtx is ElkinNeimanWS with cancellation.
+func ElkinNeimanWSCtx(ctx context.Context, g *graph.Graph, alive []bool, p ENParams, ws *Workspace) (*Decomposition, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d, ok := elkinNeimanWS(g, alive, p, ws, ctx.Done())
+	if !ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	return d, nil
+}
+
+func elkinNeimanWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace, done <-chan struct{}) (*Decomposition, bool) {
 	n := g.N()
 	ws.reserve(n)
 	shifts, maxT := enShifts(n, p, ws)
-	labels := topLabels(g, alive, shifts, 2, 1.0, ws)
+	labels, ok := topLabels(g, alive, shifts, 2, 1.0, ws, done)
+	if !ok {
+		return nil, false
+	}
 	clusterOf := make([]int32, n)
 	for v := 0; v < n; v++ {
 		clusterOf[v] = Unclustered
@@ -185,7 +235,7 @@ func ElkinNeimanWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace) *Dec
 		ClusterOf:   clusterOf,
 		NumClusters: num,
 		Rounds:      int(math.Ceil(maxT)),
-	}
+	}, true
 }
 
 // MPXResult is the output of the Miller–Peng–Xu edge decomposition: every
@@ -202,12 +252,35 @@ type MPXResult struct {
 // exhibits graphs where the realized count exceeds any constant fraction
 // with probability Omega(lambda).
 func MPX(g *graph.Graph, p ENParams) *MPXResult {
+	r, _ := mpx(g, p, nil)
+	return r
+}
+
+// MPXCtx is MPX with cancellation (see ChangLiCtx).
+func MPXCtx(ctx context.Context, g *graph.Graph, p ENParams) (*MPXResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r, ok := mpx(g, p, ctx.Done())
+	if !ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	return r, nil
+}
+
+func mpx(g *graph.Graph, p ENParams, done <-chan struct{}) (*MPXResult, bool) {
 	ws := AcquireWorkspace()
 	defer ReleaseWorkspace(ws)
 	n := g.N()
 	ws.reserve(n)
 	shifts, maxT := enShifts(n, p, ws)
-	labels := topLabels(g, nil, shifts, 1, 0, ws)
+	labels, ok := topLabels(g, nil, shifts, 1, 0, ws, done)
+	if !ok {
+		return nil, false
+	}
 	clusterOf := make([]int32, n)
 	for v := 0; v < n; v++ {
 		clusterOf[v] = Unclustered
@@ -227,5 +300,5 @@ func MPX(g *graph.Graph, p ENParams) *MPXResult {
 		NumClusters: num,
 		Rounds:      int(math.Ceil(maxT)),
 	}
-	return res
+	return res, true
 }

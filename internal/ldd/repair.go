@@ -1,6 +1,7 @@
 package ldd
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -64,6 +65,14 @@ func SequentialLDD(g *graph.Graph, mask []bool, epsilon float64) (clusters [][]i
 // small-diameter clusters and unclustering the (≤ ε/2 fraction) boundary
 // vertices. target <= 0 means the ideal bound 2·log_{1+ε/2}(ñ).
 func RepairDiameter(g *graph.Graph, d *Decomposition, epsilon float64, target int) *Decomposition {
+	out, _ := RepairDiameterCtx(context.Background(), g, d, epsilon, target)
+	return out
+}
+
+// RepairDiameterCtx is RepairDiameter with cancellation: the context is
+// checked once per cluster (each cluster repair is a bounded local
+// recomputation).
+func RepairDiameterCtx(ctx context.Context, g *graph.Graph, d *Decomposition, epsilon float64, target int) (*Decomposition, error) {
 	if epsilon <= 0 {
 		epsilon = 0.5
 	}
@@ -76,7 +85,15 @@ func RepairDiameter(g *graph.Graph, d *Decomposition, epsilon float64, target in
 	}
 	nextID := int32(0)
 	mask := make([]bool, g.N())
+	done := ctx.Done()
 	for _, cluster := range d.Clusters() {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		needsRepair := false
 		if len(cluster) > 1 {
 			sd := g.StrongDiameter(cluster)
@@ -109,5 +126,5 @@ func RepairDiameter(g *graph.Graph, d *Decomposition, epsilon float64, target in
 		}
 	}
 	out.NumClusters = int(nextID)
-	return out
+	return out, nil
 }

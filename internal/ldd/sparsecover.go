@@ -1,6 +1,7 @@
 package ldd
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -76,17 +77,47 @@ func SparseCover(g *graph.Graph, alive []bool, p ENParams) *Cover {
 	return c
 }
 
+// SparseCoverCtx is SparseCover with cancellation (see ChangLiCtx).
+func SparseCoverCtx(ctx context.Context, g *graph.Graph, alive []bool, p ENParams) (*Cover, error) {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	return SparseCoverWSCtx(ctx, g, alive, p, ws)
+}
+
+// SparseCoverWSCtx is SparseCoverWS with cancellation.
+func SparseCoverWSCtx(ctx context.Context, g *graph.Graph, alive []bool, p ENParams, ws *Workspace) (*Cover, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, ok := sparseCoverWS(g, alive, p, ws, ctx.Done())
+	if !ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	return c, nil
+}
+
 // SparseCoverWS is SparseCover running on a caller-owned Workspace; the
 // preparation phase of the covering solver runs Θ(log ñ) of these and hands
 // each worker goroutine its own workspace. The returned Cover is freshly
 // allocated (it does not alias the workspace).
 func SparseCoverWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace) *Cover {
+	c, _ := sparseCoverWS(g, alive, p, ws, nil)
+	return c
+}
+
+func sparseCoverWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace, done <-chan struct{}) (*Cover, bool) {
 	n := g.N()
 	ws.reserve(n)
 	shifts, maxT := enShifts(n, p, ws)
 	// keep = n would be exact; the window prune (slack 1) already discards
 	// everything that cannot join, so a generous keep bound costs little.
-	labels := topLabels(g, alive, shifts, n, 1.0, ws)
+	labels, ok := topLabels(g, alive, shifts, n, 1.0, ws, done)
+	if !ok {
+		return nil, false
+	}
 	cover := &Cover{
 		MemberOf: make([][]int32, n),
 		Rounds:   int(math.Ceil(maxT)),
@@ -119,7 +150,7 @@ func SparseCoverWS(g *graph.Graph, alive []bool, p ENParams, ws *Workspace) *Cov
 			cover.MemberOf[v] = append(cover.MemberOf[v], id)
 		}
 	}
-	return cover
+	return cover, true
 }
 
 // VerifyCover checks the Lemma C.2 guarantee that every hyperedge of h is

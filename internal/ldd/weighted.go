@@ -1,6 +1,7 @@
 package ldd
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -69,8 +70,14 @@ func weightedCarve(g *graph.Graph, v int, a, b int, alive []bool, w []int64, ws 
 // nonnegative; nil weights degrade to ChangLi. Zero-weight vertices are
 // never sampled as centres but are clustered or deleted like any other.
 func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
+	d, _ := ChangLiWeightedCtx(context.Background(), g, w, p)
+	return d
+}
+
+// ChangLiWeightedCtx is ChangLiWeighted with cancellation (see ChangLiCtx).
+func ChangLiWeightedCtx(ctx context.Context, g *graph.Graph, w []int64, p Params) (*Decomposition, error) {
 	if w == nil {
-		return ChangLi(g, p)
+		return ChangLiCtx(ctx, g, p)
 	}
 	n := g.N()
 	d := derive(n, p)
@@ -90,10 +97,14 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 	rc.StartPhase()
 	rc.Charge(min(d.EstimateRadius, n))
 	rc.EndPhase()
-	ballW := ballWeights(g, alive, d.EstimateRadius, w, p.Workers)
+	ballW, err := ballWeights(ctx, g, alive, d.EstimateRadius, w, p.Workers)
+	if err != nil {
+		return nil, err
+	}
 
 	workers := par.Workers(p.Workers)
 	wss := acquireGraphWorkspaces(workers)
+	defer releaseGraphWorkspaces(wss)
 	var centres []int32
 	iterations := d.T
 	if !p.SkipPhase2 {
@@ -122,9 +133,12 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 			}
 		}
 		outcomes := make([]*CarveOutcome, len(centres))
-		par.ForEach(workers, len(centres), func(wk, j int) {
+		err := par.ForEachCtx(ctx, workers, len(centres), func(wk, j int) {
 			outcomes[j] = weightedCarve(g, int(centres[j]), interval[0], interval[1], alive, w, wss[wk])
 		})
+		if err != nil {
+			return nil, err
+		}
 		for _, oc := range outcomes {
 			if oc != nil {
 				rc.Charge(interval[1])
@@ -133,13 +147,15 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 		rc.EndPhase()
 		applyCarves(outcomes, alive, removed, deletedMark)
 	}
-	releaseGraphWorkspaces(wss)
 
-	en := ElkinNeiman(g, alive, ENParams{
+	en, err := ElkinNeimanCtx(ctx, g, alive, ENParams{
 		Lambda: eps / 10,
 		NTilde: d.NTilde,
 		Seed:   xrand.New(p.Seed).Split(phase3Label + 1).Uint64(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	rc.Charge(en.Rounds)
 
 	clusterOf := make([]int32, n)
@@ -158,15 +174,16 @@ func ChangLiWeighted(g *graph.Graph, w []int64, p Params) *Decomposition {
 		}
 	}
 	num := relabel(clusterOf)
-	return &Decomposition{ClusterOf: clusterOf, NumClusters: num, Rounds: rc.Total()}
+	return &Decomposition{ClusterOf: clusterOf, NumClusters: num, Rounds: rc.Total()}, nil
 }
 
 // ballWeights computes W(N^radius(v)) in the alive-induced subgraph, with
 // the whole-component shortcut of ballSizes and the same worker fan-out.
-func ballWeights(g *graph.Graph, alive []bool, radius int, w []int64, workers int) []int64 {
+func ballWeights(ctx context.Context, g *graph.Graph, alive []bool, radius int, w []int64, workers int) ([]int64, error) {
 	n := g.N()
 	out := make([]int64, n)
 	cws := graph.AcquireWorkspace()
+	defer graph.ReleaseWorkspace(cws)
 	comp, count := g.ComponentsAliveWithWorkspace(cws, alive)
 	compW := make([]int64, count)
 	compSize := make([]int, count)
@@ -178,7 +195,8 @@ func ballWeights(g *graph.Graph, alive []bool, radius int, w []int64, workers in
 	}
 	workers = par.Workers(workers)
 	wss := acquireGraphWorkspaces(workers)
-	par.ForEach(workers, n, func(wk, v int) {
+	defer releaseGraphWorkspaces(wss)
+	err := par.ForEachCtx(ctx, workers, n, func(wk, v int) {
 		if alive != nil && !alive[v] {
 			return
 		}
@@ -193,9 +211,10 @@ func ballWeights(g *graph.Graph, alive []bool, radius int, w []int64, workers in
 		}
 		out[v] = s
 	})
-	releaseGraphWorkspaces(wss)
-	graph.ReleaseWorkspace(cws)
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // DeletedWeight returns the total weight of unclustered vertices — the

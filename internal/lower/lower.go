@@ -27,6 +27,7 @@
 package lower
 
 import (
+	"context"
 	"repro/internal/graph"
 	"repro/internal/xrand"
 )
@@ -80,11 +81,22 @@ func PriorityMIS(g *graph.Graph, rounds int, seed uint64) []bool {
 // probability p* (identical for all vertices of a graph whose t-balls are
 // isomorphic).
 func InclusionRate(g *graph.Graph, rounds, trials int, seed uint64) float64 {
+	r, _ := InclusionRateCtx(context.Background(), g, rounds, trials, seed)
+	return r
+}
+
+// InclusionRateCtx is InclusionRate with cancellation: the context is
+// checked once per trial, so a deadline-bounded estimate returns ctx.Err()
+// promptly instead of draining all trials.
+func InclusionRateCtx(ctx context.Context, g *graph.Graph, rounds, trials int, seed uint64) (float64, error) {
 	if g.N() == 0 || trials <= 0 {
-		return 0
+		return 0, nil
 	}
 	total := 0
 	for trial := 0; trial < trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		set := PriorityMIS(g, rounds, seed+uint64(trial)*0x9e37)
 		for _, in := range set {
 			if in {
@@ -92,7 +104,7 @@ func InclusionRate(g *graph.Graph, rounds, trials int, seed uint64) float64 {
 			}
 		}
 	}
-	return float64(total) / float64(trials) / float64(g.N())
+	return float64(total) / float64(trials) / float64(g.N()), nil
 }
 
 // Gadget builds the Theorem B.5 graph G*: for every edge e = {u, v} of g a

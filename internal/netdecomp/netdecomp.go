@@ -15,6 +15,8 @@
 package netdecomp
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/ldd"
 	"repro/internal/xrand"
@@ -47,6 +49,14 @@ type Params struct {
 
 // Decompose computes the colored decomposition of g.
 func Decompose(g *graph.Graph, p Params) *Decomposition {
+	d, _ := DecomposeCtx(context.Background(), g, p)
+	return d
+}
+
+// DecomposeCtx is Decompose with cancellation: the context is checked once
+// per phase (each phase is one Elkin–Neiman pass over the residual graph,
+// which itself checks the context at a coarse stride).
+func DecomposeCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, error) {
 	n := g.N()
 	lambda := p.Lambda
 	if lambda <= 0 {
@@ -81,11 +91,14 @@ func Decompose(g *graph.Graph, p Params) *Decomposition {
 	ws := ldd.AcquireWorkspace()
 	defer ldd.ReleaseWorkspace(ws)
 	for phase := 0; phase < maxPhases && remaining > 0; phase++ {
-		en := ldd.ElkinNeimanWS(g, alive, ldd.ENParams{
+		en, err := ldd.ElkinNeimanWSCtx(ctx, g, alive, ldd.ENParams{
 			Lambda: lambda,
 			NTilde: nTilde,
 			Seed:   rng.Split(uint64(phase) + 0xde0).Uint64(),
 		}, ws)
+		if err != nil {
+			return nil, err
+		}
 		rounds += en.Rounds
 		clustered := 0
 		for v := 0; v < n; v++ {
@@ -115,7 +128,7 @@ func Decompose(g *graph.Graph, p Params) *Decomposition {
 	}
 	d.NumColors = int(color)
 	d.Rounds = rounds
-	return d
+	return d, nil
 }
 
 // Validate checks the defining invariants: every vertex clustered, and any

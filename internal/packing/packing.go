@@ -21,6 +21,7 @@
 package packing
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -136,6 +137,15 @@ type prepCluster struct {
 
 // Solve runs the Theorem 1.2 algorithm on a packing instance.
 func Solve(inst *ilp.Instance, p Params) *Result {
+	r, _ := SolveCtx(context.Background(), inst, p)
+	return r
+}
+
+// SolveCtx is Solve with cancellation: the context is checked between the
+// preparation fan-out, each Phase-1/2 carving iteration, and the final
+// per-region fan-out; a cancelled run returns ctx.Err() promptly and
+// releases its pooled workspaces.
+func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error) {
 	g := inst.Hypergraph().Primal()
 	n := g.N()
 	d := derive(n, p)
@@ -158,13 +168,15 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 		prepSeeds[run] = rootRNG.Split(uint64(run) + 0x9e9).Uint64()
 	}
 	ens := make([]*ldd.Decomposition, d.prepRuns)
-	par.ForEach(workers, d.prepRuns, func(w, run int) {
+	if err := par.ForEachCtx(ctx, workers, d.prepRuns, func(w, run int) {
 		ens[run] = ldd.ElkinNeimanWS(g, nil, ldd.ENParams{
 			Lambda: 0.5,
 			NTilde: d.nTilde,
 			Seed:   prepSeeds[run],
 		}, wss[w])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var members [][]int32
 	for _, en := range ens {
 		for _, m := range en.Clusters() {
@@ -175,7 +187,7 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 	}
 	clusters := make([]prepCluster, len(members))
 	prepExact := make([]bool, len(members))
-	par.ForEach(workers, len(members), func(w, i int) {
+	if err := par.ForEachCtx(ctx, workers, len(members), func(w, i int) {
 		pc := prepCluster{members: members[i]}
 		var ex1, ex2 bool
 		_, pc.wC, ex1 = solveLocal(inst, members[i], p.Solve)
@@ -183,7 +195,9 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 		_, pc.wSC, ex2 = solveLocal(inst, sc, p.Solve)
 		prepExact[i] = ex1 && ex2
 		clusters[i] = pc
-	})
+	}); err != nil {
+		return nil, err
+	}
 	rc.StartPhase()
 	for _, en := range ens {
 		rc.Charge(en.Rounds)
@@ -204,6 +218,9 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 
 	var sampled []int32
 	for i := 1; i <= d.t+1; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		interval := d.intervals[i-1]
 		isPhase2 := i == d.t+1
 		rc.StartPhase()
@@ -229,11 +246,13 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 		}
 		outcomes := make([]*carveOutcome, len(sampled))
 		carveExact := make([]bool, len(sampled))
-		par.ForEach(workers, len(sampled), func(w, j int) {
+		if err := par.ForEachCtx(ctx, workers, len(sampled), func(w, j int) {
 			pc := clusters[sampled[j]]
 			outcomes[j], carveExact[j] = growCarvePacking(inst, g, pc.members,
 				interval[0], interval[1], alive, p.Solve, wss[w].G)
-		})
+		}); err != nil {
+			return nil, err
+		}
 		for j := range sampled {
 			exact = exact && carveExact[j]
 			if outcomes[j] != nil {
@@ -245,11 +264,14 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 	}
 
 	// --- Phase 3 -----------------------------------------------------------
-	en := ldd.ElkinNeiman(g, alive, ldd.ENParams{
+	en, err := ldd.ElkinNeimanCtx(ctx, g, alive, ldd.ENParams{
 		Lambda: eps / 10,
 		NTilde: d.nTilde,
 		Seed:   rootRNG.Split(0x3a5e).Uint64(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	rc.Charge(en.Rounds)
 
 	// --- Final local solves -------------------------------------------------
@@ -270,12 +292,14 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 	regions = append(regions, en.Clusters()...)
 	sols := make([]ilp.Solution, len(regions))
 	solExact := make([]bool, len(regions))
-	par.ForEach(workers, len(regions), func(w, i int) {
+	if err := par.ForEachCtx(ctx, workers, len(regions), func(w, i int) {
 		if len(regions[i]) == 0 {
 			return
 		}
 		sols[i], _, solExact[i] = solveLocal(inst, regions[i], p.Solve)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	rc.StartPhase()
 	for i, r := range regions {
 		if i < numRemoved {
@@ -309,7 +333,7 @@ func Solve(inst *ilp.Instance, p Params) *Result {
 		Exact:         exact,
 		Deleted:       deleted,
 		NumComponents: comps,
-	}
+	}, nil
 }
 
 // solveLocal wraps solve.PackingLocal.

@@ -8,9 +8,15 @@
 // discipline the observable result is bit-identical for any worker count,
 // which is what lets the parallel and sequential paths of the solvers
 // cross-check against each other.
+//
+// Every fan-out is cancellable: ForEachCtx stops handing out new tasks the
+// moment its context is cancelled (tasks already started run to completion)
+// and returns the context's error, so a deadline-bounded request never
+// holds the pool hostage. ForEach is the uncancellable wrapper.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,6 +47,37 @@ func Workers(requested int) int {
 // remaining tasks may or may not run — callers must treat a panicked
 // ForEach as having no usable output).
 func ForEach(workers, n int, fn func(worker, i int)) {
+	forEach(nil, workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is cancelled, no new
+// task is dispatched (in-flight tasks finish) and the context's error is
+// returned. A nil-Done context (context.Background, context.TODO) takes the
+// exact ForEach fast path with no per-task overhead. On a non-nil error the
+// output is incomplete and callers must discard it; on a nil return every
+// task ran.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forEach(ctx.Done(), workers, n, fn)
+	return ctx.Err()
+}
+
+// stopped polls a done channel without blocking; a nil channel never stops.
+func stopped(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+func forEach(done <-chan struct{}, workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -49,7 +86,16 @@ func ForEach(workers, n int, fn func(worker, i int)) {
 		workers = n
 	}
 	if workers == 1 {
+		if done == nil {
+			for i := 0; i < n; i++ {
+				fn(0, i)
+			}
+			return
+		}
 		for i := 0; i < n; i++ {
+			if stopped(done) {
+				return
+			}
 			fn(0, i)
 		}
 		return
@@ -68,6 +114,9 @@ func ForEach(workers, n int, fn func(worker, i int)) {
 				}
 			}()
 			for {
+				if stopped(done) {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

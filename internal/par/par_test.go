@@ -1,8 +1,12 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -107,4 +111,98 @@ func TestForEachPanicDrains(t *testing.T) {
 	ForEach(4, 1000, func(worker, i int) {
 		panic(i) // every task panics; only one value is re-thrown
 	})
+}
+
+// --- Context cancellation -------------------------------------------------
+
+func TestForEachCtxBackgroundCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 500
+		hits := make([]int32, n)
+		if err := ForEachCtx(context.Background(), workers, n, func(worker, i int) { hits[i]++ }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachCtx(ctx, 4, 100, func(worker, i int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("task dispatched after cancellation")
+	}
+}
+
+func TestForEachCtxStopsDispatching(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 100000
+		err := ForEachCtx(ctx, workers, n, func(worker, i int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight tasks (at most one per worker) may complete after the
+		// cancel, but dispatch must stop almost immediately.
+		if got := ran.Load(); got > int64(5+workers) {
+			t.Fatalf("workers=%d: %d tasks ran after cancellation", workers, got)
+		}
+		cancel()
+	}
+}
+
+// TestForEachCtxDeadline verifies a deadline-bounded fan-out over slow
+// tasks returns promptly with DeadlineExceeded instead of draining all n.
+func TestForEachCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var ran atomic.Int64
+	start := time.Now()
+	err := ForEachCtx(ctx, 2, 10000, func(worker, i int) {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fan-out held for %v after deadline", elapsed)
+	}
+	if got := ran.Load(); got == 10000 {
+		t.Fatal("every task ran despite the deadline")
+	}
+}
+
+func TestForEachCtxNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = ForEachCtx(ctx, 8, 1000, func(worker, i int) {
+			if i == 3 {
+				cancel()
+			}
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+	}
 }

@@ -18,6 +18,7 @@
 package solve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -91,23 +92,51 @@ var ErrInfeasibleLocal = errors.New("solve: local covering instance infeasible")
 // cluster (exactly when the reported method is exact). Duplicate cluster
 // entries are tolerated.
 func PackingLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solution, int64, Method) {
+	sol, val, m, _ := packingLocal(inst, cluster, opt, nil)
+	return sol, val, m
+}
+
+// PackingLocalCtx is PackingLocal with cancellation: the branch-and-bound
+// search polls the context at a coarse node stride (the structured fast
+// paths are polynomial and run to completion). On cancellation it returns
+// the context's error and no solution.
+func PackingLocalCtx(ctx context.Context, inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solution, int64, Method, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	sol, val, m, ok := packingLocal(inst, cluster, opt, ctx.Done())
+	if !ok {
+		return nil, 0, 0, ctxError(ctx)
+	}
+	return sol, val, m, nil
+}
+
+// ctxError reports why a done channel fired, defaulting to Canceled.
+func ctxError(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+func packingLocal(inst *ilp.Instance, cluster []int32, opt Options, done <-chan struct{}) (ilp.Solution, int64, Method, bool) {
 	inCluster := make([]bool, inst.NumVars())
 	vars := dedup(cluster, inCluster)
 	if len(vars) == 0 {
-		return inst.NewSolution(), 0, MethodBranchBound
+		return inst.NewSolution(), 0, MethodBranchBound, true
 	}
 
 	if !opt.ForceGreedy && !opt.DisableStructure {
 		if sol, val, m, ok := packingStructured(inst, vars, inCluster); ok {
-			return sol, val, m
+			return sol, val, m, true
 		}
 	}
 	if !opt.ForceGreedy && len(vars) <= opt.maxExact() {
-		sol, val := packingBB(inst, vars, inCluster)
-		return sol, val, MethodBranchBound
+		sol, val, ok := packingBB(inst, vars, inCluster, done)
+		return sol, val, MethodBranchBound, ok
 	}
 	sol, val := GreedyPacking(inst, vars)
-	return sol, val, MethodGreedy
+	return sol, val, MethodGreedy, true
 }
 
 // CoveringLocal solves the covering problem restricted to the cluster: it
@@ -115,6 +144,25 @@ func PackingLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solutio
 // satisfies every constraint fully contained in the cluster, minimizing
 // weight (exactly when the method is exact).
 func CoveringLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solution, int64, Method, error) {
+	return coveringLocal(inst, cluster, opt, nil)
+}
+
+// CoveringLocalCtx is CoveringLocal with cancellation (see
+// PackingLocalCtx).
+func CoveringLocalCtx(ctx context.Context, inst *ilp.Instance, cluster []int32, opt Options) (ilp.Solution, int64, Method, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	sol, val, m, err := coveringLocal(inst, cluster, opt, ctx.Done())
+	if errors.Is(err, context.Canceled) {
+		// Branch-and-bound aborted on the done channel; surface the
+		// context's own error (DeadlineExceeded vs Canceled).
+		return nil, 0, 0, ctxError(ctx)
+	}
+	return sol, val, m, err
+}
+
+func coveringLocal(inst *ilp.Instance, cluster []int32, opt Options, done <-chan struct{}) (ilp.Solution, int64, Method, error) {
 	inCluster := make([]bool, inst.NumVars())
 	vars := dedup(cluster, inCluster)
 	local := inst.LocalConstraints(inCluster)
@@ -136,7 +184,10 @@ func CoveringLocal(inst *ilp.Instance, cluster []int32, opt Options) (ilp.Soluti
 		}
 	}
 	if !opt.ForceGreedy && len(vars) <= opt.maxExact() {
-		sol, val := coveringBB(inst, vars, inCluster, local)
+		sol, val, ok := coveringBB(inst, vars, inCluster, local, done)
+		if !ok {
+			return nil, 0, 0, context.Canceled
+		}
 		return sol, val, MethodBranchBound, nil
 	}
 	sol, val := GreedyCovering(inst, vars, local)
@@ -301,7 +352,11 @@ func liftSolution(inst *ilp.Instance, vars []int32, localIdx []int32) ilp.Soluti
 
 // --- Branch and bound: packing -------------------------------------------
 
-func packingBB(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.Solution, int64) {
+// bbCheckMask sets the cancellation polling stride of the branch-and-bound
+// searches: one non-blocking channel poll every 1024 explored nodes.
+const bbCheckMask = 1023
+
+func packingBB(inst *ilp.Instance, vars []int32, inCluster []bool, done <-chan struct{}) (ilp.Solution, int64, bool) {
 	// Order variables by weight descending for tighter bounds.
 	order := append([]int32(nil), vars...)
 	sort.Slice(order, func(i, j int) bool {
@@ -327,8 +382,19 @@ func packingBB(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.Solution
 	// Start from the greedy solution so pruning has a bound immediately.
 	bestSol, bestVal := GreedyPacking(inst, vars)
 	cur := inst.NewSolution()
+	nodes := 0
+	aborted := false
 	var rec func(i int, val int64)
 	rec = func(i int, val int64) {
+		if done != nil {
+			if nodes&bbCheckMask == 0 && stopped(done) {
+				aborted = true
+			}
+			nodes++
+			if aborted {
+				return
+			}
+		}
 		if val > bestVal {
 			bestVal = val
 			bestSol = cur.Clone()
@@ -363,7 +429,17 @@ func packingBB(inst *ilp.Instance, vars []int32, inCluster []bool) (ilp.Solution
 	}
 	rec(0, 0)
 	_ = consID
-	return bestSol, bestVal
+	return bestSol, bestVal, !aborted
+}
+
+// stopped polls a done channel without blocking.
+func stopped(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 func coeffOf(inst *ilp.Instance, cj int32, v int32) float64 {
@@ -385,7 +461,7 @@ func coeffOf(inst *ilp.Instance, cj int32, v int32) float64 {
 
 // --- Branch and bound: covering ------------------------------------------
 
-func coveringBB(inst *ilp.Instance, vars []int32, inCluster []bool, local []int32) (ilp.Solution, int64) {
+func coveringBB(inst *ilp.Instance, vars []int32, inCluster []bool, local []int32, done <-chan struct{}) (ilp.Solution, int64, bool) {
 	order := append([]int32(nil), vars...)
 	sort.Slice(order, func(i, j int) bool {
 		return inst.Weight(int(order[i])) < inst.Weight(int(order[j]))
@@ -420,8 +496,19 @@ func coveringBB(inst *ilp.Instance, vars []int32, inCluster []bool, local []int3
 	}
 	bestSol, bestVal := GreedyCovering(inst, vars, local)
 	cur := inst.NewSolution()
+	nodes := 0
+	aborted := false
 	var rec func(i int, val int64, unmet int)
 	rec = func(i int, val int64, unmet int) {
+		if done != nil {
+			if nodes&bbCheckMask == 0 && stopped(done) {
+				aborted = true
+			}
+			nodes++
+			if aborted {
+				return
+			}
+		}
 		if val >= bestVal {
 			return
 		}
@@ -471,10 +558,10 @@ func coveringBB(inst *ilp.Instance, vars []int32, inCluster []bool, local []int3
 		}
 	}
 	if unmet == 0 {
-		return inst.NewSolution(), 0
+		return inst.NewSolution(), 0, true
 	}
 	rec(0, 0, unmet)
-	return bestSol, bestVal
+	return bestSol, bestVal, !aborted
 }
 
 // --- Greedy fallbacks -----------------------------------------------------
