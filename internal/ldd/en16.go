@@ -105,15 +105,15 @@ func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack f
 	heapInit(pq)
 	pops := 0
 	for len(pq) > 0 {
-		if done != nil && pops&topLabelsCheckMask == 0 {
-			select {
-			case <-done:
+		// The counter lives inside the done branch so the uncancellable
+		// path pays exactly one predictable nil-check per pop.
+		if done != nil {
+			if pops&topLabelsCheckMask == 0 && stopped(done) {
 				ws.heap = pq
 				return nil, false
-			default:
 			}
+			pops++
 		}
-		pops++
 		var it labelItem
 		pq, it = heapPop(pq)
 		v := it.vertex
@@ -164,6 +164,16 @@ func topLabels(g *graph.Graph, alive []bool, shifts []float64, keep int, slack f
 // topLabelsCheckMask sets the cancellation polling stride of topLabels:
 // one non-blocking channel poll every 4096 heap pops.
 const topLabelsCheckMask = 4095
+
+// stopped polls a done channel without blocking.
+func stopped(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
 
 // ElkinNeiman runs the Lemma C.1 decomposition on the alive-induced
 // subgraph of g (alive == nil means the whole graph). Each vertex is deleted
