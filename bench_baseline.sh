@@ -2,15 +2,21 @@
 # bench_baseline.sh — capture the benchmark baseline for the current
 # revision so the perf trajectory is tracked PR over PR.
 #
-# Runs every experiment benchmark (BenchmarkE*) and algorithm
-# micro-benchmark (BenchmarkAlgo*) with -benchmem and writes the parsed
-# results to BENCH_<rev>.json (one object per benchmark: name, iterations,
-# ns/op, B/op, allocs/op, plus any custom ReportMetric columns).
+# Runs every experiment benchmark (BenchmarkE*), algorithm
+# micro-benchmark (BenchmarkAlgo*), and serving-layer benchmark
+# (BenchmarkEngine*, in ./internal/engine) with -benchmem and writes the
+# parsed results to BENCH_<rev>.json (one object per benchmark: name,
+# iterations, ns/op, B/op, allocs/op, plus any custom ReportMetric
+# columns).
 #
 # Usage:
 #   ./bench_baseline.sh            # count=1 (quick snapshot)
 #   COUNT=3 ./bench_baseline.sh    # repeated runs for stabler numbers
 #   BENCH='BenchmarkE5.*' ./bench_baseline.sh   # restrict the pattern
+#   CPU=8 OUT=BENCH_par8.json ./bench_baseline.sh  # contention runs: pass
+#       -cpu to go test (benchmark names gain a -8 suffix) and name the
+#       output explicitly so parallel-run numbers don't overwrite the
+#       sequential baseline
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,7 +29,12 @@ if [ -n "$(git status --porcelain -uno 2>/dev/null)" ]; then
 fi
 COUNT="${COUNT:-1}"
 BENCH="${BENCH:-BenchmarkE|BenchmarkAlgo}"
-OUT="BENCH_${REV}.json"
+OUT="${OUT:-BENCH_${REV}.json}"
+CPU="${CPU:-}"
+CPUFLAG=()
+if [ -n "$CPU" ]; then
+	CPUFLAG=(-cpu "$CPU")
+fi
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
@@ -34,7 +45,9 @@ GO_VERSION=$(go version | awk '{print $3}')
 GOMAXPROCS_VAL="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)}"
 
 echo "running benchmarks ($BENCH, count=$COUNT) ..." >&2
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$RAW" >&2
+# ${arr[@]+...} keeps the empty-array expansion safe under `set -u` on
+# bash < 4.4 (macOS ships 3.2).
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" ${CPUFLAG[@]+"${CPUFLAG[@]}"} . ./internal/engine/ | tee "$RAW" >&2
 
 awk -v rev="$REV" -v gover="$GO_VERSION" -v gmp="$GOMAXPROCS_VAL" '
 BEGIN { print "["; first = 1 }

@@ -1,20 +1,27 @@
-// Command serve loads a graph, warms the concurrent decomposition engine,
-// and drives it with a request workload, reporting throughput and cache
-// effectiveness. The workload is either a request trace replayed from a
-// file (-trace) or a synthetic closed-loop load generated from a seeded
-// RNG, so runs are reproducible.
+// Command serve loads a graph into a versioned mutable store, warms the
+// sharded decomposition engine, and drives it with a mixed read/write
+// workload, reporting read and write throughput and cache effectiveness
+// under churn. The workload is either a request trace replayed from a file
+// (-trace) or a synthetic closed-loop load generated from a seeded RNG, so
+// runs are reproducible.
 //
 // Every algorithm in the registry (internal/algo) is servable: a trace line
 // is "algo key=value ..." for any registered name, and -algo selects the
-// decomposition family of the synthetic workload. -timeout puts a deadline
-// on every request; deadline-exceeded requests are counted and reported
-// rather than failing the run.
+// decomposition family of the synthetic workload. The graph is mutable
+// while being served: mutation ops rewrite the store, giving the graph a
+// new snapshot identity, and subsequent algorithm requests recompute
+// against the new version while results for superseded snapshots age out
+// of the engine's LRU. -churn makes the synthetic workload mutate, and
+// -compactevery folds the delta overlay back into a fresh CSR every N
+// writes. -timeout puts a deadline on every request; deadline-exceeded
+// requests are counted and reported rather than failing the run.
 //
 // Usage:
 //
 //	serve -gen gnp -n 5000 -requests 20000 -concurrency 8
 //	serve -load web.metis.gz -requests 10000 -seedspace 4
 //	serve -gen grid -n 10000 -trace trace.txt -concurrency 16 -timeout 50ms
+//	serve -gen gnp -n 2000 -requests 20000 -churn 0.05 -compactevery 64
 //
 // Trace files contain one request per line ('#' starts a comment):
 //
@@ -25,6 +32,9 @@
 //	packing problem=mis prep=2 seed=1
 //	cluster v=17 eps=0.3 seed=4 [scale=0.05]
 //	ball v=17 k=2
+//	addedge 17 42
+//	deledge 17 18
+//	compact
 //
 // (aliases like cover/net/chang-li work too; see the README table.)
 package main
@@ -50,6 +60,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/ldd"
 	"repro/internal/par"
+	"repro/internal/store"
 	"repro/internal/xrand"
 )
 
@@ -88,19 +99,26 @@ func buildGraph(kind string, n int, seed uint64) (*graph.Graph, error) {
 }
 
 // request is one parsed workload operation: a registry algorithm
-// invocation by name, or one of the point-query ops (cluster, ball) served
-// from the cached ChangLi decomposition.
+// invocation by name, a point query (cluster, ball) served from the cached
+// ChangLi decomposition, or a store mutation (addedge, deledge, compact).
 type request struct {
-	op     string // "algo" | "cluster" | "ball"
+	op     string // "algo" | "cluster" | "ball" | "addedge" | "deledge" | "compact"
 	algo   string // registry name when op == "algo"
 	params algo.Params
 	cl     ldd.Params // cluster point queries
 	vertex int32
 	radius int
+	u, v   int32 // mutation endpoints
 }
 
-// issue executes the request against the engine.
-func (r request) issue(ctx context.Context, e *engine.Engine, h engine.Handle) error {
+// write reports whether the request mutates the store.
+func (r request) write() bool {
+	return r.op == "addedge" || r.op == "deledge" || r.op == "compact"
+}
+
+// issue executes the request against the engine (reads) or the store
+// (writes).
+func (r request) issue(ctx context.Context, e *engine.Engine, h engine.StoreHandle) error {
 	switch r.op {
 	case "algo":
 		_, err := e.Run(ctx, h, r.algo, r.params)
@@ -111,19 +129,65 @@ func (r request) issue(ctx context.Context, e *engine.Engine, h engine.Handle) e
 	case "ball":
 		_, err := e.Balls(ctx, h, []int32{r.vertex}, r.radius, 1)
 		return err
+	case "addedge":
+		h.Store().AddEdge(int(r.u), int(r.v)) // duplicate inserts are no-ops
+		return nil
+	case "deledge":
+		h.Store().DeleteEdge(int(r.u), int(r.v)) // absent edges are no-ops
+		return nil
+	case "compact":
+		h.Store().Compact()
+		return nil
 	default:
 		return fmt.Errorf("unknown op %q", r.op)
 	}
 }
 
+// parseMutation parses the positional mutation ops of the trace language:
+// "addedge u v", "deledge u v", "compact".
+func parseMutation(fields []string, n int) (request, error) {
+	r := request{op: fields[0]}
+	if r.op == "compact" {
+		if len(fields) != 1 {
+			return r, errors.New("compact takes no arguments")
+		}
+		return r, nil
+	}
+	if len(fields) != 3 {
+		return r, fmt.Errorf("%s wants two endpoints, got %d fields", r.op, len(fields)-1)
+	}
+	u, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return r, err
+	}
+	v, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return r, err
+	}
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return r, fmt.Errorf("endpoint of {%d, %d} out of range [0, %d)", u, v, n)
+	}
+	if u == v {
+		return r, fmt.Errorf("self-loop {%d, %d} rejected", u, v)
+	}
+	r.u, r.v = int32(u), int32(v)
+	return r, nil
+}
+
 // parseTraceLine parses one "op key=value ..." request line: cluster and
-// ball are point queries, anything else resolves against the registry.
+// ball are point queries, addedge/deledge/compact are store mutations, and
+// anything else resolves against the registry.
 func parseTraceLine(text string, n int) (request, bool, error) {
 	fields := strings.Fields(text)
 	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
 		return request{}, false, nil
 	}
 	r := request{op: fields[0]}
+	switch r.op {
+	case "addedge", "deledge", "compact":
+		r, err := parseMutation(fields, n)
+		return r, err == nil, err
+	}
 	if r.op != "cluster" && r.op != "ball" {
 		spec, ok := algo.Get(r.op)
 		if !ok {
@@ -264,8 +328,25 @@ func makeSynthSpace(spec *algo.Spec, seedSpace int, eps, scale float64) synthSpa
 // synthesize generates a reproducible closed-loop workload: each worker
 // draws its own request stream from xrand.Stream(seed, worker, ·), mixing
 // decomposition requests over a small parameter space (so the cache can
-// pay off) with cluster and ball point queries.
-func synthesize(rng *xrand.RNG, n int, sp synthSpace) request {
+// pay off) with cluster and ball point queries and — with probability
+// churn — store mutations. Inserts draw random endpoint pairs (an
+// already-present edge is a no-op); deletes sample an incident edge of a
+// random vertex from the current snapshot, so deletions actually land on
+// sparse graphs (a concurrent delete of the same edge is a no-op).
+func synthesize(rng *xrand.RNG, n int, sp synthSpace, churn float64, st *store.Store) request {
+	if churn > 0 && rng.Float64() < churn {
+		if rng.Intn(2) == 0 {
+			snap := st.Snapshot()
+			for try := 0; try < 8; try++ {
+				u := rng.Intn(n)
+				if deg := snap.Degree(u); deg > 0 {
+					return request{op: "deledge", u: int32(u), v: snap.Neighbors(u)[rng.Intn(deg)]}
+				}
+			}
+			// Degenerate near-edgeless graph: fall through to an insert.
+		}
+		return request{op: "addedge", u: int32(rng.Intn(n)), v: int32(rng.Intn(n))}
+	}
 	s := rng.Intn(len(sp.decomp))
 	switch roll := rng.Intn(10); {
 	case roll < 4:
@@ -293,15 +374,21 @@ func run(args []string, w io.Writer) error {
 	concurrency := fs.Int("concurrency", par.Workers(0), "closed-loop client goroutines")
 	seedSpace := fs.Int("seedspace", 4, "distinct decomposition seeds in the synthetic workload")
 	capacity := fs.Int("capacity", 0, "engine cache capacity (0 = default)")
+	shards := fs.Int("shards", 0, "engine shard count (0 = default; rounded to a power of two)")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	trace := fs.String("trace", "", "replay this request trace instead of synthesizing")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none); expired requests are counted, not fatal")
 	warm := fs.Bool("warm", true, "precompute the synthetic seed space before timing")
+	churn := fs.Float64("churn", 0, "fraction of synthetic requests that mutate the graph (0 = read-only)")
+	compactEvery := fs.Int("compactevery", 0, "fold the delta overlay into a fresh CSR every N writes (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *requests <= 0 || *concurrency <= 0 || *seedSpace <= 0 {
 		return errors.New("requests, concurrency, and seedspace must be positive")
+	}
+	if *churn < 0 || *churn > 1 {
+		return errors.New("churn must be in [0, 1]")
 	}
 	spec, ok := algo.Get(*algoName)
 	if !ok {
@@ -321,9 +408,11 @@ func run(args []string, w io.Writer) error {
 		return errors.New("empty graph")
 	}
 
-	e := engine.New(engine.Options{Capacity: *capacity})
-	h := e.Register(g)
-	fmt.Fprintf(w, "graph: %v  fingerprint: %s\n", g, h.Fingerprint().Short())
+	e := engine.New(engine.Options{Capacity: *capacity, Shards: *shards})
+	st := store.New(g)
+	h := e.RegisterStore(st)
+	fmt.Fprintf(w, "graph: %v  fingerprint: %s  shards: %d\n",
+		g, st.Snapshot().Fingerprint().Short(), e.NumShards())
 
 	var work []request
 	if *trace != "" {
@@ -352,7 +441,7 @@ func run(args []string, w io.Writer) error {
 		total = len(work)
 	}
 	errs := make([]error, *concurrency)
-	var timeouts atomic.Uint64
+	var timeouts, reads, writes atomic.Uint64
 	t0 := time.Now()
 	par.ForEach(*concurrency, *concurrency, func(_, client int) {
 		rng := xrand.Stream(*seed, client, 0x5e12e)
@@ -362,7 +451,14 @@ func run(args []string, w io.Writer) error {
 			if *trace != "" {
 				r = work[i]
 			} else {
-				r = synthesize(rng, g.N(), sp)
+				r = synthesize(rng, g.N(), sp, *churn, st)
+			}
+			if r.write() {
+				if n := writes.Add(1); *compactEvery > 0 && n%uint64(*compactEvery) == 0 {
+					st.Compact()
+				}
+			} else {
+				reads.Add(1)
 			}
 			ctx := context.Background()
 			cancel := context.CancelFunc(func() {})
@@ -388,20 +484,27 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	st := e.Stats()
-	lookups := st.Hits + st.Misses + st.Dedup
+	est := e.Stats()
+	lookups := est.Hits + est.Misses + est.Dedup
 	hitRate := 0.0
 	if lookups > 0 {
-		hitRate = float64(st.Hits+st.Dedup) / float64(lookups)
+		hitRate = float64(est.Hits+est.Dedup) / float64(lookups)
 	}
 	fmt.Fprintf(w, "served %d requests in %v with %d clients: %.0f req/s\n",
 		total, elapsed.Round(time.Microsecond), *concurrency,
 		float64(total)/elapsed.Seconds())
+	fmt.Fprintf(w, "mix: %d reads (%.0f/s), %d writes (%.0f/s)\n",
+		reads.Load(), float64(reads.Load())/elapsed.Seconds(),
+		writes.Load(), float64(writes.Load())/elapsed.Seconds())
 	fmt.Fprintf(w, "cache: %d hits, %d dedup joins, %d misses (hit rate %.1f%%), %d computations, %d evictions, %d batch queries\n",
-		st.Hits, st.Dedup, st.Misses, 100*hitRate, st.Computations, st.Evictions, st.Queries)
+		est.Hits, est.Dedup, est.Misses, 100*hitRate, est.Computations, est.Evictions, est.Queries)
+	if sst := st.Stats(); sst.Epoch > 0 {
+		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas over %d patched vertices, graph now n=%d m=%d\n",
+			sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.Pending, sst.PatchedVertices, st.N(), st.M())
+	}
 	if *timeout > 0 {
 		fmt.Fprintf(w, "deadlines: %d of %d requests exceeded %v (%d engine cancellations)\n",
-			timeouts.Load(), total, *timeout, st.Cancellations)
+			timeouts.Load(), total, *timeout, est.Cancellations)
 	}
 	return nil
 }

@@ -191,3 +191,85 @@ func TestTraceRejectsEmptyParamValue(t *testing.T) {
 		t.Fatal("empty param value accepted")
 	}
 }
+
+func TestMutationTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "mut.txt")
+	content := `# decompose, mutate, decompose again (new snapshot), compact, query
+changli eps=0.3 seed=1 scale=0.05
+addedge 0 50
+deledge 1 2
+changli eps=0.3 seed=1 scale=0.05
+compact
+cluster v=5 eps=0.3 seed=1 scale=0.05
+ball v=9 k=2
+`
+	if err := os.WriteFile(trace, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := []string{"-gen", "cycle", "-n", "100", "-trace", trace, "-concurrency", "1"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"trace: 7 requests", "writes", "store: epoch 2", "1 compactions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The two identical changli requests straddle mutations, and the
+	// cluster query follows a compact: three distinct snapshots, so all
+	// three decompositions must have computed (no stale hits).
+	if !strings.Contains(out.String(), "3 computations") {
+		t.Fatalf("mutation did not change the served snapshot:\n%s", out.String())
+	}
+}
+
+func TestMutationTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"arity":        "addedge 3\n",
+		"range":        "addedge 3 100000\n",
+		"self-loop":    "deledge 4 4\n",
+		"not-a-number": "deledge a b\n",
+		"compact-args": "compact now\n",
+	} {
+		path := filepath.Join(dir, name+".txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-gen", "cycle", "-n", "100", "-trace", path}, io.Discard); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// TestMixedChurnSmoke is the race-suite smoke: >= 8 concurrent clients
+// mixing algorithm requests, point queries, and store mutations with
+// periodic compaction, on a seeded workload. Skipped under -short so CI's
+// dedicated mixed read/write race step is its only -race execution.
+func TestMixedChurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy churn smoke; runs in the dedicated race step")
+	}
+	var out strings.Builder
+	args := []string{"-gen", "gnp", "-n", "250", "-requests", "600",
+		"-concurrency", "8", "-seedspace", "2", "-seed", "13",
+		"-churn", "0.15", "-compactevery", "20", "-capacity", "16"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"reads", "writes", "store: epoch", "hit rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestChurnFlagValidation(t *testing.T) {
+	for _, churn := range []string{"-0.1", "1.5"} {
+		if err := run([]string{"-gen", "cycle", "-n", "64", "-churn", churn}, io.Discard); err == nil {
+			t.Fatalf("churn %s accepted", churn)
+		}
+	}
+}

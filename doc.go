@@ -26,13 +26,21 @@
 // deadline-bounded without warm-path cost.
 //
 // On top sits the serving layer: internal/engine caches results by
-// (graph fingerprint, algorithm, canonical parameters), collapses
-// concurrent identical requests into one computation (joiners survive a
-// cancelled initiator by retrying), and answers batch queries
-// (cluster-of-vertex, ball lookups, per-cluster local solves) from the
-// cached structure; internal/graphio loads and saves real-world graphs in
-// edge-list, DIMACS, and METIS formats (plain or gzip), fuzz-tested
-// against hostile inputs; cmd/serve drives the engine with replayed or
-// synthetic request load, mixing algorithms freely and bounding each
-// request with a deadline.
+// (graph snapshot fingerprint, algorithm, canonical parameters) across N
+// independently locked shards, collapses concurrent identical requests
+// into one computation (joiners survive a cancelled initiator by
+// retrying), and answers batch queries (cluster-of-vertex, ball lookups,
+// per-cluster local solves) from the cached structure. Graphs can be
+// served mutably: internal/store holds a base CSR plus a copy-on-write
+// delta overlay with epoch-stamped tombstones, hands out O(1) immutable
+// snapshots, advances the graph's cache identity in O(1) per mutation
+// (graphio.NextFingerprint), and folds the overlay back into a fresh CSR
+// on Compact — in-flight requests keep the snapshot they resolved, and
+// results for superseded snapshots age out of the sharded LRU naturally.
+// internal/graphio loads and saves real-world graphs in edge-list,
+// DIMACS, and METIS formats (plain or gzip), fuzz-tested against hostile
+// inputs; cmd/serve drives the engine with replayed or synthetic mixed
+// read/write load — algorithm requests, point queries, and edge
+// mutations — reporting read/write throughput and hit rate under churn,
+// bounding each request with a deadline.
 package repro

@@ -23,6 +23,14 @@ type Result struct {
 	Key       string
 	Kind      Kind
 
+	// Snapshot is the hex fingerprint of the graph snapshot the result was
+	// computed against, stamped by serving layers that resolve a mutable
+	// store to a version per request (empty for direct algo.Run calls).
+	// Together with the cache key it fully identifies what a cached entry
+	// answers: in-flight requests keep the snapshot they resolved, so a
+	// result can be audited against the graph version it actually saw.
+	Snapshot string
+
 	// ClusterOf[v] is v's cluster id, or -1 (decomposition, coloring,
 	// edge-cut kinds).
 	ClusterOf []int32

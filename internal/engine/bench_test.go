@@ -2,11 +2,13 @@ package engine
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/ldd"
+	"repro/internal/store"
 	"repro/internal/xrand"
 )
 
@@ -71,6 +73,86 @@ func BenchmarkEngineBallsBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Balls(context.Background(), h, vs, 2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWarmSeeds warms one cached decomposition per seed so every
+// benchmark iteration is a hit; 16 seeds spread the keys across shards the
+// way a mixed multi-tenant workload would.
+const benchSeeds = 16
+
+func warmSeeds(b *testing.B, e *Engine, h Handle) [benchSeeds]ldd.Params {
+	b.Helper()
+	var ps [benchSeeds]ldd.Params
+	for s := range ps {
+		ps[s] = benchParams()
+		ps[s].Seed = uint64(s)
+		if _, err := e.ChangLi(context.Background(), h, ps[s]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ps
+}
+
+// benchCachedParallel is the contended cache-hit path under b.RunParallel:
+// every goroutine streams hits over a 16-seed key space. shards=1
+// reproduces the pre-shard single-mutex engine, so
+// BenchmarkEngineCachedQueryParallel vs ...SingleShard is the sharding
+// speedup at the current GOMAXPROCS (compare with -cpu 8 or higher).
+func benchCachedParallel(b *testing.B, shards int) {
+	g := benchGraph()
+	// Capacity 256 keeps per-shard capacity (32 at 8 shards) above the
+	// warm key count for any per-process hash seed, so no shard can evict
+	// warm entries and turn the hit benchmark into a recompute benchmark.
+	e := New(Options{Capacity: 256, Shards: shards})
+	h := e.Register(g)
+	ps := warmSeeds(b, e, h)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stagger the per-goroutine walk so concurrent goroutines hit
+		// different keys (and hence different shards) at any instant.
+		i := next.Add(1) * 7
+		for pb.Next() {
+			if _, err := e.ChangLi(context.Background(), h, ps[i%benchSeeds]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if got := e.Stats().Computations; got != benchSeeds {
+		b.Fatalf("timed loop recomputed: %d computations, want %d warm-only", got, benchSeeds)
+	}
+}
+
+func BenchmarkEngineCachedQueryParallel(b *testing.B) {
+	benchCachedParallel(b, 0)
+}
+
+func BenchmarkEngineCachedQueryParallelSingleShard(b *testing.B) {
+	benchCachedParallel(b, 1)
+}
+
+// BenchmarkEngineStoreCachedQuery measures the store-handle resolve
+// overhead on the hit path: snapshot resolution + fingerprint key vs the
+// immutable handle of BenchmarkEngineCachedQuery.
+func BenchmarkEngineStoreCachedQuery(b *testing.B) {
+	g := benchGraph()
+	st := store.New(g)
+	e := New(Options{})
+	h := e.RegisterStore(st)
+	p := benchParams()
+	if _, err := e.ChangLi(context.Background(), h, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ChangLi(context.Background(), h, p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -213,7 +213,7 @@ func TestJoinerRetriesAfterInitiatorCancelled(t *testing.T) {
 // and dedup joins are counted and visible in a snapshot.
 func TestEvictionAndDedupCountersExposed(t *testing.T) {
 	g := gen.Cycle(120)
-	e := New(Options{Capacity: 1})
+	e := New(Options{Capacity: 1, Shards: 1})
 	h := e.Register(g)
 	for seed := uint64(0); seed < 3; seed++ {
 		if _, err := e.ChangLi(context.Background(), h, ldd.Params{Epsilon: 0.3, Seed: seed, Scale: 0.05}); err != nil {

@@ -1,26 +1,37 @@
 // Package engine is the concurrent serving layer over the algorithm
 // registry (internal/algo): any registered algorithm family is invocable by
-// name against a registered graph behind a request API that amortizes work
-// across callers. A result is computed at most once per (graph fingerprint,
-// algorithm, canonical parameters) triple — an LRU cache holds completed
-// results, a singleflight table collapses N concurrent identical requests
-// into one underlying computation, and a sync.Pool-backed workspace
-// reservoir keeps the traversal scratch of the batch query paths warm
-// across requests.
+// name against a registered graph — immutable or mutable — behind a request
+// API that amortizes work across callers. A result is computed at most once
+// per (graph snapshot fingerprint, algorithm, canonical parameters) triple.
+//
+// The engine's state is split into N power-of-two shards, each with its own
+// lock, LRU cache of completed results, singleflight table, and slice of
+// the graph registry; requests route to shards by a hash of (fingerprint,
+// cache key), so throughput scales with cores instead of serializing on one
+// mutex. Stats counters stay atomic and global; per-shard occupancy and
+// evictions are exposed so cache skew is observable.
 //
 // The request flow for every call is
 //
-//	fingerprint → cache lookup → singleflight join → compute → cache fill
+//	resolve source → fingerprint → cache lookup → singleflight join →
+//	compute → cache fill
 //
-// and the batch query methods (cluster-of-vertex, ball lookup, per-cluster
-// local solves) serve from the cached decomposition without recomputing it.
+// A Source is either a Handle (an immutable graph registered once) or a
+// StoreHandle (a mutable store.Store): the engine resolves a store handle
+// to its current snapshot at request start, keys the cache by the snapshot
+// fingerprint, and stamps the snapshot identity into the result — so
+// in-flight requests are isolated from concurrent mutations, and results
+// computed against superseded snapshots age out of the sharded LRU
+// naturally instead of requiring invalidation sweeps.
 //
 // Every request takes a context: a cancelled or deadline-expired request
 // stops promptly — computations poll the context in their outer loops, a
 // joiner abandons its singleflight wait without disturbing the computation,
 // and a computation cancelled by its initiating request is retried by any
 // surviving joiner whose own context is still live. Error results are never
-// cached.
+// cached, and a finished computation is unpublished (inflight entry removed,
+// successful result cached) before any joiner wakes, so joiners can never
+// re-observe a dead in-flight entry.
 //
 // Results returned by the engine are shared across callers and must be
 // treated as immutable; copy anything you need to mutate.
@@ -41,13 +52,25 @@ import (
 	"repro/internal/netdecomp"
 	"repro/internal/par"
 	"repro/internal/solve"
+	"repro/internal/store"
 )
+
+// defaultShards is the shard count when Options.Shards is unset. Eight
+// keeps per-shard capacity meaningful at the default total capacity while
+// removing essentially all lock contention at laptop-to-server core counts.
+const defaultShards = 8
 
 // Options configures an Engine.
 type Options struct {
 	// Capacity bounds the number of cached results across all graphs and
-	// algorithms. <= 0 means the default (64).
+	// algorithms (split evenly across shards). <= 0 means the default (64).
 	Capacity int
+	// Shards is the number of independently locked cache/singleflight
+	// shards; it is rounded up to a power of two and clamped so every
+	// shard has capacity >= 1. <= 0 means the default (8). Shards = 1
+	// reproduces the single-mutex engine (useful as a contention
+	// baseline and for tests that pin global LRU order).
+	Shards int
 }
 
 func (o Options) capacity() int {
@@ -55,6 +78,40 @@ func (o Options) capacity() int {
 		return 64
 	}
 	return o.Capacity
+}
+
+// maxShards caps the shard count: beyond this, per-shard state is all
+// overhead (and an unbounded round-up could overflow).
+const maxShards = 1 << 10
+
+func (o Options) shardCount() int {
+	n := o.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	for p > 1 && o.capacity()/p < 1 {
+		p >>= 1
+	}
+	return p
+}
+
+// ShardStat is one shard's occupancy snapshot, for observing skew.
+type ShardStat struct {
+	// Entries is the number of cached results resident in the shard.
+	Entries int
+	// Evictions counts entries this shard dropped (LRU overflow or
+	// Unregister).
+	Evictions uint64
+	// Inflight is the number of computations currently in flight in the
+	// shard's singleflight table.
+	Inflight int
 }
 
 // Stats is a snapshot of the engine's monotonic counters.
@@ -71,16 +128,19 @@ type Stats struct {
 	// after a cancelled initiator abandoned it.
 	Computations uint64
 	// Evictions counts cache entries dropped by the LRU policy (capacity
-	// overflow or Unregister).
+	// overflow or Unregister), summed over shards.
 	Evictions uint64
 	// Queries counts batch query calls (cluster-of, balls, local solves).
 	Queries uint64
 	// Cancellations counts requests that returned a context error
 	// (deadline exceeded or cancelled) instead of a result.
 	Cancellations uint64
+	// Shards is the per-shard occupancy, indexed by shard; eviction skew
+	// shows up as unequal Entries/Evictions across shards.
+	Shards []ShardStat
 }
 
-// cacheKey identifies one cached result: the graph's content fingerprint
+// cacheKey identifies one cached result: the graph snapshot's fingerprint
 // plus the algorithm's canonical cache key (name + canonicalized
 // parameters, parallelism knobs excluded — results are bit-identical for
 // every worker count, so they must share a cache slot).
@@ -104,12 +164,8 @@ type entry struct {
 // Engine is the concurrent algorithm server. The zero value is not
 // usable; construct with New. All methods are safe for concurrent use.
 type Engine struct {
-	capacity int
-
-	mu       sync.Mutex
-	graphs   map[graphio.Fingerprint]*graph.Graph
-	cache    *lruCache           // completed entries, LRU-bounded
-	inflight map[cacheKey]*entry // computations in progress
+	shards []*shard
+	mask   uint64
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
@@ -124,19 +180,35 @@ type Engine struct {
 
 // New constructs an Engine.
 func New(o Options) *Engine {
+	nshards := o.shardCount()
+	capacity := o.capacity()
 	e := &Engine{
-		capacity: o.capacity(),
-		graphs:   make(map[graphio.Fingerprint]*graph.Graph),
-		inflight: make(map[cacheKey]*entry),
+		shards: make([]*shard, nshards),
+		mask:   uint64(nshards - 1),
 	}
-	e.cache = newLRU(e.capacity)
+	// Split the total capacity exactly: the first capacity%nshards shards
+	// take one extra slot, so Options.Capacity is never silently shrunk by
+	// flooring.
+	per, extra := capacity/nshards, capacity%nshards
+	if per < 1 {
+		per, extra = 1, 0
+	}
+	for i := range e.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		e.shards[i] = newShard(c)
+	}
 	e.wsPool.New = func() any { return graph.NewWorkspace(0) }
 	return e
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The per-shard occupancy is
+// gathered shard by shard (each under its own lock), so the slice is
+// internally consistent per shard but not a global atomic cut.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:          e.hits.Load(),
 		Misses:        e.misses.Load(),
 		Dedup:         e.dedup.Load(),
@@ -144,21 +216,91 @@ func (e *Engine) Stats() Stats {
 		Evictions:     e.evictions.Load(),
 		Queries:       e.queries.Load(),
 		Cancellations: e.cancellations.Load(),
+		Shards:        make([]ShardStat, len(e.shards)),
 	}
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		st.Shards[i] = ShardStat{
+			Entries:   sh.cache.len(),
+			Evictions: sh.evictions,
+			Inflight:  len(sh.inflight),
+		}
+		sh.mu.Unlock()
+	}
+	return st
 }
 
-// Handle names a registered graph: the graph plus its content fingerprint,
-// computed once at registration.
+// NumShards returns the engine's shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// sourceView is a resolved Source: the snapshot fingerprint that keys the
+// cache, plus access to the graph at that version. Exactly one of g / snap
+// is set.
+type sourceView struct {
+	fp   graphio.Fingerprint
+	g    *graph.Graph    // immutable Handle
+	snap *store.Snapshot // mutable StoreHandle, pinned at resolve time
+}
+
+func (v sourceView) n() int {
+	if v.g != nil {
+		return v.g.N()
+	}
+	return v.snap.N()
+}
+
+// graph returns the concrete CSR graph of the resolved version,
+// materializing a store snapshot at most once.
+func (v sourceView) graph() *graph.Graph {
+	if v.g != nil {
+		return v.g
+	}
+	return v.snap.Graph()
+}
+
+// Source is anything the engine can serve requests against: a Handle to a
+// registered immutable graph, or a StoreHandle to a mutable store resolved
+// to its current snapshot at each request.
+type Source interface {
+	resolve() sourceView
+}
+
+// Handle names a registered immutable graph: the graph plus its content
+// fingerprint, computed once at registration. A Handle wraps exactly one
+// pointer so converting it to Source never allocates (the request hot path
+// passes handles as interfaces); the zero Handle is not usable.
 type Handle struct {
+	d *handleData
+}
+
+type handleData struct {
 	g  *graph.Graph
 	fp graphio.Fingerprint
 }
 
 // Graph returns the underlying graph.
-func (h Handle) Graph() *graph.Graph { return h.g }
+func (h Handle) Graph() *graph.Graph { return h.d.g }
 
 // Fingerprint returns the graph's content fingerprint.
-func (h Handle) Fingerprint() graphio.Fingerprint { return h.fp }
+func (h Handle) Fingerprint() graphio.Fingerprint { return h.d.fp }
+
+func (h Handle) resolve() sourceView { return sourceView{fp: h.d.fp, g: h.d.g} }
+
+// StoreHandle serves requests against a mutable store.Store: every request
+// resolves the store's current snapshot and is keyed by that snapshot's
+// fingerprint, so a mutation simply changes which cache slots subsequent
+// requests hit, while in-flight requests keep the snapshot they resolved.
+type StoreHandle struct {
+	st *store.Store
+}
+
+// Store returns the underlying store.
+func (sh StoreHandle) Store() *store.Store { return sh.st }
+
+func (sh StoreHandle) resolve() sourceView {
+	snap := sh.st.Snapshot()
+	return sourceView{fp: snap.Fingerprint(), snap: snap}
+}
 
 // Register fingerprints g and returns a request handle. Graphs with equal
 // fingerprints collapse to the first registered instance, so two callers
@@ -168,28 +310,43 @@ func (h Handle) Fingerprint() graphio.Fingerprint { return h.fp }
 // multi-tenant servers must Unregister graphs they are done with.
 func (e *Engine) Register(g *graph.Graph) Handle {
 	fp := graphio.FingerprintOf(g)
-	e.mu.Lock()
-	if prev, ok := e.graphs[fp]; ok {
+	sh := e.shardForFP(fp)
+	sh.mu.Lock()
+	if prev, ok := sh.graphs[fp]; ok {
 		g = prev
 	} else {
-		e.graphs[fp] = g
+		sh.graphs[fp] = g
 	}
-	e.mu.Unlock()
-	return Handle{g: g, fp: fp}
+	sh.mu.Unlock()
+	return Handle{d: &handleData{g: g, fp: fp}}
+}
+
+// RegisterStore wraps a mutable store for serving. No registry entry is
+// kept (the store owns its graph versions, and its fingerprint changes
+// with every mutation); results for superseded snapshots age out of the
+// sharded LRU rather than being swept eagerly.
+func (e *Engine) RegisterStore(st *store.Store) StoreHandle {
+	return StoreHandle{st: st}
 }
 
 // Unregister drops the engine's reference to h's graph and every cached
-// result for it. Outstanding handles and results remain valid (they hold
-// their own references); subsequent requests through such a handle simply
-// recompute and re-cache. In-flight computations are left to finish and
-// cache normally.
+// result for it (across all shards). Outstanding handles and results
+// remain valid (they hold their own references); subsequent requests
+// through such a handle simply recompute and re-cache. In-flight
+// computations are left to finish and cache normally.
 func (e *Engine) Unregister(h Handle) {
-	e.mu.Lock()
-	delete(e.graphs, h.fp)
-	if removed := e.cache.removeFingerprint(h.fp); removed > 0 {
-		e.evictions.Add(uint64(removed))
+	gsh := e.shardForFP(h.d.fp)
+	gsh.mu.Lock()
+	delete(gsh.graphs, h.d.fp)
+	gsh.mu.Unlock()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		if removed := sh.cache.removeFingerprint(h.d.fp); removed > 0 {
+			sh.evictions += uint64(removed)
+			e.evictions.Add(uint64(removed))
+		}
+		sh.mu.Unlock()
 	}
-	e.mu.Unlock()
 }
 
 // ctxErr reports whether err is a context cancellation/deadline error.
@@ -197,21 +354,31 @@ func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// do runs the cache → singleflight → compute flow for one request key. The
-// compute closure receives the initiating request's context; a joiner whose
-// own context dies abandons the wait, and a joiner that outlives a
-// cancelled initiator retries the computation under its own context.
+// do runs the cache → singleflight → compute flow for one request key on
+// the key's shard. The compute closure receives the initiating request's
+// context; a joiner whose own context dies abandons the wait, and a joiner
+// that outlives a cancelled initiator retries the computation under its own
+// context.
+//
+// Publication protocol: the initiator removes the inflight entry — and, on
+// success, installs the cache entry — in one critical section *before*
+// closing ready. A woken joiner therefore never re-observes the dead
+// inflight entry (the pre-shard engine had a window where a retrying joiner
+// could spin on an already-completed entry that the initiator had not yet
+// unlinked), and a compute error can never leave a dangling inflight entry
+// behind, however the initiator's context races with the failure.
 func (e *Engine) do(ctx context.Context, key cacheKey, compute func(context.Context) (any, error)) (any, error) {
+	sh := e.shardFor(key)
 	for {
-		e.mu.Lock()
-		if ent, ok := e.cache.get(key); ok {
+		sh.mu.Lock()
+		if ent, ok := sh.cache.get(key); ok {
 			e.hits.Add(1)
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			return ent.val, nil
 		}
-		if ent, ok := e.inflight[key]; ok {
+		if ent, ok := sh.inflight[key]; ok {
 			e.dedup.Add(1)
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			select {
 			case <-ent.ready:
 			case <-ctx.Done():
@@ -232,24 +399,25 @@ func (e *Engine) do(ctx context.Context, key cacheKey, compute func(context.Cont
 			return ent.val, nil
 		}
 		ent := &entry{ready: make(chan struct{})}
-		e.inflight[key] = ent
+		sh.inflight[key] = ent
 		e.misses.Add(1)
-		e.mu.Unlock()
+		sh.mu.Unlock()
 
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
 					ent.err = fmt.Errorf("engine: computation for %q panicked: %v", key.key, r)
 				}
-				close(ent.ready)
-				e.mu.Lock()
-				delete(e.inflight, key)
+				sh.mu.Lock()
+				delete(sh.inflight, key)
 				if ent.err == nil {
-					if ev := e.cache.add(key, ent); ev > 0 {
+					if ev := sh.cache.add(key, ent); ev > 0 {
+						sh.evictions += uint64(ev)
 						e.evictions.Add(uint64(ev))
 					}
 				}
-				e.mu.Unlock()
+				sh.mu.Unlock()
+				close(ent.ready)
 			}()
 			e.computations.Add(1)
 			ent.val, ent.err = compute(ctx)
@@ -264,20 +432,21 @@ func (e *Engine) do(ctx context.Context, key cacheKey, compute func(context.Cont
 // getEntry is the read path of do used by the cluster queries: it returns
 // the entry itself so lazily materialized per-entry state can be shared.
 func (e *Engine) getEntry(ctx context.Context, key cacheKey, compute func(context.Context) (any, error)) (*entry, error) {
-	e.mu.Lock()
-	if ent, ok := e.cache.get(key); ok {
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	if ent, ok := sh.cache.get(key); ok {
 		e.hits.Add(1)
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		return ent, nil
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	if _, err := e.do(ctx, key, compute); err != nil {
 		return nil, err
 	}
 	// The entry is now cached (do only stores successful computations).
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if ent, ok := e.cache.get(key); ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ent, ok := sh.cache.get(key); ok {
 		return ent, nil
 	}
 	// Evicted between fill and re-read under heavy churn: extremely small
@@ -285,10 +454,19 @@ func (e *Engine) getEntry(ctx context.Context, key cacheKey, compute func(contex
 	return nil, fmt.Errorf("engine: result for %q evicted before use; raise Options.Capacity", key.key)
 }
 
-// Run invokes any registered algorithm by name against h's graph,
-// computing it at most once per (fingerprint, algorithm, canonical params).
-// The returned envelope is shared; treat it as immutable.
-func (e *Engine) Run(ctx context.Context, h Handle, name string, p algo.Params) (*algo.Result, error) {
+// stamp records the snapshot identity a result was computed against, so
+// callers (and tests) can audit which graph version produced a cached
+// entry.
+func stamp(r *algo.Result, fp graphio.Fingerprint) *algo.Result {
+	r.Snapshot = fp.String()
+	return r
+}
+
+// Run invokes any registered algorithm by name against src's current
+// snapshot, computing it at most once per (snapshot fingerprint, algorithm,
+// canonical params). The returned envelope is shared; treat it as
+// immutable.
+func (e *Engine) Run(ctx context.Context, src Source, name string, p algo.Params) (*algo.Result, error) {
 	s, ok := algo.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown algorithm %q", name)
@@ -297,8 +475,13 @@ func (e *Engine) Run(ctx context.Context, h Handle, name string, p algo.Params) 
 	if err != nil {
 		return nil, err
 	}
-	v, err := e.do(ctx, cacheKey{fp: h.fp, key: key}, func(ctx context.Context) (any, error) {
-		return s.RunSpec(ctx, h.g, p)
+	sv := src.resolve()
+	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
+		r, err := s.RunSpec(ctx, sv.graph(), p)
+		if err != nil {
+			return nil, err
+		}
+		return stamp(r, sv.fp), nil
 	})
 	if err != nil {
 		return nil, err
@@ -306,15 +489,20 @@ func (e *Engine) Run(ctx context.Context, h Handle, name string, p algo.Params) 
 	return v.(*algo.Result), nil
 }
 
-// ChangLi returns the Theorem 1.1 decomposition of h's graph under p,
+// ChangLi returns the Theorem 1.1 decomposition of src's snapshot under p,
 // computing it at most once per (fingerprint, params). This is the typed
 // hot path of Run("changli", ...): it shares cache slots with the generic
 // path (algo.ChangLiKey == Spec.CacheKey by construction) while building
-// the key with a single Sprintf. The result is shared; treat it as
+// the key with strconv appends. The result is shared; treat it as
 // immutable.
-func (e *Engine) ChangLi(ctx context.Context, h Handle, p ldd.Params) (*ldd.Decomposition, error) {
-	v, err := e.do(ctx, cacheKey{fp: h.fp, key: algo.ChangLiKey(p)}, func(ctx context.Context) (any, error) {
-		return algo.RunChangLi(ctx, h.g, p)
+func (e *Engine) ChangLi(ctx context.Context, src Source, p ldd.Params) (*ldd.Decomposition, error) {
+	sv := src.resolve()
+	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: algo.ChangLiKey(p)}, func(ctx context.Context) (any, error) {
+		r, err := algo.RunChangLi(ctx, sv.graph(), p)
+		if err != nil {
+			return nil, err
+		}
+		return stamp(r, sv.fp), nil
 	})
 	if err != nil {
 		return nil, err
@@ -322,11 +510,16 @@ func (e *Engine) ChangLi(ctx context.Context, h Handle, p ldd.Params) (*ldd.Deco
 	return v.(*algo.Result).Raw.(*ldd.Decomposition), nil
 }
 
-// SparseCover returns the Lemma C.2 sparse cover of h's graph under p,
-// cached like ChangLi.
-func (e *Engine) SparseCover(ctx context.Context, h Handle, p ldd.ENParams) (*ldd.Cover, error) {
-	v, err := e.do(ctx, cacheKey{fp: h.fp, key: algo.SparseCoverKey(p)}, func(ctx context.Context) (any, error) {
-		return algo.RunSparseCover(ctx, h.g, p)
+// SparseCover returns the Lemma C.2 sparse cover of src's snapshot under
+// p, cached like ChangLi.
+func (e *Engine) SparseCover(ctx context.Context, src Source, p ldd.ENParams) (*ldd.Cover, error) {
+	sv := src.resolve()
+	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: algo.SparseCoverKey(p)}, func(ctx context.Context) (any, error) {
+		r, err := algo.RunSparseCover(ctx, sv.graph(), p)
+		if err != nil {
+			return nil, err
+		}
+		return stamp(r, sv.fp), nil
 	})
 	if err != nil {
 		return nil, err
@@ -335,10 +528,15 @@ func (e *Engine) SparseCover(ctx context.Context, h Handle, p ldd.ENParams) (*ld
 }
 
 // NetDecomp returns the Linial–Saks style colored network decomposition of
-// h's graph under p, cached like ChangLi.
-func (e *Engine) NetDecomp(ctx context.Context, h Handle, p netdecomp.Params) (*netdecomp.Decomposition, error) {
-	v, err := e.do(ctx, cacheKey{fp: h.fp, key: algo.NetDecompKey(p)}, func(ctx context.Context) (any, error) {
-		return algo.RunNetDecomp(ctx, h.g, p)
+// src's snapshot under p, cached like ChangLi.
+func (e *Engine) NetDecomp(ctx context.Context, src Source, p netdecomp.Params) (*netdecomp.Decomposition, error) {
+	sv := src.resolve()
+	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: algo.NetDecompKey(p)}, func(ctx context.Context) (any, error) {
+		r, err := algo.RunNetDecomp(ctx, sv.graph(), p)
+		if err != nil {
+			return nil, err
+		}
+		return stamp(r, sv.fp), nil
 	})
 	if err != nil {
 		return nil, err
@@ -347,11 +545,11 @@ func (e *Engine) NetDecomp(ctx context.Context, h Handle, p netdecomp.Params) (*
 }
 
 // ClusterOf answers a batch of cluster-of-vertex queries against the cached
-// ChangLi decomposition (computing it on first use). The returned slice is
-// caller-owned.
-func (e *Engine) ClusterOf(ctx context.Context, h Handle, p ldd.Params, vs []int32) ([]int32, error) {
+// ChangLi decomposition of src's current snapshot (computing it on first
+// use). The returned slice is caller-owned.
+func (e *Engine) ClusterOf(ctx context.Context, src Source, p ldd.Params, vs []int32) ([]int32, error) {
 	e.queries.Add(1)
-	d, err := e.ChangLi(ctx, h, p)
+	d, err := e.ChangLi(ctx, src, p)
 	if err != nil {
 		return nil, err
 	}
@@ -365,13 +563,15 @@ func (e *Engine) ClusterOf(ctx context.Context, h Handle, p ldd.Params, vs []int
 	return out, nil
 }
 
-// Balls answers a batch of ball queries N^radius(v) on h's graph, fanning
-// out across the worker pool with per-worker workspaces drawn from the
-// engine's reservoir. workers <= 0 means GOMAXPROCS. The returned slices
-// are caller-owned.
-func (e *Engine) Balls(ctx context.Context, h Handle, vs []int32, radius, workers int) ([][]int32, error) {
+// Balls answers a batch of ball queries N^radius(v) on src's current
+// snapshot, fanning out across the worker pool. Immutable handles run the
+// zero-allocation workspace path; store snapshots run directly on the
+// delta overlay (no CSR materialization). workers <= 0 means GOMAXPROCS.
+// The returned slices are caller-owned.
+func (e *Engine) Balls(ctx context.Context, src Source, vs []int32, radius, workers int) ([][]int32, error) {
 	e.queries.Add(1)
-	n := h.g.N()
+	sv := src.resolve()
+	n := sv.n()
 	for _, v := range vs {
 		if v < 0 || int(v) >= n {
 			return nil, fmt.Errorf("engine: vertex %d out of range [0, %d)", v, n)
@@ -382,12 +582,23 @@ func (e *Engine) Balls(ctx context.Context, h Handle, vs []int32, radius, worker
 	if workers == 0 {
 		return out, nil
 	}
+	if sv.snap != nil {
+		err := par.ForEachCtx(ctx, workers, len(vs), func(_, i int) {
+			out[i] = sv.snap.Ball(int(vs[i]), radius)
+		})
+		if err != nil {
+			e.cancellations.Add(1)
+			return nil, err
+		}
+		return out, nil
+	}
+	g := sv.g
 	wss := make([]*graph.Workspace, workers)
 	for i := range wss {
 		wss[i] = e.acquireWS()
 	}
 	err := par.ForEachCtx(ctx, workers, len(vs), func(w, i int) {
-		ball := h.g.BallWithWorkspace(wss[w], int(vs[i]), radius)
+		ball := g.BallWithWorkspace(wss[w], int(vs[i]), radius)
 		out[i] = append([]int32(nil), ball...)
 	})
 	for _, ws := range wss {
@@ -411,19 +622,24 @@ type ClusterSolve struct {
 }
 
 // LocalSolves runs the per-cluster local solve of inst over every cluster
-// of the cached ChangLi decomposition of h's graph under p, computing the
-// decomposition at most once and fanning the independent per-cluster
+// of the cached ChangLi decomposition of src's current snapshot, computing
+// the decomposition at most once and fanning the independent per-cluster
 // solves out across the worker pool (workers <= 0 means GOMAXPROCS).
 // Packing instances use solve.PackingLocal, covering instances
 // solve.CoveringLocal; inst must have one variable per graph vertex.
-func (e *Engine) LocalSolves(ctx context.Context, h Handle, p ldd.Params, inst *ilp.Instance, opt solve.Options, workers int) ([]ClusterSolve, error) {
+func (e *Engine) LocalSolves(ctx context.Context, src Source, p ldd.Params, inst *ilp.Instance, opt solve.Options, workers int) ([]ClusterSolve, error) {
 	e.queries.Add(1)
-	if inst.NumVars() != h.g.N() {
-		return nil, fmt.Errorf("engine: instance has %d variables, graph has %d vertices", inst.NumVars(), h.g.N())
+	sv := src.resolve()
+	if inst.NumVars() != sv.n() {
+		return nil, fmt.Errorf("engine: instance has %d variables, graph has %d vertices", inst.NumVars(), sv.n())
 	}
-	key := cacheKey{fp: h.fp, key: algo.ChangLiKey(p)}
+	key := cacheKey{fp: sv.fp, key: algo.ChangLiKey(p)}
 	ent, err := e.getEntry(ctx, key, func(ctx context.Context) (any, error) {
-		return algo.RunChangLi(ctx, h.g, p)
+		r, err := algo.RunChangLi(ctx, sv.graph(), p)
+		if err != nil {
+			return nil, err
+		}
+		return stamp(r, sv.fp), nil
 	})
 	if err != nil {
 		return nil, err

@@ -141,7 +141,9 @@ func TestDistinctParamsAndAlgorithmsMiss(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	g := gen.Cycle(200)
-	e := New(Options{Capacity: 2})
+	// One shard pins global LRU order; multi-shard eviction is covered by
+	// TestPerShardEviction.
+	e := New(Options{Capacity: 2, Shards: 1})
 	h := e.Register(g)
 	p := testParams()
 	for seed := uint64(0); seed < 3; seed++ {

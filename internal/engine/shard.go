@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// shard is one independently locked slice of the engine's state: a bounded
+// LRU of completed results, the singleflight table of in-flight
+// computations, and a slice of the graph registry. Requests are routed to
+// shards by a hash of (fingerprint, cache key), so unrelated requests never
+// contend on a lock; per-shard capacity is total capacity / shard count.
+type shard struct {
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[cacheKey]*entry
+	graphs   map[graphio.Fingerprint]*graph.Graph
+
+	// evictions is this shard's slice of the global eviction counter,
+	// kept separately so eviction skew across shards is observable.
+	evictions uint64 // guarded by mu
+}
+
+func newShard(capacity int) *shard {
+	return &shard{
+		cache:    newLRU(capacity),
+		inflight: make(map[cacheKey]*entry),
+		graphs:   make(map[graphio.Fingerprint]*graph.Graph),
+	}
+}
+
+// keySeed seeds the shard router's string hash. Per-process randomness is
+// fine: shard routing only needs to be stable within one engine's
+// lifetime, and a fresh seed per process hardens the router against
+// crafted key sets that pile onto one shard.
+var keySeed = maphash.MakeSeed()
+
+// shardIndex routes a cache key to its shard: the runtime's AES-based
+// string hash over the canonical algorithm key (a few ns regardless of key
+// length — this runs on the cache-hit path), folded with the (already
+// uniform) fingerprint prefix.
+func (e *Engine) shardIndex(key cacheKey) uint64 {
+	h := maphash.String(keySeed, key.key) ^ binary.LittleEndian.Uint64(key.fp[:8])
+	return h & e.mask
+}
+
+func (e *Engine) shardFor(key cacheKey) *shard {
+	return e.shards[e.shardIndex(key)]
+}
+
+// shardForFP routes a graph-registry fingerprint to its shard. SHA-256
+// output is uniform, so the first eight bytes are hash enough.
+func (e *Engine) shardForFP(fp graphio.Fingerprint) *shard {
+	return e.shards[binary.LittleEndian.Uint64(fp[:8])&e.mask]
+}

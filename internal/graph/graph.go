@@ -224,6 +224,49 @@ func FromEdges(n int, edges [][2]int) *Graph {
 	return b.Build()
 }
 
+// View is the minimal read-only adjacency surface a traversal needs: the
+// vertex count and per-vertex sorted neighbor lists. Graph implements it
+// directly; store snapshots implement it over a base CSR plus a mutation
+// overlay, so point queries can run against a mutated graph without
+// materializing a new CSR. Neighbor slices returned through a View alias
+// internal storage and must not be modified.
+type View interface {
+	N() int
+	Degree(v int) int
+	Neighbors(v int) []int32
+}
+
+var _ View = (*Graph)(nil)
+
+// BallOnView is Ball over any View: the vertices of N^k(src) in BFS order
+// (sorted by distance, src first). Out-of-range sources yield nil. Unlike
+// the *WithWorkspace traversals this allocates its scratch per call — it is
+// the read path for overlay-backed snapshots, where the adjacency is an
+// interface, not a CSR.
+func BallOnView(v View, src, k int) []int32 {
+	n := v.N()
+	if src < 0 || src >= n {
+		return nil
+	}
+	visited := make([]bool, n)
+	visited[src] = true
+	out := make([]int32, 1, 16)
+	out[0] = int32(src)
+	head := 0
+	for depth := 0; depth < k && head < len(out); depth++ {
+		levelEnd := len(out)
+		for ; head < levelEnd; head++ {
+			for _, w := range v.Neighbors(int(out[head])) {
+				if !visited[w] {
+					visited[w] = true
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Unreachable is the distance value reported for vertices not reached by a
 // bounded or disconnected BFS.
 const Unreachable = int32(-1)

@@ -49,3 +49,35 @@ func FingerprintOf(g *graph.Graph) Fingerprint {
 	h.Sum(f[:0])
 	return f
 }
+
+// Mutation ops chained into incremental fingerprints by NextFingerprint.
+// The values are part of the hash domain and must never be renumbered.
+const (
+	// OpAddEdge records an edge insertion.
+	OpAddEdge byte = 1
+	// OpDelEdge records an edge deletion (a tombstone).
+	OpDelEdge byte = 2
+)
+
+// NextFingerprint chains one graph mutation into a new identity in O(1):
+// the successor fingerprint of a graph with fingerprint prev after applying
+// op to the normalized edge {u, v} (callers must pass u < v, or two
+// stores replaying the same mutation would diverge). The chain is
+// history-sensitive — the same edge set reached through different mutation
+// orders gets different fingerprints — which is sound for result caching
+// (equal fingerprints still imply equal graphs); store.Compact converges a
+// mutated graph back to its canonical content fingerprint (FingerprintOf),
+// so equal edge sets eventually share cache entries again.
+func NextFingerprint(prev Fingerprint, op byte, u, v int32) Fingerprint {
+	h := sha256.New()
+	h.Write([]byte("repro/graphio/delta/v1"))
+	h.Write(prev[:])
+	var buf [9]byte
+	buf[0] = op
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(u))
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(v))
+	h.Write(buf[:])
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

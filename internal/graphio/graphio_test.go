@@ -216,3 +216,32 @@ func TestCorruptGzipRejected(t *testing.T) {
 		t.Fatal("truncated gzip accepted")
 	}
 }
+
+func TestNextFingerprintChain(t *testing.T) {
+	g := gen.Cycle(20)
+	base := FingerprintOf(g)
+	a := NextFingerprint(base, OpAddEdge, 0, 10)
+	if a == base {
+		t.Fatal("delta did not change the fingerprint")
+	}
+	if again := NextFingerprint(base, OpAddEdge, 0, 10); again != a {
+		t.Fatal("chain is not deterministic")
+	}
+	// Op, endpoints, and order in the chain all matter.
+	if NextFingerprint(base, OpDelEdge, 0, 10) == a {
+		t.Fatal("add and delete collide")
+	}
+	if NextFingerprint(base, OpAddEdge, 0, 11) == a {
+		t.Fatal("distinct edges collide")
+	}
+	ab := NextFingerprint(NextFingerprint(base, OpAddEdge, 0, 10), OpAddEdge, 2, 12)
+	ba := NextFingerprint(NextFingerprint(base, OpAddEdge, 2, 12), OpAddEdge, 0, 10)
+	if ab == ba {
+		t.Fatal("chain is order-insensitive (too-weak hash domain)")
+	}
+	// Add-then-delete does not return to the base identity: the chain
+	// tracks history, not content (Compact restores content identity).
+	if NextFingerprint(a, OpDelEdge, 0, 10) == base {
+		t.Fatal("history chain collided with content fingerprint")
+	}
+}

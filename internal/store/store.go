@@ -1,0 +1,428 @@
+// Package store is the versioned mutable graph layer under the serving
+// engine: a Store holds a base CSR graph plus a delta overlay, so edges can
+// be inserted and deleted while the graph is being queried. Reads never
+// block behind writes for long — Snapshot returns an immutable, internally
+// consistent view in O(1), and mutations copy-on-write only the per-vertex
+// adjacency lists they touch.
+//
+// Representation. The base is an immutable graph.Graph (CSR). The overlay
+// is a map from touched vertex to its full current sorted neighbor list;
+// untouched vertices read straight from the base CSR. Every applied
+// mutation is also appended to an epoch-stamped delta log (deletions are
+// the tombstones), which is what Compact folds back into a fresh base CSR
+// and what observability reports as the pending write-amplification.
+//
+// Identity. Each mutation advances the store's fingerprint in O(1) via
+// graphio.NextFingerprint, so a mutated graph gets a new cache identity in
+// O(delta) total instead of re-hashing the full CSR; stale results keyed by
+// superseded fingerprints age out of the serving layer's LRU naturally.
+// The incremental chain is history-sensitive; Compact rebuilds the CSR and
+// restores the canonical content fingerprint, so two stores that reach the
+// same edge set converge after compaction.
+//
+// Concurrency. All Store methods are safe for concurrent use (one mutex;
+// critical sections are O(deg) for mutations, O(1) for Snapshot).
+// Snapshots are immutable and safe to share without synchronization.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// Op is a mutation kind in the delta log.
+type Op uint8
+
+const (
+	// OpAdd is an edge insertion.
+	OpAdd Op = Op(graphio.OpAddEdge)
+	// OpDel is an edge deletion — an epoch-stamped tombstone for a base or
+	// previously inserted edge.
+	OpDel Op = Op(graphio.OpDelEdge)
+)
+
+// Delta is one applied mutation: the normalized edge (U < V) and the epoch
+// at which it was applied (epochs start at 1 and increase by 1 per applied
+// mutation; rejected no-ops do not consume an epoch).
+type Delta struct {
+	Op   Op
+	U, V int32
+	// Epoch stamps when the mutation was applied.
+	Epoch uint64
+}
+
+// Stats is a snapshot of a store's write-side state.
+type Stats struct {
+	// Epoch is the number of mutations applied over the store's lifetime
+	// (monotone; Compact does not reset it).
+	Epoch uint64
+	// Pending is the delta-log length since the last Compact.
+	Pending int
+	// PatchedVertices counts vertices whose adjacency is overlaid.
+	PatchedVertices int
+	// Adds, Dels, Compactions are lifetime counters of applied operations.
+	Adds, Dels, Compactions uint64
+}
+
+// Store is a mutable graph with O(1) immutable snapshots. Construct with
+// New; the zero value is not usable.
+type Store struct {
+	mu      sync.Mutex
+	base    *graph.Graph
+	patched map[int32][]int32 // overlay: full sorted neighbor list per touched vertex
+	n, m    int
+	fp      graphio.Fingerprint
+	epoch   uint64
+	log     []Delta
+	sealed  bool // the current patched map is shared with a live snapshot
+	snap    *Snapshot
+
+	// cur is the lock-free fast path of Snapshot(): the currently
+	// published snapshot, or nil when a mutation has invalidated it.
+	// Writers clear/replace it under mu; readers Load without locking, so
+	// the serving layer's per-request resolve does not funnel every shard
+	// through one store mutex.
+	cur atomic.Pointer[Snapshot]
+
+	adds, dels, compactions uint64
+}
+
+// New wraps g (retained, must not be mutated by the caller) in a store.
+// The initial fingerprint is g's canonical content fingerprint.
+func New(g *graph.Graph) *Store {
+	return &Store{
+		base:    g,
+		patched: make(map[int32][]int32),
+		n:       g.N(),
+		m:       g.M(),
+		fp:      graphio.FingerprintOf(g),
+	}
+}
+
+// N returns the (fixed) vertex count.
+func (s *Store) N() int { return s.n }
+
+// M returns the current edge count.
+func (s *Store) M() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+// Epoch returns the number of mutations applied over the store's lifetime.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Fingerprint returns the current (incremental) fingerprint.
+func (s *Store) Fingerprint() graphio.Fingerprint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fp
+}
+
+// Stats returns the write-side counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Epoch:           s.epoch,
+		Pending:         len(s.log),
+		PatchedVertices: len(s.patched),
+		Adds:            s.adds,
+		Dels:            s.dels,
+		Compactions:     s.compactions,
+	}
+}
+
+// Deltas returns a copy of the delta log accumulated since the last
+// Compact (deletions are the tombstones).
+func (s *Store) Deltas() []Delta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Delta(nil), s.log...)
+}
+
+// neighbors returns v's current adjacency (overlay first, base otherwise).
+// Caller holds s.mu; the returned slice must not be modified.
+func (s *Store) neighbors(v int32) []int32 {
+	if l, ok := s.patched[v]; ok {
+		return l
+	}
+	return s.base.Neighbors(int(v))
+}
+
+func contains(list []int32, x int32) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= x })
+	return i < len(list) && list[i] == x
+}
+
+// insertSorted returns a fresh sorted copy of list with x inserted. Lists
+// stored in the overlay are immutable, so mutation always copies — that is
+// what lets snapshots share them without locks.
+func insertSorted(list []int32, x int32) []int32 {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= x })
+	out := make([]int32, len(list)+1)
+	copy(out, list[:i])
+	out[i] = x
+	copy(out[i+1:], list[i:])
+	return out
+}
+
+// removeSorted returns a fresh copy of list with x removed (x must be
+// present).
+func removeSorted(list []int32, x int32) []int32 {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= x })
+	out := make([]int32, len(list)-1)
+	copy(out, list[:i])
+	copy(out[i:], list[i+1:])
+	return out
+}
+
+// prepareWrite detaches the overlay from any live snapshot: the published
+// snapshot is invalidated, and if the current patched map is shared
+// (sealed), it is cloned before mutation. Individual lists never need
+// cloning because they are immutable once stored.
+func (s *Store) prepareWrite() {
+	s.cur.Store(nil)
+	if !s.sealed {
+		s.snap = nil
+		return
+	}
+	clone := make(map[int32][]int32, len(s.patched)+2)
+	for v, l := range s.patched {
+		clone[v] = l
+	}
+	s.patched = clone
+	s.sealed = false
+	s.snap = nil
+}
+
+// AddEdge inserts the undirected edge {u, v}. It reports whether the edge
+// was applied: self-loops, out-of-range endpoints, and already-present
+// edges are rejected as no-ops (no epoch is consumed).
+func (s *Store) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= s.n || v >= s.n {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if contains(s.neighbors(int32(u)), int32(v)) {
+		return false
+	}
+	s.prepareWrite()
+	s.patched[int32(u)] = insertSorted(s.neighbors(int32(u)), int32(v))
+	s.patched[int32(v)] = insertSorted(s.neighbors(int32(v)), int32(u))
+	s.m++
+	s.adds++
+	s.applyDelta(OpAdd, u, v)
+	return true
+}
+
+// DeleteEdge removes the undirected edge {u, v}, recording an
+// epoch-stamped tombstone. It reports whether the edge existed.
+func (s *Store) DeleteEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= s.n || v >= s.n {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !contains(s.neighbors(int32(u)), int32(v)) {
+		return false
+	}
+	s.prepareWrite()
+	s.patched[int32(u)] = removeSorted(s.neighbors(int32(u)), int32(v))
+	s.patched[int32(v)] = removeSorted(s.neighbors(int32(v)), int32(u))
+	s.m--
+	s.dels++
+	s.applyDelta(OpDel, u, v)
+	return true
+}
+
+// applyDelta advances the epoch, the incremental fingerprint, and the log.
+// Caller holds s.mu and has already validated and applied the overlay edit.
+func (s *Store) applyDelta(op Op, u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	s.epoch++
+	s.fp = graphio.NextFingerprint(s.fp, byte(op), int32(u), int32(v))
+	s.log = append(s.log, Delta{Op: op, U: int32(u), V: int32(v), Epoch: s.epoch})
+}
+
+// Snapshot returns an immutable view of the current graph in O(1). The
+// snapshot stays valid (and internally consistent) forever: later mutations
+// copy-on-write around it. Repeated calls between mutations return the
+// same instance, so snapshot identity doubles as a cheap change check.
+//
+// The common case — no mutation since the last call — is a single atomic
+// load, so concurrent readers resolving snapshots per request do not
+// serialize on the store mutex. A reader racing a writer may observe the
+// immediately preceding version; that is the same outcome as having
+// resolved a moment earlier.
+func (s *Store) Snapshot() *Snapshot {
+	if snap := s.cur.Load(); snap != nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil {
+		s.snap = &Snapshot{
+			base:    s.base,
+			patched: s.patched,
+			n:       s.n,
+			m:       s.m,
+			fp:      s.fp,
+			epoch:   s.epoch,
+		}
+		// The snapshot now shares the patched map (even an empty one), so
+		// the next mutation must clone it before writing.
+		s.sealed = true
+	}
+	s.cur.Store(s.snap)
+	return s.snap
+}
+
+// Compact folds the delta overlay back into a fresh base CSR, clears the
+// log, and restores the canonical content fingerprint (the one a fresh
+// load of the same edge set would have), so cache identities converge
+// across mutation histories. Existing snapshots are unaffected. Returns
+// the snapshot of the compacted graph.
+func (s *Store) Compact() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.log) > 0 {
+		g, err := materialize(s.base, s.patched, s.m)
+		if err != nil {
+			panic(fmt.Sprintf("store: overlay invariant violated: %v", err))
+		}
+		s.base = g
+		s.patched = make(map[int32][]int32)
+		s.fp = graphio.FingerprintOf(g)
+		s.log = nil
+		s.compactions++
+		s.sealed = false
+		s.snap = nil
+		s.cur.Store(nil)
+	}
+	if s.snap == nil {
+		s.snap = &Snapshot{base: s.base, patched: s.patched, n: s.n, m: s.m, fp: s.fp, epoch: s.epoch}
+		s.sealed = true
+	}
+	s.cur.Store(s.snap)
+	return s.snap
+}
+
+// materialize builds a validated CSR graph from base + overlay.
+func materialize(base *graph.Graph, patched map[int32][]int32, m int) (*graph.Graph, error) {
+	n := base.N()
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		deg := base.Degree(v)
+		if l, ok := patched[int32(v)]; ok {
+			deg = len(l)
+		}
+		offsets[v+1] = offsets[v] + int32(deg)
+	}
+	adj := make([]int32, offsets[n])
+	for v := 0; v < n; v++ {
+		nb := base.Neighbors(v)
+		if l, ok := patched[int32(v)]; ok {
+			nb = l
+		}
+		copy(adj[offsets[v]:offsets[v+1]], nb)
+	}
+	g, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return nil, err
+	}
+	if g.M() != m {
+		return nil, fmt.Errorf("store: edge count drifted: overlay says %d, CSR says %d", m, g.M())
+	}
+	return g, nil
+}
+
+// Snapshot is an immutable view of a store at one version: a base CSR plus
+// a frozen overlay. It implements graph.View, so traversal-shaped reads
+// (balls, point queries) run directly on the overlay; Graph lazily
+// materializes a full CSR once for algorithm runs that need the concrete
+// representation. Safe for concurrent use.
+type Snapshot struct {
+	base    *graph.Graph
+	patched map[int32][]int32
+	n, m    int
+	fp      graphio.Fingerprint
+	epoch   uint64
+
+	once sync.Once
+	g    *graph.Graph
+}
+
+var _ graph.View = (*Snapshot)(nil)
+
+// N returns the vertex count.
+func (s *Snapshot) N() int { return s.n }
+
+// M returns the edge count at this version.
+func (s *Snapshot) M() int { return s.m }
+
+// Epoch returns the store epoch this snapshot was taken at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Fingerprint returns the snapshot's identity: the canonical content
+// fingerprint if no mutations are pending, the incremental chain value
+// otherwise.
+func (s *Snapshot) Fingerprint() graphio.Fingerprint { return s.fp }
+
+// Degree returns the degree of v at this version.
+func (s *Snapshot) Degree(v int) int {
+	if l, ok := s.patched[int32(v)]; ok {
+		return len(l)
+	}
+	return s.base.Degree(v)
+}
+
+// Neighbors returns v's sorted adjacency at this version. The slice
+// aliases snapshot storage and must not be modified.
+func (s *Snapshot) Neighbors(v int) []int32 {
+	if l, ok := s.patched[int32(v)]; ok {
+		return l
+	}
+	return s.base.Neighbors(v)
+}
+
+// HasEdge reports whether {u, v} is an edge at this version.
+func (s *Snapshot) HasEdge(u, v int) bool {
+	return contains(s.Neighbors(u), int32(v))
+}
+
+// Ball returns N^k(v) at this version in BFS order, straight off the
+// overlay (no materialization).
+func (s *Snapshot) Ball(v, k int) []int32 {
+	return graph.BallOnView(s, v, k)
+}
+
+// Graph materializes the snapshot as a concrete CSR graph, at most once
+// (subsequent calls return the same instance). A snapshot with no overlay
+// returns the base graph without copying.
+func (s *Snapshot) Graph() *graph.Graph {
+	s.once.Do(func() {
+		if len(s.patched) == 0 {
+			s.g = s.base
+			return
+		}
+		g, err := materialize(s.base, s.patched, s.m)
+		if err != nil {
+			panic(fmt.Sprintf("store: overlay invariant violated: %v", err))
+		}
+		s.g = g
+	})
+	return s.g
+}
