@@ -16,12 +16,21 @@
 // writes. -timeout puts a deadline on every request; deadline-exceeded
 // requests are counted and reported rather than failing the run.
 //
+// Beyond the in-process replay, two network modes bracket the HTTP serving
+// layer (internal/server): -http exposes the loaded graph as a real service
+// (SIGINT/SIGTERM drains gracefully — in-flight requests finish, new ones
+// get 503), and -connect turns this binary into the load generator for a
+// remote server, issuing the same seeded workloads over real sockets and
+// reporting read/write throughput, timeouts, and shed requests.
+//
 // Usage:
 //
 //	serve -gen gnp -n 5000 -requests 20000 -concurrency 8
 //	serve -load web.metis.gz -requests 10000 -seedspace 4
 //	serve -gen grid -n 10000 -trace trace.txt -concurrency 16 -timeout 50ms
 //	serve -gen gnp -n 2000 -requests 20000 -churn 0.05 -compactevery 64
+//	serve -gen gnp -n 5000 -http :8080 -shards 16
+//	serve -connect http://localhost:8080 -requests 20000 -churn 0.1 -concurrency 8
 //
 // Trace files contain one request per line ('#' starts a comment):
 //
@@ -46,11 +55,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/algo"
@@ -60,6 +72,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/ldd"
 	"repro/internal/par"
+	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/xrand"
 )
@@ -72,30 +85,10 @@ func main() {
 }
 
 // buildGraph constructs the requested generated topology on roughly n
-// vertices (mirrors cmd/ldd's families).
+// vertices (gen.Family is the shared vocabulary of the CLIs and the HTTP
+// layer's generate endpoint).
 func buildGraph(kind string, n int, seed uint64) (*graph.Graph, error) {
-	if n < 2 {
-		return nil, errors.New("n must be >= 2")
-	}
-	rng := xrand.New(seed + 0x5e7e)
-	switch kind {
-	case "cycle":
-		return gen.Cycle(n), nil
-	case "path":
-		return gen.Path(n), nil
-	case "grid":
-		side := int(math.Round(math.Sqrt(float64(n))))
-		return gen.Grid(side, side), nil
-	case "torus":
-		side := int(math.Round(math.Sqrt(float64(n))))
-		return gen.Torus(side, side), nil
-	case "gnp":
-		return gen.GNP(n, 6/float64(n), rng), nil
-	case "regular":
-		return gen.RandomRegular(n, 4, rng), nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", kind)
-	}
+	return gen.Family(kind, n, seed)
 }
 
 // request is one parsed workload operation: a registry algorithm
@@ -143,6 +136,36 @@ func (r request) issue(ctx context.Context, e *engine.Engine, h engine.StoreHand
 	}
 }
 
+// issueHTTP executes the request against a remote serving layer through
+// the typed client, mirroring issue's op mapping onto the HTTP API.
+func (r request) issueHTTP(ctx context.Context, c *server.Client, id string) error {
+	switch r.op {
+	case "algo":
+		_, err := c.Run(ctx, id, server.RunRequest{Algo: r.algo, Params: r.params})
+		return err
+	case "cluster":
+		_, err := c.Query(ctx, id, server.QueryRequest{
+			Op: "cluster", Vertices: []int32{r.vertex},
+			Eps: r.cl.Epsilon, Scale: r.cl.Scale, Seed: r.cl.Seed, Skip2: r.cl.SkipPhase2,
+		})
+		return err
+	case "ball":
+		_, err := c.Query(ctx, id, server.QueryRequest{Op: "ball", Vertices: []int32{r.vertex}, Radius: r.radius})
+		return err
+	case "addedge":
+		_, err := c.AddEdge(ctx, id, int(r.u), int(r.v))
+		return err
+	case "deledge":
+		_, err := c.DeleteEdge(ctx, id, int(r.u), int(r.v))
+		return err
+	case "compact":
+		_, err := c.Compact(ctx, id)
+		return err
+	default:
+		return fmt.Errorf("unknown op %q", r.op)
+	}
+}
+
 // parseMutation parses the positional mutation ops of the trace language:
 // "addedge u v", "deledge u v", "compact".
 func parseMutation(fields []string, n int) (request, error) {
@@ -156,19 +179,22 @@ func parseMutation(fields []string, n int) (request, error) {
 	if len(fields) != 3 {
 		return r, fmt.Errorf("%s wants two endpoints, got %d fields", r.op, len(fields)-1)
 	}
+	// Name the op and the offending token: a raw strconv error out of a
+	// positional op gave no hint which mutation (or which endpoint) was at
+	// fault, even with the file:line prefix the trace reader adds.
 	u, err := strconv.Atoi(fields[1])
 	if err != nil {
-		return r, err
+		return r, fmt.Errorf("%s: bad endpoint %q (want a vertex id)", r.op, fields[1])
 	}
 	v, err := strconv.Atoi(fields[2])
 	if err != nil {
-		return r, err
+		return r, fmt.Errorf("%s: bad endpoint %q (want a vertex id)", r.op, fields[2])
 	}
 	if u < 0 || u >= n || v < 0 || v >= n {
-		return r, fmt.Errorf("endpoint of {%d, %d} out of range [0, %d)", u, v, n)
+		return r, fmt.Errorf("%s: endpoint of {%d, %d} out of range [0, %d)", r.op, u, v, n)
 	}
 	if u == v {
-		return r, fmt.Errorf("self-loop {%d, %d} rejected", u, v)
+		return r, fmt.Errorf("%s: self-loop {%d, %d} rejected", r.op, u, v)
 	}
 	r.u, r.v = int32(u), int32(v)
 	return r, nil
@@ -331,16 +357,17 @@ func makeSynthSpace(spec *algo.Spec, seedSpace int, eps, scale float64) synthSpa
 // pay off) with cluster and ball point queries and — with probability
 // churn — store mutations. Inserts draw random endpoint pairs (an
 // already-present edge is a no-op); deletes sample an incident edge of a
-// random vertex from the current snapshot, so deletions actually land on
-// sparse graphs (a concurrent delete of the same edge is a no-op).
-func synthesize(rng *xrand.RNG, n int, sp synthSpace, churn float64, st *store.Store) request {
+// random vertex through the neighbors func — the live snapshot in-process,
+// a radius-1 ball query over the wire in -connect mode — so deletions
+// actually land on sparse graphs (a concurrent delete of the same edge is
+// a no-op).
+func synthesize(rng *xrand.RNG, n int, sp synthSpace, churn float64, neighbors func(u int) []int32) request {
 	if churn > 0 && rng.Float64() < churn {
 		if rng.Intn(2) == 0 {
-			snap := st.Snapshot()
 			for try := 0; try < 8; try++ {
 				u := rng.Intn(n)
-				if deg := snap.Degree(u); deg > 0 {
-					return request{op: "deledge", u: int32(u), v: snap.Neighbors(u)[rng.Intn(deg)]}
+				if nb := neighbors(u); len(nb) > 0 {
+					return request{op: "deledge", u: int32(u), v: nb[rng.Intn(len(nb))]}
 				}
 			}
 			// Degenerate near-edgeless graph: fall through to an insert.
@@ -381,6 +408,11 @@ func run(args []string, w io.Writer) error {
 	warm := fs.Bool("warm", true, "precompute the synthetic seed space before timing")
 	churn := fs.Float64("churn", 0, "fraction of synthetic requests that mutate the graph (0 = read-only)")
 	compactEvery := fs.Int("compactevery", 0, "fold the delta overlay into a fresh CSR every N writes (0 = never)")
+	httpAddr := fs.String("http", "", "serve the graph over HTTP at this address (e.g. :8080) instead of replaying a workload; SIGINT/SIGTERM drains gracefully")
+	connect := fs.String("connect", "", "drive a remote serving layer at this base URL (e.g. http://host:8080) instead of the in-process engine")
+	graphID := fs.String("graphid", "", "with -connect: drive this existing server-side graph instead of uploading/generating one")
+	maxInflight := fs.Int("maxinflight", 0, "with -http: admission gate size; excess requests shed with 503 (0 = default)")
+	drainTimeout := fs.Duration("draintimeout", 30*time.Second, "with -http: how long shutdown waits for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -390,9 +422,22 @@ func run(args []string, w io.Writer) error {
 	if *churn < 0 || *churn > 1 {
 		return errors.New("churn must be in [0, 1]")
 	}
+	if *httpAddr != "" && *connect != "" {
+		return errors.New("-http and -connect are mutually exclusive")
+	}
 	spec, ok := algo.Get(*algoName)
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q (registry has %s)", *algoName, strings.Join(algo.Names(), ", "))
+	}
+
+	if *connect != "" {
+		return driveHTTP(w, httpDriveConfig{
+			base: *connect, graphID: *graphID, load: *load, genKind: *genKind,
+			trace: *trace, n: *n, genSeed: *genSeed, seed: *seed, spec: spec,
+			seedSpace: *seedSpace, eps: *eps, scale: *scale, requests: *requests,
+			concurrency: *concurrency, timeout: *timeout, warm: *warm,
+			churn: *churn, compactEvery: *compactEvery,
+		})
 	}
 
 	var g *graph.Graph
@@ -406,6 +451,13 @@ func run(args []string, w io.Writer) error {
 	}
 	if g.N() == 0 {
 		return errors.New("empty graph")
+	}
+
+	if *httpAddr != "" {
+		return serveHTTP(w, g, *httpAddr,
+			engine.Options{Capacity: *capacity, Shards: *shards},
+			server.Options{MaxInflight: *maxInflight, DefaultTimeout: *timeout},
+			*drainTimeout)
 	}
 
 	e := engine.New(engine.Options{Capacity: *capacity, Shards: *shards})
@@ -424,6 +476,10 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "trace: %d requests from %s\n", len(work), *trace)
 	}
+
+	// Hoisted out of the request loop: a per-request closure literal would
+	// cost one heap allocation on the ~10^6 req/s synthetic hot path.
+	neighborsOf := func(u int) []int32 { return st.Snapshot().Neighbors(u) }
 
 	sp := makeSynthSpace(spec, *seedSpace, *eps, *scale)
 	if *warm && *trace == "" {
@@ -451,7 +507,7 @@ func run(args []string, w io.Writer) error {
 			if *trace != "" {
 				r = work[i]
 			} else {
-				r = synthesize(rng, g.N(), sp, *churn, st)
+				r = synthesize(rng, g.N(), sp, *churn, neighborsOf)
 			}
 			if r.write() {
 				if n := writes.Add(1); *compactEvery > 0 && n%uint64(*compactEvery) == 0 {
@@ -505,6 +561,228 @@ func run(args []string, w io.Writer) error {
 	if *timeout > 0 {
 		fmt.Fprintf(w, "deadlines: %d of %d requests exceeded %v (%d engine cancellations)\n",
 			timeouts.Load(), total, *timeout, est.Cancellations)
+	}
+	return nil
+}
+
+// serveHTTP exposes the graph through the internal/server HTTP layer and
+// blocks until SIGINT/SIGTERM, then drains gracefully: new requests get
+// 503, in-flight ones finish (bounded by drainTimeout), and the final
+// engine counters are reported.
+func serveHTTP(w io.Writer, g *graph.Graph, addr string, eopts engine.Options, sopts server.Options, drainTimeout time.Duration) error {
+	e := engine.New(eopts)
+	srv := server.New(e, sopts)
+	id, h := srv.AddGraph(g)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "http: serving graph %s (%v) fingerprint %s with %d shards at http://%s\n",
+		id, g, h.Store().Snapshot().Fingerprint().Short(), e.NumShards(), ln.Addr())
+
+	// Install the signal handler before serving: a SIGTERM landing between
+	// the listener announcement and handler installation must drain, not
+	// hard-kill with responses in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+	fmt.Fprintln(w, "http: signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(w, "http: %v\n", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintf(w, "http: shutdown: %v\n", err)
+	}
+	est := e.Stats()
+	fmt.Fprintf(w, "http: drained; cache: %d hits, %d dedup joins, %d misses, %d computations, %d cancellations\n",
+		est.Hits, est.Dedup, est.Misses, est.Computations, est.Cancellations)
+	sst := h.Store().Stats()
+	fmt.Fprintf(w, "http: store epoch %d (%d adds, %d dels, %d compactions)\n",
+		sst.Epoch, sst.Adds, sst.Dels, sst.Compactions)
+	return nil
+}
+
+// httpDriveConfig carries the workload flags into the -connect client mode.
+type httpDriveConfig struct {
+	base, graphID, load, genKind, trace string
+	n                                   int
+	genSeed, seed                       uint64
+	spec                                *algo.Spec
+	seedSpace                           int
+	eps, scale                          float64
+	requests, concurrency               int
+	timeout                             time.Duration
+	warm                                bool
+	churn                               float64
+	compactEvery                        int
+}
+
+// formatString renders a graphio format as the wire format token of the
+// upload endpoint ("el", "dimacs.gz", ...).
+func formatString(path string) (string, error) {
+	f, gzipped, err := graphio.FormatForPath(path)
+	if err != nil {
+		return "", err
+	}
+	var s string
+	switch f {
+	case graphio.EdgeList:
+		s = "el"
+	case graphio.DIMACS:
+		s = "dimacs"
+	case graphio.METIS:
+		s = "metis"
+	default:
+		return "", fmt.Errorf("unsupported format %v", f)
+	}
+	if gzipped {
+		s += ".gz"
+	}
+	return s, nil
+}
+
+// driveHTTP is the load generator's network mode: the same closed-loop
+// seeded workloads (synthetic mix, churn, trace replay) issued against a
+// remote serving layer over real sockets through the typed client. The
+// graph is resolved in order of preference: an existing server-side id
+// (-graphid), an uploaded file (-load), or a server-side generate (-gen).
+func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
+	c := server.NewClient(cfg.base, nil)
+	ctx := context.Background()
+
+	var info *server.GraphInfo
+	var err error
+	switch {
+	case cfg.graphID != "":
+		info, err = c.GraphInfo(ctx, cfg.graphID)
+	case cfg.load != "":
+		var format string
+		if format, err = formatString(cfg.load); err != nil {
+			return err
+		}
+		var f *os.File
+		if f, err = os.Open(cfg.load); err != nil {
+			return err
+		}
+		info, err = c.Upload(ctx, format, f)
+		f.Close()
+	default:
+		info, err = c.Generate(ctx, cfg.genKind, cfg.n, cfg.genSeed)
+	}
+	if err != nil {
+		return err
+	}
+	n := info.N
+	fmt.Fprintf(w, "connect: %s graph %s  n=%d m=%d  fingerprint: %s\n",
+		cfg.base, info.ID, info.N, info.M, info.Fingerprint[:12])
+
+	var work []request
+	if cfg.trace != "" {
+		if work, err = readTrace(cfg.trace, n); err != nil {
+			return err
+		}
+		if len(work) == 0 {
+			return errors.New("trace contains no requests")
+		}
+		fmt.Fprintf(w, "trace: %d requests from %s\n", len(work), cfg.trace)
+	}
+
+	sp := makeSynthSpace(cfg.spec, cfg.seedSpace, cfg.eps, cfg.scale)
+	if cfg.warm && cfg.trace == "" {
+		t0 := time.Now()
+		for _, r := range sp.decomp {
+			if err := r.issueHTTP(ctx, c, info.ID); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "warm: %d %s decompositions in %v\n", cfg.seedSpace, cfg.spec.Name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	// Deletion sampling over the wire: a radius-1 ball query returns the
+	// center first, then its current neighbors.
+	neighborsOf := func(u int) []int32 {
+		qr, qerr := c.Query(ctx, info.ID, server.QueryRequest{Op: "ball", Vertices: []int32{int32(u)}, Radius: 1})
+		if qerr != nil || len(qr.Balls) != 1 || len(qr.Balls[0]) < 2 {
+			return nil
+		}
+		return qr.Balls[0][1:]
+	}
+
+	total := cfg.requests
+	if cfg.trace != "" {
+		total = len(work)
+	}
+	errs := make([]error, cfg.concurrency)
+	var timeouts, shed, reads, writes atomic.Uint64
+	t0 := time.Now()
+	par.ForEach(cfg.concurrency, cfg.concurrency, func(_, client int) {
+		rng := xrand.Stream(cfg.seed, client, 0x5e12e)
+		for i := client; i < total; i += cfg.concurrency {
+			var r request
+			if cfg.trace != "" {
+				r = work[i]
+			} else {
+				r = synthesize(rng, n, sp, cfg.churn, neighborsOf)
+			}
+			if r.write() {
+				if nw := writes.Add(1); cfg.compactEvery > 0 && nw%uint64(cfg.compactEvery) == 0 {
+					if _, err := c.Compact(ctx, info.ID); err != nil {
+						errs[client] = err
+						return
+					}
+				}
+			} else {
+				reads.Add(1)
+			}
+			rctx := ctx
+			cancel := context.CancelFunc(func() {})
+			if cfg.timeout > 0 {
+				rctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+			}
+			err := r.issueHTTP(rctx, c, info.ID)
+			cancel()
+			switch {
+			case err == nil:
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+				server.IsStatus(err, http.StatusGatewayTimeout):
+				// Client-side deadline (the server sees the disconnect and
+				// cancels the compute) or server-side 504.
+				timeouts.Add(1)
+			case server.IsStatus(err, http.StatusServiceUnavailable):
+				shed.Add(1) // admission gate under overload: shed, not fatal
+			default:
+				errs[client] = err
+				return
+			}
+		}
+	})
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "served %d requests in %v with %d clients over HTTP: %.0f req/s\n",
+		total, elapsed.Round(time.Microsecond), cfg.concurrency,
+		float64(total)/elapsed.Seconds())
+	fmt.Fprintf(w, "mix: %d reads (%.0f/s), %d writes (%.0f/s), %d timeouts, %d shed\n",
+		reads.Load(), float64(reads.Load())/elapsed.Seconds(),
+		writes.Load(), float64(writes.Load())/elapsed.Seconds(),
+		timeouts.Load(), shed.Load())
+	if info, err = c.GraphInfo(ctx, info.ID); err == nil {
+		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas, graph now n=%d m=%d\n",
+			info.Epoch, info.Adds, info.Dels, info.Compactions, info.Pending, info.N, info.M)
 	}
 	return nil
 }

@@ -1,14 +1,20 @@
 package main
 
 import (
+	"context"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph/gen"
 	"repro/internal/graphio"
+	"repro/internal/server"
 )
 
 func TestSyntheticWorkload(t *testing.T) {
@@ -270,6 +276,203 @@ func TestChurnFlagValidation(t *testing.T) {
 	for _, churn := range []string{"-0.1", "1.5"} {
 		if err := run([]string{"-gen", "cycle", "-n", "64", "-churn", churn}, io.Discard); err == nil {
 			t.Fatalf("churn %s accepted", churn)
+		}
+	}
+}
+
+// syncWriter is a concurrency-safe output sink for tests that read the
+// output while run() is still writing (the -http mode test).
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncWriter) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestMutationTraceErrorContext pins the fix for positional-op errors: a
+// bad mutation line must name the file, the line number, the op, and the
+// offending token.
+func TestMutationTraceErrorContext(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ctx.txt")
+	content := "changli eps=0.3 seed=1\n\ndeledge 4 x\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-gen", "cycle", "-n", "100", "-trace", path}, io.Discard)
+	if err == nil {
+		t.Fatal("bad mutation line accepted")
+	}
+	for _, want := range []string{"ctx.txt:3:", "deledge", `"x"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	// Out-of-range endpoints name the op too.
+	if err := os.WriteFile(path, []byte("addedge 0 5000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-gen", "cycle", "-n", "100", "-trace", path}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "addedge:") || !strings.Contains(err.Error(), ":1:") {
+		t.Fatalf("out-of-range error lacks context: %v", err)
+	}
+}
+
+func TestHTTPConnectFlagConflict(t *testing.T) {
+	err := run([]string{"-gen", "cycle", "-n", "64", "-http", ":0", "-connect", "http://x"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}
+
+// startTestServer exposes a generated graph through the HTTP layer for the
+// -connect tests.
+func startTestServer(t *testing.T) (*httptest.Server, *server.Server) {
+	t.Helper()
+	srv := server.New(engine.New(engine.Options{}), server.Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func TestConnectModeSynthetic(t *testing.T) {
+	ts, _ := startTestServer(t)
+	var out strings.Builder
+	args := []string{"-connect", ts.URL, "-gen", "cycle", "-n", "150", "-requests", "120",
+		"-concurrency", "4", "-seedspace", "2", "-seed", "5"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"connect:", "graph g1", "over HTTP", "req/s", "store: epoch 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestConnectModeChurn(t *testing.T) {
+	ts, srv := startTestServer(t)
+	var out strings.Builder
+	args := []string{"-connect", ts.URL, "-gen", "gnp", "-n", "120", "-requests", "150",
+		"-concurrency", "4", "-seedspace", "2", "-seed", "9", "-churn", "0.2", "-compactevery", "10"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"writes", "store: epoch"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if n := srv.Engine().Stats().InflightTotal(); n != 0 {
+		t.Fatalf("%d dangling inflight computations after churn", n)
+	}
+}
+
+func TestConnectModeTraceAndGraphID(t *testing.T) {
+	ts, srv := startTestServer(t)
+	// Pre-create a graph server-side and replay a mixed trace against it.
+	id, _ := srv.AddGraph(gen.Cycle(120))
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.txt")
+	content := "changli eps=0.3 seed=1 scale=0.05\naddedge 0 60\ncluster v=5 eps=0.3 seed=1 scale=0.05\nball v=9 k=2\ncompact\n"
+	if err := os.WriteFile(trace, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := []string{"-connect", ts.URL, "-graphid", id, "-trace", trace, "-concurrency", "1"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"trace: 5 requests", "1 compactions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Unknown graph id fails fast.
+	if err := run([]string{"-connect", ts.URL, "-graphid", "g99", "-requests", "10"}, io.Discard); err == nil {
+		t.Fatal("unknown -graphid accepted")
+	}
+}
+
+func TestConnectModeUpload(t *testing.T) {
+	ts, _ := startTestServer(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.el.gz")
+	if err := graphio.Save(path, gen.Grid(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := []string{"-connect", ts.URL, "-load", path, "-requests", "60", "-concurrency", "2", "-seedspace", "2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "n=100") {
+		t.Fatalf("uploaded graph not served:\n%s", out.String())
+	}
+}
+
+// TestHTTPServeModeDrainsOnSignal drives the -http server mode end to end:
+// boot, serve real requests over the socket, SIGINT, graceful drain.
+func TestHTTPServeModeDrainsOnSignal(t *testing.T) {
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-gen", "cycle", "-n", "200", "-http", "127.0.0.1:0"}, out)
+	}()
+	// Wait for the listener line to learn the bound address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "at http://") {
+			line := s[strings.Index(s, "at http://")+len("at "):]
+			base = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	c := server.NewClient(base, nil)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	res, err := c.Run(ctx, "g1", server.RunRequest{Algo: "changli", Params: map[string]string{"seed": "3"}})
+	if err != nil {
+		t.Fatalf("run over socket: %v", err)
+	}
+	if len(res.ClusterOf) != 200 {
+		t.Fatalf("bad result over socket: %d assignments", len(res.ClusterOf))
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve mode: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not drain after SIGINT:\n%s", out.String())
+	}
+	for _, want := range []string{"signal received, draining", "drained; cache:", "1 misses"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
 	}
 }

@@ -43,4 +43,15 @@
 // read/write load — algorithm requests, point queries, and edge
 // mutations — reporting read/write throughput and hit rate under churn,
 // bounding each request with a deadline.
+//
+// The network boundary is internal/server: an HTTP/JSON layer that
+// exposes the full registry over uploaded, generated, or mutated graphs —
+// per-request deadlines map onto context cancellation (a disconnected
+// client cancels its compute), an NDJSON batch endpoint streams results,
+// /metrics renders the engine, store, and admission counters, and
+// shutdown drains gracefully behind a bounded-concurrency admission gate.
+// An end-to-end equivalence suite pins that results served over HTTP are
+// bit-identical to direct engine calls, snapshot stamps included.
+// cmd/serve brackets it from both sides: -http serves a graph, -connect
+// replays the seeded workloads against a remote server over real sockets.
 package repro

@@ -7,10 +7,12 @@
 // with declared parameters (flag- and trace-string-friendly key=value
 // bags), capability metadata (weighted? seeded? worker pool?), and a
 // uniform Result envelope (clusters, colors, rounds, objective value,
-// quality metrics, timing). The engine, the CLIs, and the experiment
-// harness all invoke algorithms through this registry, so every family is
-// servable, traceable, and deadline-bounded: runners thread their context
-// through the compute layers, which poll it in their outer phase loops.
+// quality metrics, timing). The engine, the HTTP serving layer
+// (internal/server), the CLIs, and the experiment harness all invoke
+// algorithms through this registry, so every family is servable,
+// traceable, and deadline-bounded: runners thread their context through
+// the compute layers, which poll it in their outer phase loops — the same
+// plumbing that lets a disconnected HTTP client cancel its computation.
 //
 // Cache keys: Spec.CacheKey canonicalizes a parameter bag into a stable
 // "name|k=v|..." string in declaration order, excluding NoCache parameters

@@ -140,6 +140,26 @@ type Stats struct {
 	Shards []ShardStat
 }
 
+// InflightTotal sums the in-flight computations across shards. After a
+// serving layer has drained (no requests outstanding), it must be zero —
+// any residue is a dangling singleflight entry.
+func (s Stats) InflightTotal() int {
+	total := 0
+	for _, sh := range s.Shards {
+		total += sh.Inflight
+	}
+	return total
+}
+
+// EntriesTotal sums the resident cache entries across shards.
+func (s Stats) EntriesTotal() int {
+	total := 0
+	for _, sh := range s.Shards {
+		total += sh.Entries
+	}
+	return total
+}
+
 // cacheKey identifies one cached result: the graph snapshot's fingerprint
 // plus the algorithm's canonical cache key (name + canonicalized
 // parameters, parallelism knobs excluded — results are bit-identical for

@@ -407,3 +407,30 @@ func TestStoreChurnAgesOutEntries(t *testing.T) {
 		t.Fatalf("evictions = %d, want 4 (capacity pressure only)", got.Evictions)
 	}
 }
+
+// TestStatsTotals pins the aggregate helpers the HTTP serving layer reports
+// from: the sums must match the per-shard breakdown.
+func TestStatsTotals(t *testing.T) {
+	// Ample per-shard capacity: all 5 keys stay resident however the hash
+	// distributes them (a tight capacity would LRU-evict within one shard).
+	e := New(Options{Capacity: 32, Shards: 4})
+	bg := context.Background()
+	for i := 0; i < 5; i++ {
+		key := cacheKey{key: fmt.Sprintf("totals|%d", i)}
+		if _, err := e.do(bg, key, func(context.Context) (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	wantEntries, wantInflight := 0, 0
+	for _, sh := range st.Shards {
+		wantEntries += sh.Entries
+		wantInflight += sh.Inflight
+	}
+	if st.EntriesTotal() != wantEntries || wantEntries != 5 {
+		t.Fatalf("EntriesTotal %d, per-shard sum %d, want 5", st.EntriesTotal(), wantEntries)
+	}
+	if st.InflightTotal() != wantInflight || wantInflight != 0 {
+		t.Fatalf("InflightTotal %d, per-shard sum %d, want 0", st.InflightTotal(), wantInflight)
+	}
+}

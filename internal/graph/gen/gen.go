@@ -8,9 +8,48 @@
 package gen
 
 import (
+	"errors"
+	"fmt"
+	"math"
+
 	"repro/internal/graph"
 	"repro/internal/xrand"
 )
+
+// FamilyNames lists the topology families Family accepts, in the order the
+// CLIs document them.
+var FamilyNames = []string{"cycle", "path", "grid", "torus", "gnp", "regular"}
+
+// Family builds the named standard topology on roughly n vertices from a
+// seeded RNG: the shared vocabulary of cmd/serve and the HTTP serving
+// layer's generate endpoint, so both produce the identical graph for the
+// same (family, n, seed) triple. (cmd/ldd keeps its own, differently
+// parameterized families.) Grid and torus round n to the nearest square;
+// gnp draws G(n, 6/n) and regular a random 4-regular graph.
+func Family(kind string, n int, seed uint64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, errors.New("gen: family size n must be >= 2")
+	}
+	rng := xrand.New(seed + 0x5e7e)
+	switch kind {
+	case "cycle":
+		return Cycle(n), nil
+	case "path":
+		return Path(n), nil
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return Grid(side, side), nil
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return Torus(side, side), nil
+	case "gnp":
+		return GNP(n, 6/float64(n), rng), nil
+	case "regular":
+		return RandomRegular(n, 4, rng), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown graph family %q", kind)
+	}
+}
 
 // Path returns the path graph on n vertices: 0-1-2-...-(n-1).
 func Path(n int) *graph.Graph {

@@ -256,3 +256,34 @@ func TestMPXBad(t *testing.T) {
 		t.Fatalf("hub degrees %d, %d", g.Degree(0), g.Degree(1))
 	}
 }
+
+func TestFamily(t *testing.T) {
+	for _, kind := range FamilyNames {
+		g, err := Family(kind, 64, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() < 2 {
+			t.Fatalf("%s: degenerate graph %v", kind, g)
+		}
+		// Seeded families are deterministic: same triple, same graph.
+		h, err := Family(kind, 64, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != h.N() || g.M() != h.M() {
+			t.Fatalf("%s: not deterministic: %v vs %v", kind, g, h)
+		}
+	}
+	if _, err := Family("mobius", 64, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := Family("cycle", 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	// Grid and torus round n to the nearest square.
+	g, err := Family("grid", 100, 1)
+	if err != nil || g.N() != 100 {
+		t.Fatalf("grid rounding: %v %v", g, err)
+	}
+}

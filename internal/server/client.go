@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// IsStatus reports whether err is an APIError with the given HTTP status.
+func IsStatus(err error, status int) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == status
+}
+
+// Client is a typed client for the HTTP serving layer: the load generator's
+// network mode (cmd/serve -connect) and the end-to-end tests drive the
+// server through it.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do runs one JSON round trip; out may be nil to discard the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	var contentType string
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+		contentType = "application/json"
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+// decodeResponse maps non-2xx responses onto APIError and decodes 2xx
+// bodies into out.
+func decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		msg := ""
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil {
+			msg = eb.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Generate asks the server to build a named topology (gen.Family) and serve
+// it.
+func (c *Client) Generate(ctx context.Context, family string, n int, seed uint64) (*GraphInfo, error) {
+	var info GraphInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs", GenerateRequest{Family: family, N: n, Seed: seed}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Upload streams raw graph bytes in the named graphio format ("el",
+// "dimacs", "metis.gz", ...).
+func (c *Client) Upload(ctx context.Context, format string, data io.Reader) (*GraphInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/graphs?format="+format, data)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var info GraphInfo
+	if err := decodeResponse(resp, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// GraphInfo fetches one served graph's current state.
+func (c *Client) GraphInfo(ctx context.Context, id string) (*GraphInfo, error) {
+	var info GraphInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Graphs lists the served graphs.
+func (c *Client) Graphs(ctx context.Context) ([]GraphInfo, error) {
+	var out []GraphInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteGraph stops serving id.
+func (c *Client) DeleteGraph(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+id, nil, nil)
+}
+
+// Run invokes a registry algorithm on the served graph.
+func (c *Client) Run(ctx context.Context, id string, rq RunRequest) (*Result, error) {
+	var res Result
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs/"+id+"/run", rq, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Query runs a cluster / ball batch point query.
+func (c *Client) Query(ctx context.Context, id string, qr QueryRequest) (*QueryResponse, error) {
+	var res QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs/"+id+"/query", qr, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// AddEdge inserts the undirected edge {u, v}.
+func (c *Client) AddEdge(ctx context.Context, id string, u, v int) (*MutateResponse, error) {
+	return c.mutate(ctx, id, "addedge", u, v)
+}
+
+// DeleteEdge removes the undirected edge {u, v}.
+func (c *Client) DeleteEdge(ctx context.Context, id string, u, v int) (*MutateResponse, error) {
+	return c.mutate(ctx, id, "deledge", u, v)
+}
+
+func (c *Client) mutate(ctx context.Context, id, op string, u, v int) (*MutateResponse, error) {
+	var res MutateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs/"+id+"/"+op, MutateRequest{U: u, V: v}, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Compact folds the graph's delta overlay into a fresh CSR.
+func (c *Client) Compact(ctx context.Context, id string) (*MutateResponse, error) {
+	var res MutateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs/"+id+"/compact", struct{}{}, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Batch streams the requests as NDJSON and collects the response lines in
+// order of arrival (the server preserves input order).
+func (c *Client) Batch(ctx context.Context, id string, reqs []RunRequest) ([]BatchLine, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rq := range reqs {
+		if err := enc.Encode(rq); err != nil {
+			return nil, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/graphs/"+id+"/batch", &buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeResponse(resp, nil)
+	}
+	var out []BatchLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), batchLineLimit)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return out, fmt.Errorf("decoding batch line %d: %w", len(out), err)
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}
+
+// Healthz probes liveness; a draining server returns an APIError with
+// status 503.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the raw metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(b))}
+	}
+	return string(b), nil
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+)
+
+// runRequestSeeds is the fuzz corpus for the run-request JSON decoder,
+// derived from the trace language of cmd/serve (every documented trace line
+// has a JSON equivalent) plus structurally hostile inputs.
+var runRequestSeeds = []string{
+	`{"algo":"changli","q":"eps=0.3 seed=4 scale=0.05"}`,
+	`{"algo":"changli","q":"eps=0.3 seed=4 skip2=true"}`,
+	`{"algo":"chang-li","params":{"eps":"0.30","seed":"4"}}`,
+	`{"algo":"weighted","q":"eps=0.3 wseed=2 wmax=8"}`,
+	`{"algo":"en","q":"lambda=0.4 seed=1"}`,
+	`{"algo":"mpx","q":"lambda=0.4 seed=1"}`,
+	`{"algo":"blackbox","q":"eps=0.3 enbase=true"}`,
+	`{"algo":"sparsecover","q":"lambda=0.5 seed=2"}`,
+	`{"algo":"cover","params":{"lambda":"0.5"},"timeout_ms":40}`,
+	`{"algo":"netdecomp","q":"lambda=0.5 seed=1"}`,
+	`{"algo":"gkm","q":"problem=mis eps=0.25 seed=3 scale=0.4"}`,
+	`{"algo":"packing","q":"problem=mis prep=2 seed=1"}`,
+	`{"algo":"covering","q":"problem=vc prep=2 seed=1"}`,
+	`{"algo":"solve","params":{"problem":"mis"}}`,
+	`{"algo":"solve","q":"problem=kdom k=2"}`,
+	`{"algo":"changli","q":"eps="}`,
+	`{"algo":"changli","q":"eps"}`,
+	`{"algo":"changli","q":"eps=0.3 eps=0.4"}`,
+	`{"algo":"changli","params":{"eps":"0.3"},"q":"eps=0.4"}`,
+	`{"algo":""}`,
+	`{"algo":"changli","timeout_ms":-1}`,
+	`{"algo":"changli","bogus":true}`,
+	`{"algo":42}`,
+	`{"algo":"changli"} trailing`,
+	`{`,
+	``,
+	`null`,
+	`[]`,
+	`"changli"`,
+	"{\"algo\":\"changli\",\"q\":\"eps=\x00\"}",
+}
+
+// FuzzRunRequestDecoder drives the full POST /run handler with arbitrary
+// bodies on a tiny served graph: malformed input must come back 400 (or
+// 422/504 once it reaches the runner layer) and must never panic the
+// handler. The server runs with a short default timeout so fuzz-found
+// parameter combinations cannot stall the worker.
+func FuzzRunRequestDecoder(f *testing.F) {
+	for _, s := range runRequestSeeds {
+		f.Add(s)
+	}
+	srv := New(engine.New(engine.Options{}), Options{DefaultTimeout: 80 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	f.Cleanup(ts.Close)
+	c := NewClient(ts.URL, ts.Client())
+	if _, err := c.Generate(context.Background(), "cycle", 24, 1); err != nil {
+		f.Fatal(err)
+	}
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusBadRequest:          true,
+		http.StatusUnprocessableEntity: true,
+		http.StatusGatewayTimeout:      true,
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		// A panic inside the handler propagates through the direct
+		// ServeHTTP call below and fails the fuzz run.
+		req := httptest.NewRequest(http.MethodPost, "/v1/graphs/g1/run", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if !allowed[rec.Code] {
+			t.Fatalf("body %q: unexpected status %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK && !strings.Contains(rec.Body.String(), "error") {
+			t.Fatalf("body %q: %d response without error envelope: %s", body, rec.Code, rec.Body.String())
+		}
+	})
+}
+
+// FuzzParamBag targets the k=v bag decoding underneath the run request (the
+// same trace-language corpus, raw): resolve must reject or accept without
+// panicking, and an accepted bag must produce a valid canonical cache key.
+func FuzzParamBag(f *testing.F) {
+	corpus := []string{
+		"changli eps=0.3 seed=4 scale=0.05",
+		"weighted eps=0.3 wseed=2",
+		"en lambda=0.4 seed=1",
+		"sparsecover lambda=0.5 seed=2",
+		"netdecomp lambda=0.5 seed=1",
+		"gkm problem=mis eps=0.25 seed=3",
+		"packing problem=mis prep=2 seed=1",
+		"covering problem=vc prep=2 seed=1",
+		"solve problem=mis",
+		"changli eps=",
+		"changli eps=0.3 eps=0.4",
+		"changli =3",
+		"changli \x00=1",
+		"bogus k=v",
+		"",
+	}
+	for _, s := range corpus {
+		op, rest, _ := strings.Cut(s, " ")
+		f.Add(op, rest)
+	}
+	f.Fuzz(func(t *testing.T, algoName, q string) {
+		rq := RunRequest{Algo: algoName, Q: q}
+		spec, params, err := rq.resolve()
+		if err != nil {
+			return
+		}
+		key, err := spec.CacheKey(params)
+		if err != nil {
+			t.Fatalf("resolve accepted %q %q but CacheKey rejects: %v", algoName, q, err)
+		}
+		if !strings.HasPrefix(key, spec.Name) {
+			t.Fatalf("cache key %q does not start with %q", key, spec.Name)
+		}
+	})
+}
+
+// TestFuzzSeedsAsUnitCases replays the whole seed corpus once as a plain
+// test, so the decoder contract is exercised on every `go test` run even
+// when nobody runs the fuzzer.
+func TestFuzzSeedsAsUnitCases(t *testing.T) {
+	srv := New(engine.New(engine.Options{}), Options{DefaultTimeout: time.Second})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, ts.Client())
+	if _, err := c.Generate(context.Background(), "cycle", 24, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range runRequestSeeds {
+		req := httptest.NewRequest(http.MethodPost, "/v1/graphs/g1/run", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusGatewayTimeout:
+		default:
+			t.Errorf("seed %q: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+	}
+	// Spot-check that the malformed seeds really are rejected, not silently
+	// defaulted: a bag with a duplicate key must be a 400.
+	if _, _, err := (&RunRequest{Algo: "changli", Q: "eps=0.3 eps=0.4"}).resolve(); err == nil {
+		t.Error("duplicate q key accepted")
+	}
+	if _, ok := algo.Get("changli"); !ok {
+		t.Fatal("registry lost changli")
+	}
+}

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/store"
+)
+
+// Result is the JSON wire form of algo.Result: every deterministic field of
+// the envelope, so an HTTP response can be compared bit-for-bit against a
+// direct engine call (the end-to-end equivalence suite pins this, with only
+// ElapsedNS — wall time — excluded from the comparison). Raw is
+// deliberately absent: the typed payloads are in-process currency.
+type Result struct {
+	Algorithm string `json:"algorithm"`
+	Key       string `json:"key"`
+	Kind      string `json:"kind"`
+	Snapshot  string `json:"snapshot,omitempty"`
+
+	ClusterOf   []int32   `json:"cluster_of,omitempty"`
+	ColorOf     []int32   `json:"color_of,omitempty"`
+	Clusters    [][]int32 `json:"clusters,omitempty"`
+	NumClusters int       `json:"num_clusters"`
+	NumColors   int       `json:"num_colors,omitempty"`
+	Unclustered int       `json:"unclustered,omitempty"`
+
+	Solution []bool `json:"solution,omitempty"`
+	Value    int64  `json:"value,omitempty"`
+	Exact    bool   `json:"exact,omitempty"`
+	Feasible bool   `json:"feasible,omitempty"`
+
+	Rounds  int                `json:"rounds"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// ElapsedNS is the wall-clock compute time in nanoseconds (zero on
+	// cache hits; excluded from equivalence comparisons).
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+}
+
+// WireResult converts an engine result into its wire form. Slices alias the
+// (immutable, shared) envelope; callers must not mutate them.
+func WireResult(r *algo.Result) *Result {
+	return &Result{
+		Algorithm:   r.Algorithm,
+		Key:         r.Key,
+		Kind:        r.Kind.String(),
+		Snapshot:    r.Snapshot,
+		ClusterOf:   r.ClusterOf,
+		ColorOf:     r.ColorOf,
+		Clusters:    r.Clusters,
+		NumClusters: r.NumClusters,
+		NumColors:   r.NumColors,
+		Unclustered: r.Unclustered,
+		Solution:    r.Solution,
+		Value:       r.Value,
+		Exact:       r.Exact,
+		Feasible:    r.Feasible,
+		Rounds:      r.Rounds,
+		Metrics:     r.Metrics,
+		ElapsedNS:   int64(r.Elapsed),
+	}
+}
+
+// RunRequest is the body of POST /v1/graphs/{id}/run and of each line of a
+// batch stream. Parameters arrive either as a JSON object (Params) or as a
+// trace-language "k=v k=v" bag (Q); the two are merged, duplicate keys
+// rejected.
+type RunRequest struct {
+	// Algo is a registry name or alias.
+	Algo string `json:"algo"`
+	// Params is the key=value parameter bag in object form.
+	Params map[string]string `json:"params,omitempty"`
+	// Q is the parameter bag in trace-line form ("eps=0.3 seed=4").
+	Q string `json:"q,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds (0 = the
+	// server's default); the request context is cancelled when it expires,
+	// which stops the computation through the registry's cancellation
+	// plumbing.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// errBadRequest marks client errors that must map to 400.
+var errBadRequest = errors.New("bad request")
+
+func badReqf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+// decodeJSON strictly decodes one JSON value from r into v: unknown fields
+// and trailing garbage are errors, so malformed requests fail loudly with
+// 400 instead of silently running defaults.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badReqf("decoding body: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return badReqf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// resolve validates the request against the registry: the algorithm must
+// exist, the merged parameter bag must contain only declared keys, and every
+// value must parse (Spec.CacheKey canonicalizes all of them). Returns the
+// resolved spec and the merged bag.
+func (rq *RunRequest) resolve() (*algo.Spec, algo.Params, error) {
+	if rq.Algo == "" {
+		return nil, nil, badReqf("missing algo (registry has %s)", strings.Join(algo.Names(), ", "))
+	}
+	spec, ok := algo.Get(rq.Algo)
+	if !ok {
+		return nil, nil, badReqf("unknown algorithm %q (registry has %s)", rq.Algo, strings.Join(algo.Names(), ", "))
+	}
+	params := make(algo.Params, len(rq.Params)+4)
+	for k, v := range rq.Params {
+		params[k] = v
+	}
+	if rq.Q != "" {
+		bag, err := algo.ParseParamString(rq.Q)
+		if err != nil {
+			return nil, nil, badReqf("parsing q: %v", err)
+		}
+		for k, v := range bag {
+			if _, dup := params[k]; dup {
+				return nil, nil, badReqf("param %q set in both params and q", k)
+			}
+			params[k] = v
+		}
+	}
+	if rq.TimeoutMS < 0 {
+		return nil, nil, badReqf("negative timeout_ms %d", rq.TimeoutMS)
+	}
+	if _, err := spec.CacheKey(params); err != nil {
+		return nil, nil, badReqf("%v", err)
+	}
+	return spec, params, nil
+}
+
+// timeout returns the effective deadline for the request.
+func (rq *RunRequest) timeout(def time.Duration) time.Duration {
+	if rq.TimeoutMS > 0 {
+		return time.Duration(rq.TimeoutMS) * time.Millisecond
+	}
+	return def
+}
+
+// GenerateRequest is the JSON body of POST /v1/graphs when generating a
+// graph server-side instead of uploading one.
+type GenerateRequest struct {
+	// Family is a gen.Family name: cycle|path|grid|torus|gnp|regular.
+	Family string `json:"family"`
+	// N is the approximate vertex count.
+	N int `json:"n"`
+	// Seed drives the generator's randomness.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// MutateRequest is the body of the addedge / deledge endpoints.
+type MutateRequest struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// MutateResponse reports the outcome of a mutation.
+type MutateResponse struct {
+	// Applied is false when the mutation was a no-op (edge already
+	// present / already absent).
+	Applied bool `json:"applied"`
+	// Epoch and Fingerprint identify the store version after the call.
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	M           int    `json:"m"`
+}
+
+// QueryRequest is the body of POST /v1/graphs/{id}/query: batch point
+// queries served from the engine's cached decomposition (op "cluster") or
+// straight off the snapshot overlay (op "ball"). Zero-valued cluster
+// parameters take the trace-language defaults (eps 0.3, scale 0.05,
+// seed 1).
+type QueryRequest struct {
+	Op       string  `json:"op"` // "cluster" | "ball"
+	Vertices []int32 `json:"vertices"`
+	// Radius is the ball radius (op "ball"; default 2).
+	Radius int `json:"radius,omitempty"`
+	// Eps, Scale, Seed, Skip2 select the ChangLi decomposition backing
+	// op "cluster".
+	Eps   float64 `json:"eps,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	Skip2 bool    `json:"skip2,omitempty"`
+}
+
+// QueryResponse carries the batch query results (one entry per requested
+// vertex).
+type QueryResponse struct {
+	Clusters []int32   `json:"clusters,omitempty"`
+	Balls    [][]int32 `json:"balls,omitempty"`
+	// Snapshot is the fingerprint of the store version the query resolved.
+	Snapshot string `json:"snapshot"`
+}
+
+// GraphInfo is the wire description of one served graph.
+type GraphInfo struct {
+	ID          string `json:"id"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Fingerprint string `json:"fingerprint"`
+	Epoch       uint64 `json:"epoch"`
+	Pending     int    `json:"pending_deltas"`
+	Patched     int    `json:"patched_vertices"`
+	Adds        uint64 `json:"adds"`
+	Dels        uint64 `json:"dels"`
+	Compactions uint64 `json:"compactions"`
+	CreatedUnix int64  `json:"created_unix"`
+}
+
+func graphInfo(sg *servedGraph) GraphInfo {
+	st := sg.st.Stats()
+	return GraphInfo{
+		ID:          sg.id,
+		N:           st.N,
+		M:           st.M,
+		Fingerprint: st.Fingerprint.String(),
+		Epoch:       st.Epoch,
+		Pending:     st.Pending,
+		Patched:     st.PatchedVertices,
+		Adds:        st.Adds,
+		Dels:        st.Dels,
+		Compactions: st.Compactions,
+		CreatedUnix: sg.created.Unix(),
+	}
+}
+
+// mutateResponse builds the response for a mutation from a one-shot stats
+// read.
+func mutateResponse(applied bool, st store.Stats) MutateResponse {
+	return MutateResponse{Applied: applied, Epoch: st.Epoch, Fingerprint: st.Fingerprint.String(), M: st.M}
+}
+
+// BatchLine is one line of a batch response stream: the 0-indexed position
+// of the request in the input stream plus either its result or its error.
+type BatchLine struct {
+	Index  int     `json:"index"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Status int     `json:"status,omitempty"` // HTTP-equivalent status for errors
+}
+
+// AlgorithmInfo describes one registry entry in the catalog endpoint.
+type AlgorithmInfo struct {
+	Name     string          `json:"name"`
+	Aliases  []string        `json:"aliases,omitempty"`
+	Summary  string          `json:"summary"`
+	Kind     string          `json:"kind"`
+	Seeded   bool            `json:"seeded,omitempty"`
+	Weighted bool            `json:"weighted,omitempty"`
+	Workers  bool            `json:"workers,omitempty"`
+	Params   []AlgorithmParam `json:"params,omitempty"`
+}
+
+// AlgorithmParam documents one declared parameter.
+type AlgorithmParam struct {
+	Key     string `json:"key"`
+	Default string `json:"default"`
+	Doc     string `json:"doc"`
+	NoCache bool   `json:"no_cache,omitempty"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}

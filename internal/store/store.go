@@ -56,8 +56,17 @@ type Delta struct {
 	Epoch uint64
 }
 
-// Stats is a snapshot of a store's write-side state.
+// Stats is a one-shot consistent snapshot of a store's state: every field
+// is read under a single critical section, so N/M/Fingerprint/Epoch always
+// describe the same version (serving layers that report them over the
+// network must not observe a fingerprint from one epoch next to the edge
+// count of another).
 type Stats struct {
+	// N and M are the vertex and current edge counts.
+	N, M int
+	// Fingerprint is the current snapshot identity (incremental chain value
+	// while mutations are pending, canonical content fingerprint otherwise).
+	Fingerprint graphio.Fingerprint
 	// Epoch is the number of mutations applied over the store's lifetime
 	// (monotone; Compact does not reset it).
 	Epoch uint64
@@ -133,6 +142,9 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
+		N:               s.n,
+		M:               s.m,
+		Fingerprint:     s.fp,
 		Epoch:           s.epoch,
 		Pending:         len(s.log),
 		PatchedVertices: len(s.patched),

@@ -308,3 +308,30 @@ func TestConcurrentMutateAndRead(t *testing.T) {
 		t.Fatal("vertex count drifted")
 	}
 }
+
+// TestStatsOneShotConsistency pins the serving-layer contract: a Stats read
+// describes a single version — its fingerprint, edge count, and epoch agree
+// with the snapshot taken at the same quiet point.
+func TestStatsOneShotConsistency(t *testing.T) {
+	s := New(gen.Cycle(32))
+	st := s.Stats()
+	if st.N != 32 || st.M != 32 || st.Epoch != 0 {
+		t.Fatalf("fresh stats %+v", st)
+	}
+	if st.Fingerprint != s.Snapshot().Fingerprint() {
+		t.Fatal("stats fingerprint disagrees with snapshot")
+	}
+	s.AddEdge(0, 16)
+	s.DeleteEdge(1, 2)
+	st = s.Stats()
+	if st.M != 32 || st.Epoch != 2 || st.Adds != 1 || st.Dels != 1 {
+		t.Fatalf("post-mutation stats %+v", st)
+	}
+	if st.Fingerprint != s.Snapshot().Fingerprint() {
+		t.Fatal("stats fingerprint lags the mutation chain")
+	}
+	s.Compact()
+	if st := s.Stats(); st.Fingerprint != graphio.FingerprintOf(s.Snapshot().Graph()) {
+		t.Fatal("post-compact stats fingerprint is not canonical")
+	}
+}
