@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/graph/gen"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// TestDatadirSmoke runs the in-process workload twice over one durability
+// directory and checks the second life recovers the first one's state.
+func TestDatadirSmoke(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-gen", "cycle", "-n", "64", "-requests", "300", "-churn", "0.3",
+		"-concurrency", "2", "-seedspace", "2", "-compactevery", "16", "-datadir", dir}
+	out := &syncWriter{}
+	if err := run(args, out); err != nil {
+		t.Fatalf("first life: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"datadir: created", "durable: dir " + dir} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("first life output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out2 := &syncWriter{}
+	if err := run(args, out2); err != nil {
+		t.Fatalf("second life: %v\n%s", err, out2.String())
+	}
+	if !strings.Contains(out2.String(), "datadir: recovered "+dir) {
+		t.Fatalf("second life did not recover the store:\n%s", out2.String())
+	}
+}
+
+const crashHelperEnv = "SERVE_CRASH_HELPER"
+
+// TestServeCrashHelper is not a test: it is the subprocess body for
+// TestCrashRecovery, re-executing this test binary as a real serve process
+// that can be SIGKILLed without taking the test run down with it.
+func TestServeCrashHelper(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "1" {
+		t.Skip("subprocess body for TestCrashRecovery")
+	}
+	if err := run(strings.Fields(os.Getenv("SERVE_CRASH_ARGS")), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startServeProcess launches the helper subprocess serving a durable cycle
+// graph over HTTP and returns once the bound address is known.
+func startServeProcess(t *testing.T, dir string) (*exec.Cmd, string, *syncWriter) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestServeCrashHelper$")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"=1",
+		"SERVE_CRASH_ARGS=-gen cycle -n 128 -genseed 1 -http 127.0.0.1:0 -datadir "+dir)
+	out := &syncWriter{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "at http://") {
+			line := s[strings.Index(s, "at http://")+len("at "):]
+			return cmd, strings.TrimSpace(strings.SplitN(line, "\n", 2)[0]), out
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func waitHealthy(t *testing.T, c *server.Client) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(20 * time.Second)
+	for c.Healthz(ctx) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrashRecovery kill -9s a real serve process mid-churn and checks the
+// restarted process recovers exactly the durable state: every acknowledged
+// mutation survives, the recovered epoch and fingerprint match a reference
+// store that replays the same operation stream, and query results over the
+// recovered graph are identical to an uninterrupted run.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kill -9s real server processes")
+	}
+	dir := t.TempDir()
+	cmd, base, _ := startServeProcess(t, dir)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	ctx := context.Background()
+	c := server.NewClient(base, nil)
+	waitHealthy(t, c)
+
+	// Serial churn from one goroutine: the WAL order is then exactly the
+	// attempt order, so a reference store can replay it. Each op is
+	// recorded before it is issued — the op in flight when the kill lands
+	// may or may not have reached the WAL, and only the epoch count on the
+	// recovered store can tell.
+	type op struct {
+		del  bool
+		u, v int
+	}
+	var (
+		mu        sync.Mutex
+		attempted []op
+		acked     int
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			u := (i * 17) % 128
+			o := op{del: i%3 == 0, u: u, v: (u + 1 + i%5) % 128}
+			mu.Lock()
+			attempted = append(attempted, o)
+			mu.Unlock()
+			var err error
+			if o.del {
+				_, err = c.DeleteEdge(ctx, "g1", o.u, o.v)
+			} else {
+				_, err = c.AddEdge(ctx, "g1", o.u, o.v)
+			}
+			if err != nil {
+				return // connection died with the process: stop churning
+			}
+			mu.Lock()
+			acked++
+			mu.Unlock()
+		}
+	}()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		n := acked
+		mu.Unlock()
+		if n >= 40 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("churn never reached 40 acknowledged mutations")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cmd.Process.Kill() // SIGKILL: no drain, no WAL rotation, no hot-key dump
+	cmd.Wait()
+	<-done
+	mu.Lock()
+	ops, ackedOps := attempted, acked
+	mu.Unlock()
+
+	// Second life over the same directory.
+	cmd2, base2, out2 := startServeProcess(t, dir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	c2 := server.NewClient(base2, nil)
+	waitHealthy(t, c2)
+	if !strings.Contains(out2.String(), "datadir: recovered "+dir) {
+		t.Fatalf("restart did not recover the store:\n%s", out2.String())
+	}
+	info, err := c2.GraphInfo(ctx, "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: an uninterrupted store replaying the same stream. All
+	// acknowledged ops must be durable; past them, apply the unacked tail
+	// only as far as the recovered epoch says the WAL got.
+	g, err := gen.Family("cycle", 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := store.New(g)
+	for i, o := range ops {
+		if i >= ackedOps && ref.Epoch() >= info.Epoch {
+			break
+		}
+		if o.del {
+			ref.DeleteEdge(o.u, o.v)
+		} else {
+			ref.AddEdge(o.u, o.v)
+		}
+	}
+	if ref.Epoch() != info.Epoch {
+		t.Fatalf("recovered epoch %d does not match any prefix of the %d attempted ops (%d acked, reference reached %d)",
+			info.Epoch, len(ops), ackedOps, ref.Epoch())
+	}
+	if got, want := info.Fingerprint, ref.Fingerprint().String(); got != want {
+		t.Fatalf("recovered fingerprint %s, reference %s at epoch %d", got, want, info.Epoch)
+	}
+
+	// Query equivalence against the uninterrupted run.
+	e := engine.New(engine.Options{})
+	h := e.RegisterStore(ref)
+	want, err := e.Run(ctx, h, "changli", algo.Params{"eps": "0.3", "scale": "0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Run(ctx, "g1", server.RunRequest{Algo: "changli", Q: "eps=0.3 scale=0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Snapshot != want.Snapshot || got.NumClusters != want.NumClusters ||
+		!slices.Equal(got.ClusterOf, want.ClusterOf) {
+		t.Fatalf("post-recovery query diverged: %d clusters on %s, want %d on %s",
+			got.NumClusters, got.Snapshot, want.NumClusters, want.Snapshot)
+	}
+}

@@ -129,8 +129,8 @@ func (r request) issue(ctx context.Context, e *engine.Engine, h engine.StoreHand
 		h.Store().DeleteEdge(int(r.u), int(r.v)) // absent edges are no-ops
 		return nil
 	case "compact":
-		h.Store().Compact()
-		return nil
+		_, err := h.Store().Compact()
+		return err
 	default:
 		return fmt.Errorf("unknown op %q", r.op)
 	}
@@ -413,6 +413,8 @@ func run(args []string, w io.Writer) error {
 	graphID := fs.String("graphid", "", "with -connect: drive this existing server-side graph instead of uploading/generating one")
 	maxInflight := fs.Int("maxinflight", 0, "with -http: admission gate size; excess requests shed with 503 (0 = default)")
 	drainTimeout := fs.Duration("draintimeout", 30*time.Second, "with -http: how long shutdown waits for in-flight requests")
+	datadir := fs.String("datadir", "", "durability directory: mutations are WAL-logged and survive restarts; an existing store there is recovered and -load/-gen are ignored (empty = memory-only)")
+	walFlush := fs.Duration("walflush", 0, "WAL group-commit fsync interval (0 = default 2ms; negative = fsync every append)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -424,6 +426,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *httpAddr != "" && *connect != "" {
 		return errors.New("-http and -connect are mutually exclusive")
+	}
+	if *datadir != "" && *connect != "" {
+		return errors.New("-datadir applies to the serving side, not -connect mode")
 	}
 	spec, ok := algo.Get(*algoName)
 	if !ok {
@@ -453,22 +458,36 @@ func run(args []string, w io.Writer) error {
 		return errors.New("empty graph")
 	}
 
+	st, recovered, err := openStore(g, *datadir, *walFlush)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if recovered {
+		fmt.Fprintf(w, "datadir: recovered %s: epoch %d, n=%d m=%d, fingerprint %s\n",
+			*datadir, st.Epoch(), st.N(), st.M(), st.Fingerprint().Short())
+	} else if *datadir != "" {
+		fmt.Fprintf(w, "datadir: created %s\n", *datadir)
+	}
+
 	if *httpAddr != "" {
-		return serveHTTP(w, g, *httpAddr,
+		return serveHTTP(w, st, *httpAddr,
 			engine.Options{Capacity: *capacity, Shards: *shards},
 			server.Options{MaxInflight: *maxInflight, DefaultTimeout: *timeout},
 			*drainTimeout)
 	}
 
 	e := engine.New(engine.Options{Capacity: *capacity, Shards: *shards})
-	st := store.New(g)
 	h := e.RegisterStore(st)
-	fmt.Fprintf(w, "graph: %v  fingerprint: %s  shards: %d\n",
-		g, st.Snapshot().Fingerprint().Short(), e.NumShards())
+	// A recovered store supersedes the -gen/-load graph, so size the
+	// workload off the store, not g.
+	nv := st.N()
+	fmt.Fprintf(w, "graph: n=%d m=%d  fingerprint: %s  shards: %d\n",
+		nv, st.M(), st.Snapshot().Fingerprint().Short(), e.NumShards())
 
 	var work []request
 	if *trace != "" {
-		if work, err = readTrace(*trace, g.N()); err != nil {
+		if work, err = readTrace(*trace, nv); err != nil {
 			return err
 		}
 		if len(work) == 0 {
@@ -507,11 +526,14 @@ func run(args []string, w io.Writer) error {
 			if *trace != "" {
 				r = work[i]
 			} else {
-				r = synthesize(rng, g.N(), sp, *churn, neighborsOf)
+				r = synthesize(rng, nv, sp, *churn, neighborsOf)
 			}
 			if r.write() {
 				if n := writes.Add(1); *compactEvery > 0 && n%uint64(*compactEvery) == 0 {
-					st.Compact()
+					if _, cerr := st.Compact(); cerr != nil {
+						errs[client] = cerr
+						return
+					}
 				}
 			} else {
 				reads.Add(1)
@@ -554,9 +576,13 @@ func run(args []string, w io.Writer) error {
 		writes.Load(), float64(writes.Load())/elapsed.Seconds())
 	fmt.Fprintf(w, "cache: %d hits, %d dedup joins, %d misses (hit rate %.1f%%), %d computations, %d evictions, %d batch queries\n",
 		est.Hits, est.Dedup, est.Misses, 100*hitRate, est.Computations, est.Evictions, est.Queries)
-	if sst := st.Stats(); sst.Epoch > 0 {
-		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas over %d patched vertices, graph now n=%d m=%d\n",
-			sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.Pending, sst.PatchedVertices, st.N(), st.M())
+	if sst := st.Stats(); sst.Epoch > 0 || sst.Durable {
+		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas (%d bytes) over %d patched vertices, graph now n=%d m=%d\n",
+			sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.Pending, sst.DeltaBytes, sst.PatchedVertices, st.N(), st.M())
+		if sst.Durable {
+			fmt.Fprintf(w, "durable: dir %s, checkpoint epoch %d, %d wal syncs\n",
+				st.Dir(), sst.CheckpointEpoch, sst.WALSyncs)
+		}
 	}
 	if *timeout > 0 {
 		fmt.Fprintf(w, "deadlines: %d of %d requests exceeded %v (%d engine cancellations)\n",
@@ -565,20 +591,42 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// serveHTTP exposes the graph through the internal/server HTTP layer and
-// blocks until SIGINT/SIGTERM, then drains gracefully: new requests get
-// 503, in-flight ones finish (bounded by drainTimeout), and the final
-// engine counters are reported.
-func serveHTTP(w io.Writer, g *graph.Graph, addr string, eopts engine.Options, sopts server.Options, drainTimeout time.Duration) error {
+// openStore wires the durability layer behind -datadir: recover an
+// existing on-disk store (the loaded/generated graph is superseded by the
+// recovered state), create a fresh durable store seeded from g, or fall
+// back to a memory-only store when no directory is given. The boolean
+// reports whether existing state was recovered.
+func openStore(g *graph.Graph, dir string, flush time.Duration) (*store.Store, bool, error) {
+	if dir == "" {
+		return store.New(g), false, nil
+	}
+	opts := store.Options{Dir: dir, FlushInterval: flush}
+	if store.Exists(dir) {
+		st, err := store.Open(opts)
+		return st, true, err
+	}
+	st, err := store.Create(g, opts)
+	return st, false, err
+}
+
+// serveHTTP exposes the prepared store through the internal/server HTTP
+// layer and blocks until SIGINT/SIGTERM, then drains gracefully: new
+// requests get 503, in-flight ones finish (bounded by drainTimeout),
+// durable state is flushed (WAL sync + hot-key persistence), and the final
+// engine counters are reported. The listener comes up before prewarming so
+// /healthz can answer 503-replaying while the cache is rebuilt from the
+// previous life's hot keys.
+func serveHTTP(w io.Writer, st *store.Store, addr string, eopts engine.Options, sopts server.Options, drainTimeout time.Duration) error {
 	e := engine.New(eopts)
 	srv := server.New(e, sopts)
-	id, h := srv.AddGraph(g)
+	srv.SetReplaying(true)
+	id, h := srv.AddStore(st)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "http: serving graph %s (%v) fingerprint %s with %d shards at http://%s\n",
-		id, g, h.Store().Snapshot().Fingerprint().Short(), e.NumShards(), ln.Addr())
+	fmt.Fprintf(w, "http: serving graph %s (n=%d m=%d) fingerprint %s with %d shards at http://%s\n",
+		id, st.N(), st.M(), st.Snapshot().Fingerprint().Short(), e.NumShards(), ln.Addr())
 
 	// Install the signal handler before serving: a SIGTERM landing between
 	// the listener announcement and handler installation must drain, not
@@ -588,6 +636,13 @@ func serveHTTP(w io.Writer, g *graph.Graph, addr string, eopts engine.Options, s
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	if warmed, err := srv.Prewarm(ctx); err != nil {
+		fmt.Fprintf(w, "http: prewarm: %v\n", err)
+	} else if warmed > 0 {
+		fmt.Fprintf(w, "http: prewarmed %d cached results from persisted hot keys\n", warmed)
+	}
+	srv.SetReplaying(false)
+	fmt.Fprintln(w, "http: ready")
 	select {
 	case err := <-errc:
 		return err
@@ -607,8 +662,12 @@ func serveHTTP(w io.Writer, g *graph.Graph, addr string, eopts engine.Options, s
 	fmt.Fprintf(w, "http: drained; cache: %d hits, %d dedup joins, %d misses, %d computations, %d cancellations\n",
 		est.Hits, est.Dedup, est.Misses, est.Computations, est.Cancellations)
 	sst := h.Store().Stats()
-	fmt.Fprintf(w, "http: store epoch %d (%d adds, %d dels, %d compactions)\n",
-		sst.Epoch, sst.Adds, sst.Dels, sst.Compactions)
+	fmt.Fprintf(w, "http: store epoch %d (%d adds, %d dels, %d compactions), %d pending deltas (%d bytes)\n",
+		sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.Pending, sst.DeltaBytes)
+	if sst.Durable {
+		fmt.Fprintf(w, "http: durable state flushed to %s (checkpoint epoch %d, %d wal syncs)\n",
+			st.Dir(), sst.CheckpointEpoch, sst.WALSyncs)
+	}
 	return nil
 }
 

@@ -54,4 +54,16 @@
 // bit-identical to direct engine calls, snapshot stamps included.
 // cmd/serve brackets it from both sides: -http serves a graph, -connect
 // replays the seeded workloads against a remote server over real sockets.
+//
+// The store is durable when opened with a directory (-datadir): every
+// mutation is appended to a CRC32C-framed write-ahead log (internal/wal,
+// group-commit fsync) before it touches memory, Compact doubles as an
+// atomic on-disk checkpoint that rotates the log behind a manifest commit
+// point, and store.Open recovers checkpoint-then-WAL — truncating torn
+// tails and re-verifying the epoch/fingerprint chain frame by frame. On
+// graceful shutdown the server persists its hottest cache keys and
+// prewarms them at the next boot while /healthz answers 503-replaying;
+// kill -9 crash recovery is pinned by a test that slaughters a live serve
+// process mid-churn and proves the restarted state identical to an
+// uninterrupted reference.
 package repro

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/algo"
+	"repro/internal/graphio"
+)
+
+// Hot-key persistence. Cache keys are canonical strings ("name|k=v|..."
+// from Spec.CacheKey), so the hottest entries of the LRU can be written out
+// as plain text at drain time and replayed through the ordinary Run path at
+// boot — the cache warms itself with exactly the results the last process
+// was serving, with no serialized result values to version or trust.
+
+// HotKeys returns up to max algorithm cache keys with results currently
+// cached for snapshot fingerprint fp, hottest first. Per-shard LRU order is
+// exact; across shards the lists are interleaved round-robin (a global
+// recency order is not tracked). max <= 0 means no limit.
+func (e *Engine) HotKeys(fp graphio.Fingerprint, max int) []string {
+	perShard := make([][]cacheKey, len(e.shards))
+	total := 0
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		for _, k := range sh.cache.keysMRU(nil) {
+			if k.fp == fp {
+				perShard[i] = append(perShard[i], k)
+			}
+		}
+		sh.mu.Unlock()
+		total += len(perShard[i])
+	}
+	if max <= 0 || max > total {
+		max = total
+	}
+	out := make([]string, 0, max)
+	for len(out) < max {
+		for i := range perShard {
+			if len(perShard[i]) == 0 || len(out) == max {
+				continue
+			}
+			out = append(out, perShard[i][0].key)
+			perShard[i] = perShard[i][1:]
+		}
+	}
+	return out
+}
+
+// ParseCacheKey splits a canonical cache key back into the algorithm name
+// and parameter bag that produced it, using the same registry that minted
+// the key. Unknown algorithms and malformed tokens are errors, so stale or
+// hand-edited hot-key files degrade to skipped entries, never to panics.
+func ParseCacheKey(key string) (string, algo.Params, error) {
+	parts := strings.Split(key, "|")
+	name := parts[0]
+	if _, ok := algo.Get(name); !ok {
+		return "", nil, fmt.Errorf("engine: hot key names unknown algorithm %q", name)
+	}
+	p, err := algo.ParseParams(parts[1:])
+	if err != nil {
+		return "", nil, fmt.Errorf("engine: hot key %q: %w", key, err)
+	}
+	return name, p, nil
+}
+
+// Prewarm replays persisted hot keys through Run against src's current
+// snapshot, filling the cache with the results a restarted server is most
+// likely to be asked for first. Keys that no longer parse (renamed
+// algorithm, removed parameter) are skipped; computation errors are skipped
+// too (prewarming is best-effort). Only a context cancellation aborts the
+// sweep. Returns how many keys now have a cached result.
+func (e *Engine) Prewarm(ctx context.Context, src Source, keys []string) (int, error) {
+	warmed := 0
+	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+		name, p, err := ParseCacheKey(k)
+		if err != nil {
+			continue
+		}
+		if _, err := e.Run(ctx, src, name, p); err != nil {
+			if ctxErr(err) {
+				return warmed, err
+			}
+			continue
+		}
+		warmed++
+	}
+	return warmed, nil
+}
+
+// hotKeysFile is the on-disk hot-key list. The fingerprint records which
+// snapshot the keys were hot against; it is informational (prewarming
+// replays against whatever snapshot the store recovered, which is the same
+// one unless the WAL lost a tail).
+type hotKeysFile struct {
+	Version     int      `json:"version"`
+	Fingerprint string   `json:"fingerprint"`
+	Keys        []string `json:"keys"`
+}
+
+// SaveHotKeys atomically writes a hot-key list next to the store's durable
+// state (temp + fsync + rename, like every other durable artifact).
+func SaveHotKeys(path string, fp graphio.Fingerprint, keys []string) error {
+	return graphio.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(hotKeysFile{Version: 1, Fingerprint: fp.String(), Keys: keys})
+	})
+}
+
+// LoadHotKeys reads a hot-key list written by SaveHotKeys, returning the
+// keys and the fingerprint they were recorded against.
+func LoadHotKeys(path string) ([]string, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var f hotKeysFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, "", fmt.Errorf("engine: hot keys %s: %w", path, err)
+	}
+	if f.Version != 1 {
+		return nil, "", fmt.Errorf("engine: hot keys %s: version %d not supported", path, f.Version)
+	}
+	return f.Keys, f.Fingerprint, nil
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph/gen"
+)
+
+func TestHotKeysMRUOrderAndLimit(t *testing.T) {
+	e := New(Options{Shards: 1, Capacity: 16}) // one shard pins exact LRU order
+	h := e.Register(gen.Cycle(64))
+	ctx := context.Background()
+	runs := []struct {
+		name string
+		p    algo.Params
+	}{
+		{"changli", algo.Params{"eps": "0.3", "scale": "0.05"}},
+		{"en", algo.Params{"lambda": "0.4"}},
+		{"netdecomp", algo.Params{"lambda": "0.5"}},
+	}
+	for _, r := range runs {
+		if _, err := e.Run(ctx, h, r.name, r.p); err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+	}
+	keys := e.HotKeys(h.Fingerprint(), 0)
+	if len(keys) != len(runs) {
+		t.Fatalf("got %d hot keys, want %d: %v", len(keys), len(runs), keys)
+	}
+	// Most recently used first: reverse run order.
+	for i, k := range keys {
+		want := runs[len(runs)-1-i].name
+		if name, _, err := ParseCacheKey(k); err != nil || name != want {
+			t.Fatalf("key %d = %q (parsed %q, err %v), want algorithm %q", i, k, name, err, want)
+		}
+	}
+	if got := e.HotKeys(h.Fingerprint(), 2); len(got) != 2 || got[0] != keys[0] {
+		t.Fatalf("max=2: got %v", got)
+	}
+	// A different fingerprint has no hot keys.
+	other := e.Register(gen.Cycle(65))
+	if got := e.HotKeys(other.Fingerprint(), 0); len(got) != 0 {
+		t.Fatalf("unqueried graph has hot keys: %v", got)
+	}
+}
+
+func TestHotKeysSaveLoadPrewarm(t *testing.T) {
+	ctx := context.Background()
+	e := New(Options{Shards: 1, Capacity: 16})
+	h := e.Register(gen.Cycle(64))
+	for _, p := range []algo.Params{
+		{"eps": "0.3", "scale": "0.05"},
+		{"eps": "0.2", "scale": "0.05"},
+	} {
+		if _, err := e.Run(ctx, h, "changli", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := e.HotKeys(h.Fingerprint(), 0)
+	path := filepath.Join(t.TempDir(), "hotkeys.json")
+	if err := SaveHotKeys(path, h.Fingerprint(), keys); err != nil {
+		t.Fatal(err)
+	}
+	loaded, fp, err := LoadHotKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != h.Fingerprint().String() {
+		t.Fatalf("loaded fingerprint %s, want %s", fp, h.Fingerprint())
+	}
+	if len(loaded) != len(keys) || loaded[0] != keys[0] {
+		t.Fatalf("loaded keys %v, want %v", loaded, keys)
+	}
+
+	// A fresh engine prewarmed from the file serves the same requests from
+	// cache: the replayed runs are the only computations.
+	e2 := New(Options{Shards: 1, Capacity: 16})
+	h2 := e2.Register(gen.Cycle(64))
+	warmed, err := e2.Prewarm(ctx, h2, loaded)
+	if err != nil || warmed != len(loaded) {
+		t.Fatalf("prewarm: warmed %d, err %v", warmed, err)
+	}
+	before := e2.Stats()
+	if _, err := e2.Run(ctx, h2, "changli", algo.Params{"eps": "0.3", "scale": "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	after := e2.Stats()
+	if after.Computations != before.Computations || after.Hits != before.Hits+1 {
+		t.Fatalf("prewarmed request recomputed: before %+v after %+v", before, after)
+	}
+}
+
+func TestPrewarmSkipsBadKeys(t *testing.T) {
+	e := New(Options{Shards: 1, Capacity: 8})
+	h := e.Register(gen.Cycle(32))
+	keys := []string{
+		"no-such-algorithm|x=1", // unknown name
+		"changli|eps",           // malformed token
+		"changli|bogus=1",       // unknown parameter
+		"en|lambda=0.4",         // valid
+	}
+	warmed, err := e.Prewarm(context.Background(), h, keys)
+	if err != nil {
+		t.Fatalf("prewarm returned %v for skippable keys", err)
+	}
+	if warmed != 1 {
+		t.Fatalf("warmed %d keys, want 1", warmed)
+	}
+	// Cancelled context aborts instead of skipping.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Prewarm(ctx, h, []string{"en|lambda=0.4"}); err == nil {
+		t.Fatal("prewarm ignored a dead context")
+	}
+}

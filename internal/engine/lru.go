@@ -65,6 +65,16 @@ func (c *lruCache) removeFingerprint(fp fingerprint) (removed int) {
 	return removed
 }
 
+// keysMRU appends every resident cache key to out, most recently used
+// first — the enumeration order hot-key persistence wants, so the keys
+// most worth prewarming survive any truncation of the list.
+func (c *lruCache) keysMRU(out []cacheKey) []cacheKey {
+	for n := c.head.next; n != c.tail; n = n.next {
+		out = append(out, n.key)
+	}
+	return out
+}
+
 // add inserts (or refreshes) key and reports how many entries were evicted
 // to respect the capacity.
 func (c *lruCache) add(key cacheKey, ent *entry) (evicted int) {

@@ -1,0 +1,208 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// Checkpoint format: the durable store's on-disk CSR snapshot. Unlike the
+// text interchange formats, a checkpoint is written by this process for
+// this process, so it is binary, carries the store epoch it was taken at,
+// embeds the graph's content fingerprint, and ends in a CRC32C of the whole
+// file — a load re-verifies both, so a truncated, bit-rotted, or
+// wrong-graph checkpoint fails loudly instead of rebooting the store into
+// silently different state.
+//
+// Layout (all integers little-endian):
+//
+//	magic "RPCKPT1\n" (8 bytes)
+//	n uint64 | m uint64 | epoch uint64
+//	offsets [(n+1) * int32]
+//	adj     [2m * int32]
+//	fingerprint [32 bytes]  (FingerprintOf the CSR above)
+//	crc32c  uint32          (over every preceding byte)
+const checkpointMagic = "RPCKPT1\n"
+
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoliTable, p[:n])
+	return n, err
+}
+
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteCheckpoint serializes g as a checkpoint taken at the given store
+// epoch.
+func WriteCheckpoint(w io.Writer, g *graph.Graph, epoch uint64) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &crcWriter{w: bw}
+	if _, err := io.WriteString(cw, checkpointMagic); err != nil {
+		return err
+	}
+	offsets, adj := g.CSR()
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.N()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.M()))
+	binary.LittleEndian.PutUint64(hdr[16:24], epoch)
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 1<<16)
+	for _, arr := range [][]int32{offsets, adj} {
+		for _, x := range arr {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+			if len(buf) >= 1<<16-4 {
+				if _, err := cw.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := cw.Write(buf); err != nil {
+			return err
+		}
+	}
+	fp := FingerprintOf(g)
+	if _, err := cw.Write(fp[:]); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint parses and fully verifies a checkpoint: structure, file
+// CRC, CSR invariants (via graph.FromCSR), and the embedded fingerprint
+// against a fresh hash of the loaded CSR. It returns the graph, the store
+// epoch the checkpoint was taken at, and the verified fingerprint.
+func ReadCheckpoint(r io.Reader) (*graph.Graph, uint64, Fingerprint, error) {
+	var fp Fingerprint
+	fail := func(format string, args ...any) (*graph.Graph, uint64, Fingerprint, error) {
+		return nil, 0, fp, fmt.Errorf("%w: checkpoint: %s", ErrMalformed, fmt.Sprintf(format, args...))
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fp, err
+	}
+	const headerLen = len(checkpointMagic) + 24
+	if len(data) < headerLen+len(fp)+4 {
+		return fail("truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return fail("bad magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoliTable) != binary.LittleEndian.Uint32(tail) {
+		return fail("CRC mismatch")
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	m := binary.LittleEndian.Uint64(data[16:24])
+	epoch := binary.LittleEndian.Uint64(data[24:32])
+	if n > maxHeaderVertices || m > maxHeaderEdges {
+		return fail("counts n=%d m=%d exceed CSR bounds", n, m)
+	}
+	want := headerLen + (int(n)+1+2*int(m))*4 + len(fp) + 4
+	if len(data) != want {
+		return fail("size %d does not match header (want %d)", len(data), want)
+	}
+	arr := data[headerLen:]
+	offsets := make([]int32, n+1)
+	for i := range offsets {
+		offsets[i] = int32(binary.LittleEndian.Uint32(arr[4*i:]))
+	}
+	arr = arr[4*len(offsets):]
+	adj := make([]int32, 2*m)
+	for i := range adj {
+		adj[i] = int32(binary.LittleEndian.Uint32(arr[4*i:]))
+	}
+	copy(fp[:], arr[4*len(adj):])
+	g, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return fail("invalid CSR: %v", err)
+	}
+	if got := FingerprintOf(g); got != fp {
+		return fail("fingerprint mismatch: embedded %s, recomputed %s", fp.Short(), got.Short())
+	}
+	return g, epoch, fp, nil
+}
+
+// SaveCheckpoint writes a checkpoint to path atomically: the bytes go to a
+// temp file in the same directory, are fsynced, and the temp file is
+// renamed over path (then the directory is fsynced), so a crash mid-write
+// can never leave a half-checkpoint under the final name.
+func SaveCheckpoint(path string, g *graph.Graph, epoch uint64) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return WriteCheckpoint(w, g, epoch)
+	})
+}
+
+// LoadCheckpoint reads and verifies the checkpoint at path.
+func LoadCheckpoint(path string) (*graph.Graph, uint64, Fingerprint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, Fingerprint{}, err
+	}
+	defer f.Close()
+	g, epoch, fp, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, 0, fp, fmt.Errorf("graphio: %s: %w", path, err)
+	}
+	return g, epoch, fp, nil
+}
+
+// writeFileAtomic writes via temp + fsync + rename + directory fsync.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if err := write(tmp); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Fsync the directory so the rename itself survives power loss; not
+	// all filesystems support it, so failure is non-fatal.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFileAtomic exposes the temp+rename+fsync pattern for other durable
+// artifacts living next to checkpoints (manifests, hot-key lists).
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return writeFileAtomic(path, write)
+}

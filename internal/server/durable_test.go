@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph/gen"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// getStatus issues a bare GET and returns the status code.
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestHealthzThreeStates(t *testing.T) {
+	s := New(engine.New(engine.Options{}), Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Boot: replaying — health says so, and /v1 traffic is shed.
+	s.SetReplaying(true)
+	if got := getStatus(t, ts.URL+"/healthz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("replaying healthz = %d, want 503", got)
+	}
+	if got := getStatus(t, ts.URL+"/v1/graphs"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/v1 during replay = %d, want 503", got)
+	}
+	body := metricsBody(t, ts.URL)
+	if !strings.Contains(body, "server_replaying 1") {
+		t.Fatal("metrics do not report server_replaying 1 during recovery")
+	}
+
+	// Ready.
+	s.SetReplaying(false)
+	if got := getStatus(t, ts.URL+"/healthz"); got != http.StatusOK {
+		t.Fatalf("ready healthz = %d, want 200", got)
+	}
+	if got := getStatus(t, ts.URL+"/v1/graphs"); got != http.StatusOK {
+		t.Fatalf("/v1 when ready = %d, want 200", got)
+	}
+
+	// Draining.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := getStatus(t, ts.URL+"/healthz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", got)
+	}
+}
+
+func metricsBody(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// TestDurableGraphLifecycleOverHTTP walks the full durable serving loop:
+// serve a durable store, mutate and query it over HTTP, drain (persisting
+// WAL + hot keys), then bring up a second server over the recovered store
+// and verify it prewarms to cache hits and reports identical state.
+func TestDurableGraphLifecycleOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, err := store.Create(gen.Cycle(64), store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(engine.New(engine.Options{}), Options{})
+	ts := httptest.NewServer(s)
+	c := NewClient(ts.URL, ts.Client())
+	id, _ := s.AddStore(st)
+
+	if _, err := c.AddEdge(ctx, id, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeleteEdge(ctx, id, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, id, RunRequest{Algo: "changli", Q: "eps=0.3 scale=0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.GraphInfo(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Durable || info.DeltaBytes != 2*wal.FrameSize || info.Epoch != 2 {
+		t.Fatalf("served durable info: %+v", info)
+	}
+	body := metricsBody(t, ts.URL)
+	for _, want := range []string{"graph_durable{graph=\"" + id + "\"} 1", "graph_delta_bytes", "graph_wal_syncs_total"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if _, err := os.Stat(filepath.Join(dir, "hotkeys.json")); err != nil {
+		t.Fatalf("drain did not persist hot keys: %v", err)
+	}
+	wantFP := st.Fingerprint()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life.
+	back, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Fingerprint() != wantFP {
+		t.Fatal("recovered store fingerprint drifted")
+	}
+	s2 := New(engine.New(engine.Options{}), Options{})
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	c2 := NewClient(ts2.URL, ts2.Client())
+	id2, _ := s2.AddStore(back)
+	warmed, err := s2.Prewarm(ctx)
+	if err != nil || warmed == 0 {
+		t.Fatalf("prewarm: warmed=%d err=%v", warmed, err)
+	}
+	before := s2.Engine().Stats()
+	res, err := c2.Run(ctx, id2, RunRequest{Algo: "changli", Q: "eps=0.3 scale=0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot != wantFP.String() {
+		t.Fatalf("result stamped %s, want %s", res.Snapshot, wantFP)
+	}
+	after := s2.Engine().Stats()
+	if after.Computations != before.Computations {
+		t.Fatal("request after prewarm recomputed instead of hitting cache")
+	}
+}
+
+func TestEdgeMutationSurfacesWALFailure(t *testing.T) {
+	ctx := context.Background()
+	inj := (&wal.Injector{}).FailAppend(1)
+	st, err := store.Create(gen.Cycle(16), store.Options{Dir: t.TempDir(), Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := New(engine.New(engine.Options{}), Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	id, _ := s.AddStore(st)
+
+	if _, err := c.AddEdge(ctx, id, 0, 7); err == nil {
+		t.Fatal("WAL-failed mutation acknowledged over HTTP")
+	} else if !strings.Contains(err.Error(), "mutation rejected") {
+		t.Fatalf("error does not name the rejection: %v", err)
+	}
+	// A true no-op (edge already present) still reports 200 applied=false:
+	// the sticky WAL error must not be confused with it — but while the WAL
+	// is dead, even no-op probes hit the contains-check first, so use a
+	// compact to rotate onto a fresh log, then verify a real no-op.
+	if _, err := c.Compact(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	mr, err := c.AddEdge(ctx, id, 0, 1) // cycle edge, already present
+	if err != nil || mr.Applied {
+		t.Fatalf("no-op add after recovery: applied=%v err=%v", mr != nil && mr.Applied, err)
+	}
+}

@@ -74,13 +74,21 @@ func runStatus(err error) int {
 	}
 }
 
+// handleHealthz reports three-state readiness: "replaying" (503) while the
+// process is still recovering its stores, "draining" (503) once shutdown
+// has begun, "ok" (200) in between. Draining wins over replaying so a
+// process killed mid-recovery still reports the terminal state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	inflight, draining := s.gate.stats()
 	status := http.StatusOK
 	state := "ok"
-	if draining {
+	switch {
+	case draining:
 		status = http.StatusServiceUnavailable
 		state = "draining"
+	case s.replaying.Load():
+		status = http.StatusServiceUnavailable
+		state = "replaying"
 	}
 	writeJSON(w, status, map[string]any{"status": state, "inflight": inflight})
 }
@@ -350,6 +358,16 @@ func (s *Server) handleEdge(add bool) http.HandlerFunc {
 		} else {
 			applied = sg.st.DeleteEdge(mr.U, mr.V)
 		}
+		if !applied {
+			// Distinguish "no-op" (still 200) from "the WAL refused the
+			// write": a mutation that cannot be made durable was NOT applied
+			// and must not be acknowledged.
+			if werr := sg.st.Err(); werr != nil {
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("mutation rejected: %v", werr))
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, mutateResponse(applied, sg.st.Stats()))
 	}
 }
@@ -359,7 +377,10 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sg.st.Compact()
+	if _, err := sg.st.Compact(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, mutateResponse(true, sg.st.Stats()))
 }
 
@@ -457,6 +478,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("server_admitted_total %d\n", s.admitted.Load())
 	p("server_shed_total %d\n", s.shed.Load())
 	p("server_draining %d\n", boolGauge(draining))
+	p("server_replaying %d\n", boolGauge(s.replaying.Load()))
 	p("server_graphs %d\n", len(s.graphList()))
 	p("server_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
 
@@ -472,6 +494,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("graph_adds_total{graph=%q} %d\n", id, st.Adds)
 		p("graph_dels_total{graph=%q} %d\n", id, st.Dels)
 		p("graph_compactions_total{graph=%q} %d\n", id, st.Compactions)
+		p("graph_delta_bytes{graph=%q} %d\n", id, st.DeltaBytes)
+		p("graph_durable{graph=%q} %d\n", id, boolGauge(st.Durable))
+		if st.Durable {
+			p("graph_checkpoint_epoch{graph=%q} %d\n", id, st.CheckpointEpoch)
+			p("graph_wal_syncs_total{graph=%q} %d\n", id, st.WALSyncs)
+		}
 	}
 }
 

@@ -41,8 +41,10 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -174,6 +176,12 @@ type Server struct {
 	admitted atomic.Uint64 // /v1 requests admitted past the gate
 	shed     atomic.Uint64 // /v1 requests rejected 503 (overload or drain)
 
+	// replaying is the boot-time readiness latch: while set, /healthz
+	// reports "replaying" (503) and /v1 requests are shed, so a load
+	// balancer never routes traffic to a process still recovering its
+	// stores from checkpoint + WAL.
+	replaying atomic.Bool
+
 	start time.Time
 
 	mu     sync.Mutex
@@ -200,11 +208,16 @@ func New(e *engine.Engine, opts Options) *Server {
 // Engine returns the underlying engine (shared; e.g. for stats assertions).
 func (s *Server) Engine() *engine.Engine { return s.e }
 
-// AddGraph puts g under service through a fresh mutable store and returns
-// its graph id. In-process callers (cmd/serve preloading a graph before
-// exposing it) and the upload/generate endpoints share this path.
+// AddGraph puts g under service through a fresh memory-only store and
+// returns its graph id. The upload/generate endpoints use this path.
 func (s *Server) AddGraph(g *graph.Graph) (string, engine.StoreHandle) {
-	st := store.New(g)
+	return s.AddStore(store.New(g))
+}
+
+// AddStore puts an existing store under service — the path cmd/serve uses
+// for durable stores it created or recovered, so the serving layer never
+// needs to know how the store came to be.
+func (s *Server) AddStore(st *store.Store) (string, engine.StoreHandle) {
 	h := s.e.RegisterStore(st)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -213,6 +226,12 @@ func (s *Server) AddGraph(g *graph.Graph) (string, engine.StoreHandle) {
 	s.graphs[id] = &servedGraph{id: id, st: st, h: h, created: time.Now()}
 	return id, h
 }
+
+// SetReplaying flips the boot-time readiness latch (see Server.replaying).
+func (s *Server) SetReplaying(v bool) { s.replaying.Store(v) }
+
+// Replaying reports whether the server is still recovering state.
+func (s *Server) Replaying() bool { return s.replaying.Load() }
 
 // graphByID resolves a served graph.
 func (s *Server) graphByID(id string) (*servedGraph, bool) {
@@ -254,15 +273,79 @@ func (s *Server) Draining() bool {
 // Drain stops admitting new /v1 requests (they get 503) and waits until
 // every in-flight request has finished, or ctx expires. It is safe to call
 // more than once; after the first call the server never admits again.
+//
+// Before returning — idle or interrupted — Drain persists durable state:
+// every durable store's WAL is fsynced and its hottest cache keys are
+// written next to its checkpoint, so the next boot recovers the exact
+// acknowledged state and prewarms the results this process was serving.
 func (s *Server) Drain(ctx context.Context) error {
 	idle := s.gate.drain()
+	var drainErr error
 	select {
 	case <-idle:
-		return nil
 	case <-ctx.Done():
 		inflight, _ := s.gate.stats()
-		return fmt.Errorf("server: drain interrupted with %d requests in flight: %w", inflight, ctx.Err())
+		drainErr = fmt.Errorf("server: drain interrupted with %d requests in flight: %w", inflight, ctx.Err())
 	}
+	return errors.Join(drainErr, s.persistDurable())
+}
+
+// maxHotKeys bounds the persisted hot-key list per graph: enough to warm
+// the working set, small enough that prewarming never dominates boot.
+const maxHotKeys = 64
+
+// hotKeysFileName lives inside each durable store's directory; the store's
+// own recovery ignores it (it only owns manifest/checkpoint/WAL files).
+const hotKeysFileName = "hotkeys.json"
+
+// persistDurable syncs and snapshots serving state for every durable graph.
+// Best-effort across graphs: one failing store does not stop the others;
+// all failures are joined into the returned error.
+func (s *Server) persistDurable() error {
+	var errs []error
+	for _, sg := range s.graphList() {
+		dir := sg.st.Dir()
+		if dir == "" {
+			continue
+		}
+		if err := sg.st.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("graph %s: sync: %w", sg.id, err))
+		}
+		fp := sg.st.Fingerprint()
+		keys := s.e.HotKeys(fp, maxHotKeys)
+		if len(keys) == 0 {
+			continue // keep any previous list rather than erasing it
+		}
+		if err := engine.SaveHotKeys(filepath.Join(dir, hotKeysFileName), fp, keys); err != nil {
+			errs = append(errs, fmt.Errorf("graph %s: hot keys: %w", sg.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Prewarm replays each durable graph's persisted hot-key list through the
+// engine, so a restarted server answers its previous working set from
+// cache. Missing or unreadable lists are skipped (prewarming is always
+// best-effort); only a dead context aborts. Returns how many keys were
+// warmed across all graphs.
+func (s *Server) Prewarm(ctx context.Context) (int, error) {
+	total := 0
+	for _, sg := range s.graphList() {
+		dir := sg.st.Dir()
+		if dir == "" {
+			continue
+		}
+		keys, _, err := engine.LoadHotKeys(filepath.Join(dir, hotKeysFileName))
+		if err != nil {
+			continue
+		}
+		n, err := s.e.Prewarm(ctx, sg.h, keys)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // ServeHTTP implements http.Handler: health and metrics bypass admission
@@ -271,6 +354,12 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if s.replaying.Load() {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server starting: recovery in progress")
 		return
 	}
 	if !s.gate.enter() {

@@ -219,23 +219,32 @@ type GraphInfo struct {
 	Adds        uint64 `json:"adds"`
 	Dels        uint64 `json:"dels"`
 	Compactions uint64 `json:"compactions"`
-	CreatedUnix int64  `json:"created_unix"`
+	// DeltaBytes is the exact on-disk footprint of the pending delta log.
+	DeltaBytes int64 `json:"delta_bytes"`
+	// Durable reports whether mutations to this graph survive restarts;
+	// CheckpointEpoch is the epoch of its on-disk checkpoint.
+	Durable         bool   `json:"durable,omitempty"`
+	CheckpointEpoch uint64 `json:"checkpoint_epoch,omitempty"`
+	CreatedUnix     int64  `json:"created_unix"`
 }
 
 func graphInfo(sg *servedGraph) GraphInfo {
 	st := sg.st.Stats()
 	return GraphInfo{
-		ID:          sg.id,
-		N:           st.N,
-		M:           st.M,
-		Fingerprint: st.Fingerprint.String(),
-		Epoch:       st.Epoch,
-		Pending:     st.Pending,
-		Patched:     st.PatchedVertices,
-		Adds:        st.Adds,
-		Dels:        st.Dels,
-		Compactions: st.Compactions,
-		CreatedUnix: sg.created.Unix(),
+		ID:              sg.id,
+		N:               st.N,
+		M:               st.M,
+		Fingerprint:     st.Fingerprint.String(),
+		Epoch:           st.Epoch,
+		Pending:         st.Pending,
+		Patched:         st.PatchedVertices,
+		Adds:            st.Adds,
+		Dels:            st.Dels,
+		Compactions:     st.Compactions,
+		DeltaBytes:      st.DeltaBytes,
+		Durable:         st.Durable,
+		CheckpointEpoch: st.CheckpointEpoch,
+		CreatedUnix:     sg.created.Unix(),
 	}
 }
 
@@ -256,13 +265,13 @@ type BatchLine struct {
 
 // AlgorithmInfo describes one registry entry in the catalog endpoint.
 type AlgorithmInfo struct {
-	Name     string          `json:"name"`
-	Aliases  []string        `json:"aliases,omitempty"`
-	Summary  string          `json:"summary"`
-	Kind     string          `json:"kind"`
-	Seeded   bool            `json:"seeded,omitempty"`
-	Weighted bool            `json:"weighted,omitempty"`
-	Workers  bool            `json:"workers,omitempty"`
+	Name     string           `json:"name"`
+	Aliases  []string         `json:"aliases,omitempty"`
+	Summary  string           `json:"summary"`
+	Kind     string           `json:"kind"`
+	Seeded   bool             `json:"seeded,omitempty"`
+	Weighted bool             `json:"weighted,omitempty"`
+	Workers  bool             `json:"workers,omitempty"`
 	Params   []AlgorithmParam `json:"params,omitempty"`
 }
 

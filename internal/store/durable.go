@@ -1,0 +1,304 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/wal"
+)
+
+// Durable layout. A durable store lives in one directory:
+//
+//	MANIFEST.json          — pointer to the current (checkpoint, wal) pair
+//	checkpoint-<seq>.ckpt  — CSR snapshot at some epoch (graphio checkpoint)
+//	wal-<seq>.log          — every mutation applied after that checkpoint
+//
+// The manifest is the commit point. Compact writes the next checkpoint and
+// an empty next WAL, then atomically swings the manifest to the new pair;
+// a crash anywhere in between leaves the old pair current and the new
+// files as ignorable orphans. Recovery is therefore always: load the
+// manifest's checkpoint, replay its WAL prefix, continue appending.
+const manifestName = "MANIFEST.json"
+
+const manifestVersion = 1
+
+// ErrExists is returned by Create when the directory already holds a store.
+var ErrExists = errors.New("store: directory already contains a store")
+
+// Options configures a durable store. The zero value of every field other
+// than Dir is usable (WAL group-commit defaults apply).
+type Options struct {
+	// Dir is the durability directory. Required for Create/Open.
+	Dir string
+	// FlushInterval is the WAL group-commit fsync cadence (see wal.Options;
+	// negative means sync every append).
+	FlushInterval time.Duration
+	// FlushBytes forces an inline fsync once this many unsynced bytes
+	// accumulate (see wal.Options).
+	FlushBytes int
+	// Injector, if set, injects deterministic write faults (tests only).
+	Injector *wal.Injector
+}
+
+func (o Options) walOptions() wal.Options {
+	return wal.Options{
+		FlushInterval: o.FlushInterval,
+		FlushBytes:    o.FlushBytes,
+		Injector:      o.Injector,
+	}
+}
+
+// manifest is the on-disk commit pointer. Epoch and Fingerprint duplicate
+// what the named checkpoint embeds; Open cross-checks them so a manifest
+// paired with the wrong checkpoint fails loudly.
+type manifest struct {
+	Version     int    `json:"version"`
+	Seq         uint64 `json:"seq"`
+	Checkpoint  string `json:"checkpoint"`
+	WAL         string `json:"wal"`
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func checkpointName(seq uint64) string { return fmt.Sprintf("checkpoint-%06d.ckpt", seq) }
+func walName(seq uint64) string        { return fmt.Sprintf("wal-%06d.log", seq) }
+
+// Exists reports whether dir holds a durable store (i.e. a manifest).
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// Create initializes dir as a durable store around g (retained, must not be
+// mutated by the caller) and returns the open store. The base graph is
+// checkpointed immediately, so the store is recoverable from its very first
+// acknowledged mutation. Fails with ErrExists if dir already holds a store.
+func Create(g *graph.Graph, opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: Create requires Options.Dir")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if Exists(opts.Dir) {
+		return nil, fmt.Errorf("%w: %s", ErrExists, opts.Dir)
+	}
+	s := New(g)
+	s.dir, s.opts = opts.Dir, opts
+	if err := s.rotateLocked(g); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", opts.Dir, err)
+	}
+	return s, nil
+}
+
+// Open recovers the durable store in opts.Dir: it loads the manifest's
+// checkpoint (fully verified — CRC, CSR invariants, embedded fingerprint),
+// replays the WAL on top of it (truncating a torn or corrupt tail to the
+// last durable prefix), verifies the epoch chain is contiguous, and reopens
+// the WAL for appending. The recovered fingerprint/epoch are exactly what a
+// live store that applied the same prefix would report.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: Open requires Options.Dir")
+	}
+	fail := func(err error) (*Store, error) {
+		return nil, fmt.Errorf("store: open %s: %w", opts.Dir, err)
+	}
+	data, err := os.ReadFile(filepath.Join(opts.Dir, manifestName))
+	if err != nil {
+		return fail(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fail(fmt.Errorf("manifest: %w", err))
+	}
+	if man.Version != manifestVersion {
+		return fail(fmt.Errorf("manifest version %d not supported", man.Version))
+	}
+	g, ckptEpoch, fp, err := graphio.LoadCheckpoint(filepath.Join(opts.Dir, man.Checkpoint))
+	if err != nil {
+		return fail(err)
+	}
+	if ckptEpoch != man.Epoch || fp.String() != man.Fingerprint {
+		return fail(fmt.Errorf("manifest names epoch %d / fingerprint %s, checkpoint holds epoch %d / %s",
+			man.Epoch, man.Fingerprint, ckptEpoch, fp.Short()))
+	}
+
+	s := New(g)
+	s.dir, s.opts = opts.Dir, opts
+	s.seq, s.ckptEpoch, s.epoch = man.Seq, ckptEpoch, ckptEpoch
+
+	walPath := filepath.Join(opts.Dir, man.WAL)
+	info, err := wal.Replay(walPath, true, func(r wal.Record) error {
+		if r.Epoch != s.epoch+1 {
+			// A CRC-valid frame with the wrong epoch means the sequenced
+			// prefix ends here; whatever follows is from another life.
+			return wal.ErrStopReplay
+		}
+		var ok bool
+		switch r.Op {
+		case wal.OpAddEdge:
+			ok = s.AddEdge(int(r.U), int(r.V))
+		case wal.OpDelEdge:
+			ok = s.DeleteEdge(int(r.U), int(r.V))
+		}
+		if !ok {
+			// The WAL acknowledged a mutation the checkpointed graph cannot
+			// replay — the pair is inconsistent. Refuse to boot rather than
+			// serve a silently different graph.
+			return fmt.Errorf("record %d (op %d, edge %d-%d) does not apply to the checkpoint state",
+				r.Epoch, r.Op, r.U, r.V)
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(fmt.Errorf("replay %s: %w", man.WAL, err))
+	}
+	s.w, err = wal.OpenAppend(walPath, info.ValidBytes, opts.walOptions())
+	if err != nil {
+		return fail(err)
+	}
+	s.removeOrphansLocked()
+	return s, nil
+}
+
+// logDelta appends the would-be mutation to the WAL before the in-memory
+// state changes. Caller holds s.mu and has validated the mutation; on error
+// the caller must reject the mutation (nothing durable acknowledged it).
+// A memory-only store (no WAL) logs nothing and never fails.
+func (s *Store) logDelta(op Op, u, v int) error {
+	if s.w == nil {
+		return nil
+	}
+	if s.werr != nil {
+		return s.werr
+	}
+	uu, vv := int32(u), int32(v)
+	if uu > vv {
+		uu, vv = vv, uu
+	}
+	if err := s.w.Append(wal.Record{Op: byte(op), Epoch: s.epoch + 1, U: uu, V: vv}); err != nil {
+		s.werr = err
+		return err
+	}
+	return nil
+}
+
+// rotateLocked commits g (the fully-materialized current graph) as the next
+// checkpoint: write checkpoint-<seq+1>, create an empty wal-<seq+1>, then
+// atomically swing the manifest. Only after the manifest rename succeeds is
+// any in-process state changed, so a failure at any step leaves both the
+// directory and the store exactly as they were. Caller holds s.mu (or owns
+// the store exclusively, as Create does).
+func (s *Store) rotateLocked(g *graph.Graph) error {
+	seq := s.seq + 1
+	ckptPath := filepath.Join(s.dir, checkpointName(seq))
+	walPath := filepath.Join(s.dir, walName(seq))
+	if err := graphio.SaveCheckpoint(ckptPath, g, s.epoch); err != nil {
+		return err
+	}
+	w, err := wal.Create(walPath, s.opts.walOptions())
+	if err != nil {
+		os.Remove(ckptPath)
+		return err
+	}
+	man := manifest{
+		Version:     manifestVersion,
+		Seq:         seq,
+		Checkpoint:  checkpointName(seq),
+		WAL:         walName(seq),
+		Epoch:       s.epoch,
+		Fingerprint: graphio.FingerprintOf(g).String(),
+	}
+	err = graphio.WriteFileAtomic(filepath.Join(s.dir, manifestName), func(out io.Writer) error {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	})
+	if err != nil {
+		w.Close()
+		os.Remove(walPath)
+		os.Remove(ckptPath)
+		return err
+	}
+	if old := s.w; old != nil {
+		_, syncs := old.Counters()
+		s.syncsBase += syncs
+		old.Close()
+	}
+	s.w, s.seq, s.ckptEpoch, s.werr = w, seq, s.epoch, nil
+	s.removeOrphansLocked()
+	return nil
+}
+
+// removeOrphansLocked deletes checkpoint/WAL files the manifest no longer
+// names — superseded pairs and debris from a crash mid-rotation. Best
+// effort: an orphan that survives is ignored by recovery anyway.
+func (s *Store) removeOrphansLocked() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	keep := map[string]bool{manifestName: true, checkpointName(s.seq): true, walName(s.seq): true}
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "checkpoint-%06d.ckpt", &seq); err == nil {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if _, err := fmt.Sscanf(name, "wal-%06d.log", &seq); err == nil {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// Dir returns the durability directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Err returns the sticky durability error, if any. Once a WAL append fails,
+// every subsequent mutation is rejected (AddEdge/DeleteEdge return false)
+// until a successful Compact rotates onto a fresh log; Err distinguishes
+// that state from ordinary no-op rejections.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.werr
+}
+
+// Sync forces every acknowledged mutation to stable storage (one fsync if
+// anything is pending). A memory-only store returns nil.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Sync()
+}
+
+// Close flushes and closes the WAL. The store remains readable; further
+// mutations fail. A memory-only store returns nil.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	if s.werr == nil {
+		s.werr = errors.New("store: closed")
+	}
+	return err
+}

@@ -1,0 +1,412 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/graphio"
+	"repro/internal/wal"
+)
+
+// sweepOps is a deterministic mixed mutation sequence on a 16-cycle: chord
+// inserts interleaved with deletions of original cycle edges.
+func sweepOps() []Delta {
+	return []Delta{
+		{Op: OpAdd, U: 0, V: 5}, {Op: OpAdd, U: 1, V: 9}, {Op: OpDel, U: 0, V: 1},
+		{Op: OpAdd, U: 2, V: 11}, {Op: OpDel, U: 4, V: 5}, {Op: OpAdd, U: 3, V: 13},
+		{Op: OpAdd, U: 0, V: 8}, {Op: OpDel, U: 8, V: 9}, {Op: OpAdd, U: 6, V: 14},
+		{Op: OpDel, U: 12, V: 13}, {Op: OpAdd, U: 7, V: 15}, {Op: OpAdd, U: 4, V: 10},
+	}
+}
+
+func applyOp(t *testing.T, s *Store, d Delta) bool {
+	t.Helper()
+	switch d.Op {
+	case OpAdd:
+		return s.AddEdge(int(d.U), int(d.V))
+	case OpDel:
+		return s.DeleteEdge(int(d.U), int(d.V))
+	}
+	t.Fatalf("bad op %d", d.Op)
+	return false
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func TestDurableCreateReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(gen.Cycle(16), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(dir) {
+		t.Fatal("Exists is false right after Create")
+	}
+	for _, d := range sweepOps() {
+		if !applyOp(t, st, d) {
+			t.Fatalf("op %+v rejected", d)
+		}
+	}
+	want := st.Stats()
+	if !want.Durable || want.DeltaBytes != int64(want.Pending)*wal.FrameSize {
+		t.Fatalf("stats: durable=%v deltaBytes=%d pending=%d", want.Durable, want.DeltaBytes, want.Pending)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.AddEdge(0, 2) {
+		t.Fatal("mutation accepted after Close")
+	}
+
+	back, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Stats()
+	if got.Fingerprint != want.Fingerprint || got.Epoch != want.Epoch || got.M != want.M || got.Pending != want.Pending {
+		t.Fatalf("reopen drifted: got %+v want %+v", got, want)
+	}
+	// The reopened store keeps appending on the same chain.
+	if !back.AddEdge(2, 9) {
+		t.Fatal("reopened store rejects a fresh mutation")
+	}
+	fp2, ep2 := back.Fingerprint(), back.Epoch()
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Fingerprint() != fp2 || again.Epoch() != ep2 {
+		t.Fatal("second reopen lost the appended tail")
+	}
+}
+
+func TestDurableCompactRotates(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(gen.Cycle(16), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range sweepOps() {
+		applyOp(t, st, d)
+	}
+	snap, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Pending != 0 || stats.DeltaBytes != 0 || stats.CheckpointEpoch != stats.Epoch {
+		t.Fatalf("post-compact stats: %+v", stats)
+	}
+	if snap.Fingerprint() != graphio.FingerprintOf(snap.Graph()) {
+		t.Fatal("compacted fingerprint is not canonical")
+	}
+	// The old pair is gone; the new pair is current.
+	for _, gone := range []string{"checkpoint-000001.ckpt", "wal-000001.log"} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); err == nil {
+			t.Fatalf("%s survived rotation", gone)
+		}
+	}
+	// Post-compact mutations land in the new WAL and recover.
+	st.AddEdge(5, 12)
+	st.Close()
+	back, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Fingerprint() != graphio.NextFingerprint(snap.Fingerprint(), byte(OpAdd), 5, 12) {
+		t.Fatal("recovery from checkpoint + one-record WAL drifted")
+	}
+	if back.Stats().CheckpointEpoch != stats.Epoch || back.Epoch() != stats.Epoch+1 {
+		t.Fatalf("recovered epochs: %+v", back.Stats())
+	}
+}
+
+// TestDurableTruncationSweep is the exhaustive crash-point sweep: a WAL of
+// k records is truncated at EVERY byte offset, and each truncation must
+// recover to a valid epoch prefix whose fingerprint matches a fresh
+// memory-only store that replayed the same prefix. This pins the whole
+// contract at once: torn tails truncate cleanly, full frames are never
+// dropped, and the fingerprint chain has no history-dependence bugs.
+func TestDurableTruncationSweep(t *testing.T) {
+	ops := sweepOps()
+	// Expected fingerprint/epoch after each prefix, from a memory-only twin.
+	ref := New(gen.Cycle(16))
+	fps := []graphio.Fingerprint{ref.Fingerprint()}
+	for _, d := range ops {
+		if !applyOp(t, ref, d) {
+			t.Fatalf("reference rejected %+v", d)
+		}
+		fps = append(fps, ref.Fingerprint())
+	}
+
+	master := t.TempDir()
+	st, err := Create(gen.Cycle(16), Options{Dir: master})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ops {
+		applyOp(t, st, d)
+	}
+	st.Close()
+
+	walSize := int64(len(ops)) * wal.FrameSize
+	for off := int64(0); off <= walSize; off++ {
+		dir := copyDir(t, master)
+		walPath := filepath.Join(dir, "wal-000001.log")
+		if err := os.Truncate(walPath, off); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("offset %d: open failed: %v", off, err)
+		}
+		prefix := int(off / wal.FrameSize)
+		if got := back.Epoch(); got != uint64(prefix) {
+			t.Fatalf("offset %d: recovered epoch %d, want %d", off, got, prefix)
+		}
+		if got := back.Fingerprint(); got != fps[prefix] {
+			t.Fatalf("offset %d: fingerprint %s, want %s (prefix %d)", off, got.Short(), fps[prefix].Short(), prefix)
+		}
+		if p := back.Stats().Pending; p != prefix {
+			t.Fatalf("offset %d: pending %d, want %d", off, p, prefix)
+		}
+		// Repair truncated the torn tail, so the file is frame-aligned again.
+		if fi, err := os.Stat(walPath); err != nil || fi.Size() != int64(prefix)*wal.FrameSize {
+			t.Fatalf("offset %d: repaired size %d, want %d", off, fi.Size(), int64(prefix)*wal.FrameSize)
+		}
+		back.Close()
+	}
+}
+
+func TestDurableInjectedAppendFaults(t *testing.T) {
+	ops := sweepOps()[:5]
+	for _, tc := range []struct {
+		name      string
+		inject    func(*wal.Injector)
+		applied   int  // ops the live store acknowledges
+		recovered int  // epochs recovery reaches
+		sticky    bool // store rejects everything after the fault
+	}{
+		{"fail", func(i *wal.Injector) { i.FailAppend(3) }, 2, 2, true},
+		{"short", func(i *wal.Injector) { i.ShortAppend(3) }, 2, 2, true},
+		// Silent corruption: the live store keeps acknowledging, but replay
+		// stops at the corrupt frame — the durable prefix is shorter than
+		// what was acked. That is precisely the failure shape the CRC exists
+		// to catch at boot instead of serving garbage.
+		{"corrupt", func(i *wal.Injector) { i.CorruptAppend(3) }, 5, 2, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := &wal.Injector{}
+			tc.inject(inj)
+			dir := t.TempDir()
+			st, err := Create(gen.Cycle(16), Options{Dir: dir, Injector: inj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			applied := 0
+			for _, d := range ops {
+				if applyOp(t, st, d) {
+					applied++
+				}
+			}
+			if applied != tc.applied {
+				t.Fatalf("live store applied %d ops, want %d", applied, tc.applied)
+			}
+			if tc.sticky {
+				if st.Err() == nil {
+					t.Fatal("no sticky error after an injected write failure")
+				}
+				if st.AddEdge(0, 7) {
+					t.Fatal("mutation accepted while the WAL is failed")
+				}
+			} else if st.Err() != nil {
+				t.Fatalf("silent corruption surfaced an error: %v", st.Err())
+			}
+			liveFP := st.Fingerprint()
+			st.Close()
+
+			back, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("recovery after %s fault failed: %v", tc.name, err)
+			}
+			defer back.Close()
+			if got := back.Epoch(); got != uint64(tc.recovered) {
+				t.Fatalf("recovered epoch %d, want %d", got, tc.recovered)
+			}
+			if tc.applied == tc.recovered && back.Fingerprint() != liveFP {
+				t.Fatal("recovered fingerprint differs from the acknowledged state")
+			}
+		})
+	}
+}
+
+// TestDurableCompactClearsStickyFailure: a failed WAL strands the store
+// read-only, but Compact replaces the dead log wholesale — after a
+// successful rotation the store accepts writes again and the whole history
+// (pre-fault prefix + post-compact ops) recovers.
+func TestDurableCompactClearsStickyFailure(t *testing.T) {
+	inj := (&wal.Injector{}).FailAppend(3)
+	dir := t.TempDir()
+	st, err := Create(gen.Cycle(16), Options{Dir: dir, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range sweepOps()[:4] {
+		applyOp(t, st, d)
+	}
+	if st.Err() == nil {
+		t.Fatal("expected a sticky failure")
+	}
+	if _, err := st.Compact(); err != nil {
+		t.Fatalf("compact after WAL failure: %v", err)
+	}
+	if st.Err() != nil {
+		t.Fatalf("sticky error survived rotation: %v", st.Err())
+	}
+	if !st.AddEdge(0, 7) {
+		t.Fatal("store still read-only after rotation")
+	}
+	fp := st.Fingerprint()
+	st.Close()
+	back, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Fingerprint() != fp {
+		t.Fatal("post-rotation state did not recover")
+	}
+}
+
+// TestDurableCompactFailureLeavesStateIntact: when the checkpoint cannot be
+// committed, Compact reports the error and nothing changes — in memory or
+// on disk — so the pre-compaction version keeps serving and recovering.
+func TestDurableCompactFailureLeavesStateIntact(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(gen.Cycle(16), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range sweepOps()[:3] {
+		applyOp(t, st, d)
+	}
+	before := st.Stats()
+	// Squat on the next checkpoint's name with a directory: the atomic
+	// rename cannot replace a directory, so the checkpoint commit fails.
+	blocker := filepath.Join(dir, "checkpoint-000002.ckpt")
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(); err == nil {
+		t.Fatal("compact succeeded over a blocked checkpoint path")
+	}
+	after := st.Stats()
+	if after.Fingerprint != before.Fingerprint || after.Pending != before.Pending || after.CheckpointEpoch != before.CheckpointEpoch {
+		t.Fatalf("failed compact changed state: before %+v after %+v", before, after)
+	}
+	if !st.AddEdge(0, 7) {
+		t.Fatal("store stopped accepting writes after a failed compact")
+	}
+	if err := os.RemoveAll(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(); err != nil {
+		t.Fatalf("compact after clearing the blocker: %v", err)
+	}
+	fp := st.Fingerprint()
+	st.Close()
+	back, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Fingerprint() != fp {
+		t.Fatal("state after recovered compact did not persist")
+	}
+}
+
+func TestDurableCreateOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if Exists(dir) {
+		t.Fatal("Exists is true for an empty directory")
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open succeeded on an empty directory")
+	}
+	st, err := Create(gen.Cycle(8), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := Create(gen.Cycle(8), Options{Dir: dir}); !errors.Is(err, ErrExists) {
+		t.Fatalf("second Create: err = %v, want ErrExists", err)
+	}
+	// A manifest pointing at a checkpoint whose bytes were damaged must
+	// refuse to boot.
+	ckpt := filepath.Join(dir, "checkpoint-000001.ckpt")
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(ckpt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open loaded a bit-flipped checkpoint")
+	}
+}
+
+// TestDurableMatchesMemoryOnly: the same op sequence on a durable store and
+// a memory-only store produces identical fingerprints, stats, and query
+// results — durability is strictly additive.
+func TestDurableMatchesMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(gen.Cycle(16), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	m := New(gen.Cycle(16))
+	for _, op := range sweepOps() {
+		if applyOp(t, d, op) != applyOp(t, m, op) {
+			t.Fatalf("durable and memory stores disagree on %+v", op)
+		}
+	}
+	if d.Fingerprint() != m.Fingerprint() || d.Epoch() != m.Epoch() || d.M() != m.M() {
+		t.Fatal("durable and memory stores diverged")
+	}
+	ds, ms := d.Snapshot(), m.Snapshot()
+	for v := 0; v < 16; v++ {
+		if len(ds.Neighbors(v)) != len(ms.Neighbors(v)) {
+			t.Fatalf("adjacency of %d diverged", v)
+		}
+	}
+	_ = graph.View(ds)
+}

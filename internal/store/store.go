@@ -23,6 +23,20 @@
 // Concurrency. All Store methods are safe for concurrent use (one mutex;
 // critical sections are O(deg) for mutations, O(1) for Snapshot).
 // Snapshots are immutable and safe to share without synchronization.
+//
+// Durability. A store opened with Options.Dir (Create/Open) writes every
+// mutation to a CRC32C-framed write-ahead log (internal/wal) before
+// touching memory — a failed append rejects the mutation and latches a
+// sticky Err until a successful Compact rotates onto a fresh log. Compact
+// doubles as the checkpoint: the folded CSR is written atomically
+// (graphio checkpoint format, fingerprint embedded), a fresh WAL is
+// created, and MANIFEST.json swings to the new pair as the single commit
+// point — a crash anywhere mid-rotation recovers from the old pair. Open
+// loads the manifest's checkpoint, re-verifies its CRC and fingerprint,
+// replays the WAL (truncating a torn tail at the first bad frame), and
+// re-derives the epoch/fingerprint chain, so recovered state is
+// bit-identical to what was acknowledged. New/memory-only stores skip all
+// of this; durability costs nothing when unused.
 package store
 
 import (
@@ -33,6 +47,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/wal"
 )
 
 // Op is a mutation kind in the delta log.
@@ -76,6 +91,19 @@ type Stats struct {
 	PatchedVertices int
 	// Adds, Dels, Compactions are lifetime counters of applied operations.
 	Adds, Dels, Compactions uint64
+	// DeltaBytes is the on-disk footprint of the pending delta log. WAL
+	// frames are fixed-size, so this is exact (and is reported for
+	// memory-only stores too, as the bytes the log would occupy).
+	DeltaBytes int64
+	// Durable reports whether the store is backed by a WAL + checkpoint
+	// directory.
+	Durable bool
+	// WALSyncs counts fsyncs issued over the store's lifetime (0 when the
+	// store is memory-only).
+	WALSyncs uint64
+	// CheckpointEpoch is the epoch of the on-disk checkpoint the current
+	// WAL replays onto (0 when memory-only).
+	CheckpointEpoch uint64
 }
 
 // Store is a mutable graph with O(1) immutable snapshots. Construct with
@@ -99,6 +127,15 @@ type Store struct {
 	cur atomic.Pointer[Snapshot]
 
 	adds, dels, compactions uint64
+
+	// Durability (zero when the store is memory-only; see durable.go).
+	dir       string
+	opts      Options
+	w         *wal.Writer
+	seq       uint64 // manifest sequence of the current checkpoint/WAL pair
+	ckptEpoch uint64 // epoch the current checkpoint was taken at
+	syncsBase uint64 // fsyncs accumulated by rotated-out WAL writers
+	werr      error  // sticky durability error; mutations are rejected while set
 }
 
 // New wraps g (retained, must not be mutated by the caller) in a store.
@@ -141,7 +178,7 @@ func (s *Store) Fingerprint() graphio.Fingerprint {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		N:               s.n,
 		M:               s.m,
 		Fingerprint:     s.fp,
@@ -151,7 +188,16 @@ func (s *Store) Stats() Stats {
 		Adds:            s.adds,
 		Dels:            s.dels,
 		Compactions:     s.compactions,
+		DeltaBytes:      int64(len(s.log)) * wal.FrameSize,
+		Durable:         s.dir != "",
+		WALSyncs:        s.syncsBase,
+		CheckpointEpoch: s.ckptEpoch,
 	}
+	if s.w != nil {
+		_, syncs := s.w.Counters()
+		st.WALSyncs += syncs
+	}
+	return st
 }
 
 // Deltas returns a copy of the delta log accumulated since the last
@@ -229,6 +275,11 @@ func (s *Store) AddEdge(u, v int) bool {
 	if contains(s.neighbors(int32(u)), int32(v)) {
 		return false
 	}
+	if s.logDelta(OpAdd, u, v) != nil {
+		// WAL-before-memory: a mutation that cannot be made durable is
+		// rejected, never half-applied. Err() carries the cause.
+		return false
+	}
 	s.prepareWrite()
 	s.patched[int32(u)] = insertSorted(s.neighbors(int32(u)), int32(v))
 	s.patched[int32(v)] = insertSorted(s.neighbors(int32(v)), int32(u))
@@ -247,6 +298,9 @@ func (s *Store) DeleteEdge(u, v int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !contains(s.neighbors(int32(u)), int32(v)) {
+		return false
+	}
+	if s.logDelta(OpDel, u, v) != nil {
 		return false
 	}
 	s.prepareWrite()
@@ -307,13 +361,26 @@ func (s *Store) Snapshot() *Snapshot {
 // load of the same edge set would have), so cache identities converge
 // across mutation histories. Existing snapshots are unaffected. Returns
 // the snapshot of the compacted graph.
-func (s *Store) Compact() *Snapshot {
+//
+// On a durable store, Compact is also the checkpoint: the materialized CSR
+// is written to disk atomically and the WAL rotates to a fresh (empty) log.
+// If the checkpoint cannot be committed, Compact returns the error and
+// changes nothing — neither the in-memory state nor the on-disk pair — so
+// the store keeps serving (and recovering) the pre-compaction version. A
+// successful durable Compact also clears a sticky WAL failure, since the
+// dead log has been replaced. Memory-only stores never return an error.
+func (s *Store) Compact() (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.log) > 0 {
 		g, err := materialize(s.base, s.patched, s.m)
 		if err != nil {
 			panic(fmt.Sprintf("store: overlay invariant violated: %v", err))
+		}
+		if s.dir != "" {
+			if err := s.rotateLocked(g); err != nil {
+				return nil, fmt.Errorf("store: compact: %w", err)
+			}
 		}
 		s.base = g
 		s.patched = make(map[int32][]int32)
@@ -323,13 +390,21 @@ func (s *Store) Compact() *Snapshot {
 		s.sealed = false
 		s.snap = nil
 		s.cur.Store(nil)
+	} else if s.dir != "" && s.werr != nil {
+		// Nothing to fold (the failed WAL never acknowledged anything), but
+		// the log file is dead: rotate onto a fresh one so the store can
+		// accept writes again. An empty log implies an empty overlay, so the
+		// current base IS the current graph.
+		if err := s.rotateLocked(s.base); err != nil {
+			return nil, fmt.Errorf("store: compact: %w", err)
+		}
 	}
 	if s.snap == nil {
 		s.snap = &Snapshot{base: s.base, patched: s.patched, n: s.n, m: s.m, fp: s.fp, epoch: s.epoch}
 		s.sealed = true
 	}
 	s.cur.Store(s.snap)
-	return s.snap
+	return s.snap, nil
 }
 
 // materialize builds a validated CSR graph from base + overlay.

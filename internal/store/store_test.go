@@ -199,7 +199,9 @@ func TestCompactConvergesFingerprints(t *testing.T) {
 	if a.Fingerprint() == b.Fingerprint() {
 		t.Fatal("incremental chain is order-insensitive (hash domain too weak?)")
 	}
-	fa, fb := a.Compact().Fingerprint(), b.Compact().Fingerprint()
+	ca, _ := a.Compact()
+	cb, _ := b.Compact()
+	fa, fb := ca.Fingerprint(), cb.Fingerprint()
 	if fa != fb {
 		t.Fatal("compacted fingerprints do not converge")
 	}
@@ -303,7 +305,7 @@ func TestConcurrentMutateAndRead(t *testing.T) {
 	}
 	wg.Wait()
 	// Validating rebuild: panics if any overlay invariant broke.
-	final := st.Compact()
+	final, _ := st.Compact()
 	if final.Graph().N() != 200 {
 		t.Fatal("vertex count drifted")
 	}

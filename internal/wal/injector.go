@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// Injected failure sentinels, distinguishable from real I/O errors in test
+// assertions.
+var (
+	// ErrInjectedFailure marks an append the injector refused or tore.
+	ErrInjectedFailure = errors.New("wal: injected write failure")
+	// ErrInjectedCrash marks the writer dying right after an fsync (the
+	// synced prefix is durable; nothing after it ever reaches the file).
+	ErrInjectedCrash = errors.New("wal: injected crash after fsync")
+)
+
+// Injector deterministically injects the classic disk failure shapes into a
+// Writer: a failed write (nothing reaches the file), a short write (a torn
+// frame reaches the file), a silent corruption (a bit-flipped frame reaches
+// the file and the writer does not notice), and a crash immediately after
+// an fsync. Counts are 1-based over the writer's append/sync sequence; zero
+// disables a fault. One Injector drives one failure-shape experiment; it is
+// safe for concurrent use.
+type Injector struct {
+	mu             sync.Mutex
+	failAt         int
+	shortAt        int
+	corruptAt      int
+	crashAfterSync int
+	appends        int
+	syncs          int
+}
+
+// FailAppend makes the Nth append fail with no bytes written.
+func (i *Injector) FailAppend(n int) *Injector { i.failAt = n; return i }
+
+// ShortAppend makes the Nth append write only half its frame, then fail —
+// a torn write.
+func (i *Injector) ShortAppend(n int) *Injector { i.shortAt = n; return i }
+
+// CorruptAppend makes the Nth append write a bit-flipped frame and report
+// success — a silent corruption only the replayer's CRC can catch.
+func (i *Injector) CorruptAppend(n int) *Injector { i.corruptAt = n; return i }
+
+// CrashAfterSync kills the writer immediately after its Nth fsync.
+func (i *Injector) CrashAfterSync(n int) *Injector { i.crashAfterSync = n; return i }
+
+// transformAppend applies the configured fault to the current append.
+// Returning (prefix, err) with a non-empty prefix means "these bytes made
+// it to the platter before the failure".
+func (i *Injector) transformAppend(frame []byte) ([]byte, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.appends++
+	switch i.appends {
+	case i.failAt:
+		return nil, ErrInjectedFailure
+	case i.shortAt:
+		return frame[:len(frame)/2], ErrInjectedFailure
+	case i.corruptAt:
+		mutated := append([]byte(nil), frame...)
+		mutated[len(mutated)-1] ^= 0x40 // flip a payload bit; the CRC now lies
+		return mutated, nil
+	}
+	return frame, nil
+}
+
+// afterSync applies the crash-after-fsync fault.
+func (i *Injector) afterSync() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.syncs++
+	if i.crashAfterSync != 0 && i.syncs == i.crashAfterSync {
+		return ErrInjectedCrash
+	}
+	return nil
+}

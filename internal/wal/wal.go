@@ -1,0 +1,405 @@
+// Package wal is the durable append-only write-ahead log under the
+// versioned graph store: every applied mutation is framed, checksummed, and
+// written to disk before it is acknowledged, so a process that dies —
+// kill -9 included — reboots into exactly the state its callers were told
+// about.
+//
+// Framing. A record is one fixed-shape mutation (op, epoch, edge endpoints)
+// encoded as a length-prefixed, CRC32C-protected frame:
+//
+//	[payload length: uint32 LE][crc32c(payload): uint32 LE][payload]
+//	payload = [op: byte][epoch: uint64 LE][u: int32 LE][v: int32 LE]
+//
+// The length prefix makes the stream self-describing, the Castagnoli CRC
+// catches torn and bit-rotted frames, and the embedded epoch makes the log
+// self-sequencing: a replayer can verify that record k really is mutation
+// checkpointEpoch+k without trusting file order alone.
+//
+// Durability. Append writes the frame to the file immediately (so a killed
+// process loses nothing it acknowledged — the bytes are in the kernel) and
+// batches the expensive fsync: a group-commit goroutine syncs every
+// FlushInterval, and an append that pushes the unsynced byte count past
+// FlushBytes syncs inline. Sync and Close force the flush. Power loss can
+// drop the tail beyond the last fsync; what remains is always a valid
+// prefix, which is the crash-consistency contract the store recovers under.
+//
+// Recovery. Replay scans a log sequentially, stopping cleanly at the first
+// torn or corrupt frame (or at a frame the caller's callback rejects with
+// ErrStopReplay, e.g. an epoch discontinuity); with repair enabled the file
+// is truncated to the valid prefix so the writer can append again. Replay
+// never panics on hostile bytes — the fuzz harness pins that.
+//
+// Fault injection. An Injector deterministically fails, shortens, or
+// corrupts the Nth append, or kills the writer right after the Nth fsync,
+// so recovery paths are tested against the exact failure shapes real disks
+// produce.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record ops. The values are written to disk and must never be renumbered;
+// they deliberately match graphio's fingerprint-chain op bytes so one
+// constant describes a mutation everywhere.
+const (
+	// OpAddEdge records an edge insertion.
+	OpAddEdge byte = 1
+	// OpDelEdge records an edge deletion.
+	OpDelEdge byte = 2
+)
+
+const (
+	headerSize  = 8  // payload length + CRC32C, both uint32 LE
+	payloadSize = 17 // op + epoch + u + v
+	// FrameSize is the on-disk footprint of one record; every frame is the
+	// same size, so pending-delta byte footprints are exact, not estimates.
+	FrameSize = headerSize + payloadSize
+)
+
+// Record is one logged mutation: the op, the epoch the store assigned to
+// it (epochs increase by exactly 1 per applied mutation), and the
+// normalized (U < V) edge endpoints.
+type Record struct {
+	Op    byte
+	Epoch uint64
+	U, V  int32
+}
+
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrTorn marks an incomplete tail frame (clean truncation
+// point — the record was never fully written); ErrCorrupt marks a frame
+// that is structurally complete but fails validation (CRC mismatch, absurd
+// length, unknown op). Recovery treats both as "the log ends here".
+var (
+	ErrTorn    = errors.New("wal: torn frame")
+	ErrCorrupt = errors.New("wal: corrupt frame")
+)
+
+// AppendRecord encodes r as one frame and appends it to buf.
+func AppendRecord(buf []byte, r Record) []byte {
+	var p [payloadSize]byte
+	p[0] = r.Op
+	binary.LittleEndian.PutUint64(p[1:9], r.Epoch)
+	binary.LittleEndian.PutUint32(p[9:13], uint32(r.U))
+	binary.LittleEndian.PutUint32(p[13:17], uint32(r.V))
+	buf = binary.LittleEndian.AppendUint32(buf, payloadSize)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(p[:], castagnoli))
+	return append(buf, p[:]...)
+}
+
+// DecodeRecord decodes the first frame of b, returning the record and the
+// number of bytes consumed. ErrTorn means b ends mid-frame; ErrCorrupt
+// means the frame is complete but invalid. Decoding never panics, whatever
+// the input.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < headerSize {
+		return Record{}, 0, ErrTorn
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n != payloadSize {
+		// v1 frames are fixed-size; any other length is garbage (and an
+		// unvalidated huge length must not drive a huge read).
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+	}
+	if len(b) < headerSize+payloadSize {
+		return Record{}, 0, ErrTorn
+	}
+	p := b[headerSize : headerSize+payloadSize]
+	if crc32.Checksum(p, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r := Record{
+		Op:    p[0],
+		Epoch: binary.LittleEndian.Uint64(p[1:9]),
+		U:     int32(binary.LittleEndian.Uint32(p[9:13])),
+		V:     int32(binary.LittleEndian.Uint32(p[13:17])),
+	}
+	if r.Op != OpAddEdge && r.Op != OpDelEdge {
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrCorrupt, r.Op)
+	}
+	return r, FrameSize, nil
+}
+
+// ErrStopReplay is returned by a Replay callback to reject a record that
+// decoded cleanly but is logically impossible (epoch discontinuity, edge
+// op that cannot apply): replay stops, the record does not count toward
+// the valid prefix, and with repair enabled the file is truncated before
+// it — the same treatment as a corrupt frame, because that is what it is.
+var ErrStopReplay = errors.New("wal: stop replay")
+
+// ReplayInfo summarizes one replay pass.
+type ReplayInfo struct {
+	// Records is the number of valid records delivered to the callback.
+	Records int
+	// ValidBytes is the byte length of the valid prefix.
+	ValidBytes int64
+	// Truncated reports whether bytes after the valid prefix were dropped
+	// (torn tail, corrupt frame, or a callback rejection).
+	Truncated bool
+}
+
+// Replay scans the log at path, invoking fn for each valid record in
+// order. The scan stops cleanly at the first torn or corrupt frame — a
+// damaged tail is expected after a crash, not a boot failure. If repair is
+// true the file is truncated to the valid prefix so a writer can reopen it
+// for appending. Any other error from fn aborts the replay and is returned
+// as-is.
+func Replay(path string, repair bool, fn func(Record) error) (ReplayInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ReplayInfo{}, err
+	}
+	var info ReplayInfo
+	off := 0
+	for off < len(data) {
+		r, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			info.Truncated = true
+			break
+		}
+		if ferr := fn(r); ferr != nil {
+			if errors.Is(ferr, ErrStopReplay) {
+				info.Truncated = true
+				break
+			}
+			info.ValidBytes = int64(off)
+			return info, ferr
+		}
+		off += n
+		info.Records++
+	}
+	info.ValidBytes = int64(off)
+	if repair && info.Truncated {
+		if err := os.Truncate(path, info.ValidBytes); err != nil {
+			return info, fmt.Errorf("wal: truncating %s to %d bytes: %w", path, info.ValidBytes, err)
+		}
+	}
+	return info, nil
+}
+
+// Options configures a Writer's group commit.
+type Options struct {
+	// FlushInterval is the group-commit window: a background goroutine
+	// fsyncs the log this often while unsynced bytes are pending. 0 means
+	// the default (2ms); negative means fsync on every append (slow, but
+	// the strongest contract — useful in tests).
+	FlushInterval time.Duration
+	// FlushBytes triggers an inline fsync once this many unsynced bytes
+	// accumulate, bounding how much a power loss can drop regardless of the
+	// interval. <= 0 means the default (256 KiB).
+	FlushBytes int
+	// Injector, when non-nil, deterministically injects write/sync faults
+	// (tests only).
+	Injector *Injector
+}
+
+func (o Options) flushInterval() time.Duration {
+	if o.FlushInterval == 0 {
+		return 2 * time.Millisecond
+	}
+	return o.FlushInterval
+}
+
+func (o Options) flushBytes() int {
+	if o.FlushBytes <= 0 {
+		return 256 << 10
+	}
+	return o.FlushBytes
+}
+
+// Writer appends framed records to a log file with batched fsync. Safe for
+// concurrent use. Errors are sticky: after a failed append or sync the
+// writer refuses further work, so a store layered above cannot silently
+// acknowledge mutations past a dead log.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	opts     Options
+	off      int64 // bytes successfully appended
+	unsynced int
+	appends  uint64
+	syncs    uint64
+	err      error
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Create creates (or truncates) the log at path and starts the group-commit
+// flusher.
+func Create(path string, o Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return newWriter(f, 0, o), nil
+}
+
+// OpenAppend opens an existing log for appending at offset off (the valid
+// prefix length established by Replay with repair).
+func OpenAppend(path string, off int64, o Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newWriter(f, off, o), nil
+}
+
+func newWriter(f *os.File, off int64, o Options) *Writer {
+	w := &Writer{f: f, opts: o, off: off, done: make(chan struct{})}
+	if o.flushInterval() > 0 {
+		w.wg.Add(1)
+		go w.flushLoop(o.flushInterval())
+	}
+	return w
+}
+
+// flushLoop is the group-commit goroutine: while unsynced bytes are
+// pending, fsync once per interval, so many appends share one disk flush.
+func (w *Writer) flushLoop(interval time.Duration) {
+	defer w.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.unsynced > 0 && w.err == nil && !w.closed {
+				w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Append frames r and writes it to the file immediately (the write(2) is
+// synchronous, so an acknowledged record survives a process kill); the
+// fsync is batched per Options. The first failure is sticky.
+func (w *Writer) Append(r Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("wal: writer closed")
+	}
+	frame := AppendRecord(make([]byte, 0, FrameSize), r)
+	if inj := w.opts.Injector; inj != nil {
+		mutated, err := inj.transformAppend(frame)
+		if err != nil {
+			if len(mutated) > 0 {
+				// Short write: part of the frame reaches the disk, exactly
+				// like a torn sector. The writer is poisoned; recovery must
+				// drop the torn tail.
+				w.f.Write(mutated)
+			}
+			w.err = err
+			return err
+		}
+		frame = mutated
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return w.err
+	}
+	w.off += int64(len(frame))
+	w.unsynced += len(frame)
+	w.appends++
+	if w.unsynced >= w.opts.flushBytes() || w.opts.flushInterval() < 0 {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// syncLocked fsyncs pending bytes; caller holds w.mu.
+func (w *Writer) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync: %w", err)
+		return w.err
+	}
+	w.unsynced = 0
+	w.syncs++
+	if inj := w.opts.Injector; inj != nil {
+		if err := inj.afterSync(); err != nil {
+			// Crash-after-fsync: everything synced so far is durable; the
+			// writer dies here, as if the process did.
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync of everything appended so far.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("wal: writer closed")
+	}
+	if w.unsynced == 0 {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// Close stops the flusher, syncs pending bytes, and closes the file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.err == nil && w.unsynced > 0 {
+		err = w.syncLocked()
+	}
+	w.mu.Unlock()
+	close(w.done)
+	w.wg.Wait()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// Offset returns the byte length of the log's valid appended prefix.
+func (w *Writer) Offset() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
+
+// Counters returns the lifetime append and fsync counts.
+func (w *Writer) Counters() (appends, syncs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends, w.syncs
+}
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

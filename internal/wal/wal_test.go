@@ -1,0 +1,363 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testRecords builds a deterministic record sequence with contiguous epochs
+// starting at 1.
+func testRecords(k int) []Record {
+	out := make([]Record, k)
+	for i := range out {
+		op := OpAddEdge
+		if i%3 == 2 {
+			op = OpDelEdge
+		}
+		out[i] = Record{Op: op, Epoch: uint64(i + 1), U: int32(i % 7), V: int32(i%7 + 1 + i%5)}
+	}
+	return out
+}
+
+// writeLog writes records through a Writer and closes it.
+func writeLog(t *testing.T, path string, recs []Record, o Options) {
+	t.Helper()
+	w, err := Create(path, o)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append(%+v): %v", r, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// replayAll collects every record Replay delivers.
+func replayAll(t *testing.T, path string, repair bool) ([]Record, ReplayInfo) {
+	t.Helper()
+	var got []Record
+	info, err := Replay(path, repair, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, info
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := testRecords(57)
+	writeLog(t, path, recs, Options{})
+	got, info := replayAll(t, path, false)
+	if info.Truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if info.Records != len(recs) || info.ValidBytes != int64(len(recs)*FrameSize) {
+		t.Fatalf("info = %+v, want %d records / %d bytes", info, len(recs), len(recs)*FrameSize)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	recs := testRecords(10)
+	writeLog(t, path, recs, Options{})
+	// Append half a frame of a would-be 11th record: a torn tail.
+	torn := AppendRecord(nil, Record{Op: OpAddEdge, Epoch: 11, U: 1, V: 2})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:FrameSize/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, info := replayAll(t, path, true)
+	if !info.Truncated || len(got) != 10 {
+		t.Fatalf("got %d records, truncated=%v; want 10, true", len(got), info.Truncated)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != int64(10*FrameSize) {
+		t.Fatalf("repair left %d bytes, want %d", fi.Size(), 10*FrameSize)
+	}
+	// A repaired log replays clean.
+	if _, info := replayAll(t, path, false); info.Truncated {
+		t.Fatal("repaired log still reports truncation")
+	}
+}
+
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := testRecords(10)
+	writeLog(t, path, recs, Options{})
+	// Flip one payload byte of frame 6 (0-based 5): replay must stop at 5
+	// records even though frames 7..10 are intact — a mid-log corruption
+	// makes everything after it untrustworthy.
+	data, _ := os.ReadFile(path)
+	data[5*FrameSize+headerSize+3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, path, true)
+	if !info.Truncated || len(got) != 5 {
+		t.Fatalf("got %d records, truncated=%v; want 5, true", len(got), info.Truncated)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != int64(5*FrameSize) {
+		t.Fatalf("repair left %d bytes, want %d", fi.Size(), 5*FrameSize)
+	}
+}
+
+func TestStopReplayTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeLog(t, path, testRecords(8), Options{})
+	seen := 0
+	info, err := Replay(path, true, func(r Record) error {
+		if r.Epoch == 5 {
+			return ErrStopReplay // logical rejection, e.g. epoch discontinuity
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if seen != 4 || !info.Truncated || info.ValidBytes != int64(4*FrameSize) {
+		t.Fatalf("seen=%d info=%+v; want 4 records kept", seen, info)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeLog(t, path, testRecords(3), Options{})
+	boom := errors.New("boom")
+	if _, err := Replay(path, false, func(Record) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Replay error = %v, want %v", err, boom)
+	}
+}
+
+func TestOpenAppendContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := testRecords(12)
+	writeLog(t, path, recs[:7], Options{})
+	w, err := OpenAppend(path, int64(7*FrameSize), Options{})
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	for _, r := range recs[7:] {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, info := replayAll(t, path, false)
+	if info.Truncated || len(got) != 12 {
+		t.Fatalf("got %d records truncated=%v, want 12 clean", len(got), info.Truncated)
+	}
+}
+
+func TestGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	// A byte threshold of 4 frames: 10 appends must sync at least twice
+	// without any explicit Sync call.
+	w, err := Create(path, Options{FlushInterval: time.Hour, FlushBytes: 4 * FrameSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords(10) {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, syncs := w.Counters(); syncs < 2 {
+		t.Fatalf("byte-threshold group commit synced %d times, want >= 2", syncs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The interval path: one append, no threshold pressure, and the
+	// background flusher syncs within the window.
+	path2 := filepath.Join(t.TempDir(), "wal2.log")
+	w2, err := Create(path2, Options{FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(Record{Op: OpAddEdge, Epoch: 1, U: 0, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, syncs := w2.Counters(); syncs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncEveryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, Options{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords(5) {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, syncs := w.Counters(); syncs != 5 {
+		t.Fatalf("FlushInterval<0 synced %d times over 5 appends", syncs)
+	}
+	w.Close()
+}
+
+func TestInjectedFailAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, Options{Injector: new(Injector).FailAppend(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(6)
+	var appendErr error
+	for _, r := range recs {
+		if appendErr = w.Append(r); appendErr != nil {
+			break
+		}
+	}
+	if !errors.Is(appendErr, ErrInjectedFailure) {
+		t.Fatalf("append error = %v, want injected failure", appendErr)
+	}
+	// Sticky: the writer refuses further appends.
+	if err := w.Append(recs[4]); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("post-failure append error = %v, want sticky injected failure", err)
+	}
+	w.Close()
+	got, info := replayAll(t, path, true)
+	if len(got) != 3 || info.Truncated {
+		t.Fatalf("failed-write log recovered %d records truncated=%v, want 3 clean", len(got), info.Truncated)
+	}
+}
+
+func TestInjectedShortAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, Options{Injector: new(Injector).ShortAppend(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(5)
+	var appendErr error
+	for _, r := range recs {
+		if appendErr = w.Append(r); appendErr != nil {
+			break
+		}
+	}
+	if !errors.Is(appendErr, ErrInjectedFailure) {
+		t.Fatalf("append error = %v, want injected failure", appendErr)
+	}
+	w.Close()
+	// The torn half-frame is on disk; recovery drops it.
+	if fi, _ := os.Stat(path); fi.Size() != int64(2*FrameSize+FrameSize/2) {
+		t.Fatalf("file size %d, want torn %d", fi.Size(), 2*FrameSize+FrameSize/2)
+	}
+	got, info := replayAll(t, path, true)
+	if len(got) != 2 || !info.Truncated {
+		t.Fatalf("torn log recovered %d records truncated=%v, want 2 truncated", len(got), info.Truncated)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != int64(2*FrameSize) {
+		t.Fatalf("repair left %d bytes, want %d", fi.Size(), 2*FrameSize)
+	}
+}
+
+func TestInjectedCorruptAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, Options{Injector: new(Injector).CorruptAppend(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(5)
+	for _, r := range recs {
+		// Silent corruption: every append reports success.
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	w.Close()
+	got, info := replayAll(t, path, true)
+	if len(got) != 1 || !info.Truncated {
+		t.Fatalf("corrupt log recovered %d records truncated=%v, want 1 truncated", len(got), info.Truncated)
+	}
+}
+
+func TestInjectedCrashAfterSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	// Sync on every append; crash right after the 3rd fsync.
+	w, err := Create(path, Options{FlushInterval: -1, Injector: new(Injector).CrashAfterSync(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(6)
+	var appendErr error
+	applied := 0
+	for _, r := range recs {
+		if appendErr = w.Append(r); appendErr != nil {
+			break
+		}
+		applied++
+	}
+	if !errors.Is(appendErr, ErrInjectedCrash) {
+		t.Fatalf("append error = %v, want injected crash", appendErr)
+	}
+	// The crashing append's own bytes were written and synced before the
+	// crash fired, so the durable prefix includes it.
+	if applied != 2 {
+		t.Fatalf("%d appends returned success before the crash, want 2", applied)
+	}
+	w.Close()
+	got, info := replayAll(t, path, true)
+	if len(got) != 3 || info.Truncated {
+		t.Fatalf("post-crash log recovered %d records truncated=%v, want 3 clean", len(got), info.Truncated)
+	}
+}
+
+func TestDecodeHostileInputsNeverPanic(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x11},
+		make([]byte, headerSize-1),
+		make([]byte, headerSize),             // zero length payload
+		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}, // absurd length
+		AppendRecord(nil, Record{Op: 0, Epoch: 1}),  // unknown op 0, valid CRC
+		AppendRecord(nil, Record{Op: 77, Epoch: 1}), // unknown op, valid CRC
+	}
+	for i, b := range cases {
+		if _, _, err := DecodeRecord(b); err == nil {
+			t.Fatalf("case %d: hostile input decoded cleanly", i)
+		}
+	}
+}
