@@ -7,7 +7,8 @@
 # (BenchmarkEngine*, in ./internal/engine) with -benchmem and writes the
 # parsed results to BENCH_<rev>.json (one object per benchmark: name,
 # iterations, ns/op, B/op, allocs/op, plus any custom ReportMetric
-# columns).
+# columns — the engine benchmarks report sampled hit-latency tails as
+# p99-ns/p50-ns, which land in the JSON as p99_ns/p50_ns per run).
 #
 # Usage:
 #   ./bench_baseline.sh            # count=1 (quick snapshot)

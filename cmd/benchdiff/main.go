@@ -6,10 +6,17 @@
 // are reported as added/removed and never fail the diff — a new benchmark
 // in HEAD must not break comparisons against older baselines.
 //
+// -json switches the report to NDJSON: one object per benchmark with the
+// averaged old/new metrics, the relative ns/op delta as a fraction, and the
+// regression verdict (added/removed benchmarks carry a status field
+// instead), so dashboards and scripts consume the diff without scraping the
+// table. The exit status is the same in both modes.
+//
 // Usage:
 //
 //	benchdiff old.json new.json
 //	benchdiff -threshold 0.05 BENCH_45564de.json BENCH_head.json
+//	benchdiff -json old.json new.json | jq 'select(.regression)'
 package main
 
 import (
@@ -109,6 +116,7 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(w)
 	threshold := fs.Float64("threshold", 0.10, "ns/op regression fraction that fails the diff")
+	asJSON := fs.Bool("json", false, "emit NDJSON delta records instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -137,6 +145,9 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 	sort.Strings(names)
 	if len(oldBase) == 0 && len(newBase) == 0 {
 		return 0, fmt.Errorf("no benchmarks in either %s or %s", oldPath, newPath)
+	}
+	if *asJSON {
+		return runJSON(w, names, oldBase, newBase, *threshold)
 	}
 	if len(names) == 0 {
 		fmt.Fprintf(w, "no common benchmarks between %s and %s; only added/removed entries follow\n", oldPath, newPath)
@@ -189,4 +200,72 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 
 func newTabWriter(w io.Writer) *tabwriter.Writer {
 	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// jsonDelta is one NDJSON line of the -json report. Pointer fields are
+// omitted when the metric is absent on that side (added/removed benchmarks,
+// baselines without -benchmem rows).
+type jsonDelta struct {
+	Name       string   `json:"name"`
+	Status     string   `json:"status"` // "common" | "added" | "removed"
+	NsPerOpOld *float64 `json:"ns_per_op_old,omitempty"`
+	NsPerOpNew *float64 `json:"ns_per_op_new,omitempty"`
+	Delta      *float64 `json:"delta,omitempty"` // fractional ns/op change
+	Regression bool     `json:"regression"`
+	BPerOpOld  *float64 `json:"b_per_op_old,omitempty"`
+	BPerOpNew  *float64 `json:"b_per_op_new,omitempty"`
+	AllocsOld  *float64 `json:"allocs_per_op_old,omitempty"`
+	AllocsNew  *float64 `json:"allocs_per_op_new,omitempty"`
+}
+
+// runJSON emits the diff as NDJSON: common benchmarks first (sorted), then
+// removed and added ones. Regression accounting matches the table mode.
+func runJSON(w io.Writer, names []string, oldBase, newBase map[string]*record, threshold float64) (regressions int, err error) {
+	enc := json.NewEncoder(w)
+	f := func(v float64) *float64 { return &v }
+	for _, name := range names {
+		o, n := oldBase[name], newBase[name]
+		d := jsonDelta{
+			Name: name, Status: "common",
+			NsPerOpOld: f(o.nsPerOp), NsPerOpNew: f(n.nsPerOp),
+		}
+		if o.nsPerOp > 0 {
+			frac := (n.nsPerOp - o.nsPerOp) / o.nsPerOp
+			d.Delta = f(frac)
+			if frac > threshold {
+				regressions++
+				d.Regression = true
+			}
+		}
+		if o.hasMem() && n.hasMem() {
+			d.BPerOpOld, d.BPerOpNew = f(o.bPerOp), f(n.bPerOp)
+			d.AllocsOld, d.AllocsNew = f(o.allocsPerOp), f(n.allocsPerOp)
+		}
+		if err := enc.Encode(d); err != nil {
+			return regressions, err
+		}
+	}
+	oneSided := func(base map[string]*record, other map[string]*record) []string {
+		var out []string
+		for name := range base {
+			if _, ok := other[name]; !ok {
+				out = append(out, name)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, name := range oneSided(oldBase, newBase) {
+		o := oldBase[name]
+		if err := enc.Encode(jsonDelta{Name: name, Status: "removed", NsPerOpOld: f(o.nsPerOp)}); err != nil {
+			return regressions, err
+		}
+	}
+	for _, name := range oneSided(newBase, oldBase) {
+		n := newBase[name]
+		if err := enc.Encode(jsonDelta{Name: name, Status: "added", NsPerOpNew: f(n.nsPerOp)}); err != nil {
+			return regressions, err
+		}
+	}
+	return regressions, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -154,5 +155,58 @@ func TestDisjointBaselinesDoNotFail(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestJSONMode pins the -json NDJSON report: one valid JSON object per
+// benchmark, common entries carrying old/new metrics and the fractional
+// delta, one-sided entries tagged added/removed, and the same regression
+// accounting as the table.
+func TestJSONMode(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBaseline(t, dir, "old.json", oldBase)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "bbb", "name": "BenchmarkFoo-8", "iterations": 10, "ns_per_op": 1500, "B_per_op": 512, "allocs_per_op": 10},
+        {"rev": "bbb", "name": "BenchmarkBar-8", "iterations": 10, "ns_per_op": 2000, "B_per_op": 0, "allocs_per_op": 0},
+        {"rev": "bbb", "name": "BenchmarkNew-8", "iterations": 5, "ns_per_op": 1}
+    ]`)
+	var out strings.Builder
+	reg, err := run([]string{"-json", o, n}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if reg != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", reg, out.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	byName := map[string]map[string]any{}
+	for i, line := range lines {
+		var row map[string]any
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		byName[row["name"].(string)] = row
+	}
+	if len(byName) != 4 {
+		t.Fatalf("want 4 records, got %d:\n%s", len(byName), out.String())
+	}
+	foo := byName["BenchmarkFoo-8"]
+	if foo["status"] != "common" || foo["regression"] != true {
+		t.Fatalf("Foo record: %v", foo)
+	}
+	if d := foo["delta"].(float64); d < 0.49 || d > 0.51 {
+		t.Fatalf("Foo delta = %v, want 0.5", d)
+	}
+	if foo["b_per_op_new"].(float64) != 512 {
+		t.Fatalf("Foo mem fields: %v", foo)
+	}
+	if bar := byName["BenchmarkBar-8"]; bar["regression"] != false || bar["delta"].(float64) != 0 {
+		t.Fatalf("Bar record: %v", bar)
+	}
+	if gone := byName["BenchmarkGone-8"]; gone["status"] != "removed" || gone["ns_per_op_new"] != nil {
+		t.Fatalf("Gone record: %v", gone)
+	}
+	if nw := byName["BenchmarkNew-8"]; nw["status"] != "added" || nw["ns_per_op_old"] != nil {
+		t.Fatalf("New record: %v", nw)
 	}
 }

@@ -23,6 +23,14 @@
 // remote server, issuing the same seeded workloads over real sockets and
 // reporting read/write throughput, timeouts, and shed requests.
 //
+// Every closed-loop run reports per-request latency percentiles (p50/p90/
+// p99/p99.9) from a lock-cheap histogram. -slowlog writes an NDJSON
+// slow-query log ("-" = stderr) for requests slower than -slowms
+// milliseconds, each line carrying the algorithm, cache key, snapshot
+// fingerprint, and per-phase latency breakdown; in -http mode the server
+// additionally exposes /metrics (Prometheus text), /debug/traces, and
+// /debug/pprof/*.
+//
 // Usage:
 //
 //	serve -gen gnp -n 5000 -requests 20000 -concurrency 8
@@ -71,6 +79,7 @@ import (
 	"repro/internal/graph/gen"
 	"repro/internal/graphio"
 	"repro/internal/ldd"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -107,6 +116,15 @@ type request struct {
 // write reports whether the request mutates the store.
 func (r request) write() bool {
 	return r.op == "addedge" || r.op == "deledge" || r.op == "compact"
+}
+
+// name labels the request for traces: the registry name for algorithm runs,
+// the op otherwise.
+func (r request) name() string {
+	if r.op == "algo" {
+		return r.algo
+	}
+	return r.op
 }
 
 // issue executes the request against the engine (reads) or the store
@@ -415,6 +433,8 @@ func run(args []string, w io.Writer) error {
 	drainTimeout := fs.Duration("draintimeout", 30*time.Second, "with -http: how long shutdown waits for in-flight requests")
 	datadir := fs.String("datadir", "", "durability directory: mutations are WAL-logged and survive restarts; an existing store there is recovered and -load/-gen are ignored (empty = memory-only)")
 	walFlush := fs.Duration("walflush", 0, "WAL group-commit fsync interval (0 = default 2ms; negative = fsync every append)")
+	slowlogPath := fs.String("slowlog", "", "write an NDJSON slow-query log to this file (\"-\" = stderr); enables per-request tracing")
+	slowMS := fs.Int("slowms", 0, "with -slowlog: only log requests slower than this many milliseconds (0 = log every traced request)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -433,6 +453,30 @@ func run(args []string, w io.Writer) error {
 	spec, ok := algo.Get(*algoName)
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q (registry has %s)", *algoName, strings.Join(algo.Names(), ", "))
+	}
+	if *slowMS < 0 {
+		return errors.New("slowms must be >= 0")
+	}
+
+	// -slowlog turns on per-request tracing with an NDJSON sink; requests
+	// whose total crosses -slowms land in the log with their per-phase
+	// breakdown.
+	var tracer *obs.Tracer
+	if *slowlogPath != "" {
+		out := io.Writer(os.Stderr)
+		if *slowlogPath != "-" {
+			f, err := os.Create(*slowlogPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		tracer = obs.NewTracer(obs.TracerOptions{
+			SlowLog:       obs.NewSlowLog(out),
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		})
+		fmt.Fprintf(w, "slowlog: %s (threshold %dms)\n", *slowlogPath, *slowMS)
 	}
 
 	if *connect != "" {
@@ -471,9 +515,15 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *httpAddr != "" {
+		// -http always traces (the ring behind /debug/traces is cheap at
+		// HTTP request rates); -slowlog additionally attaches the NDJSON
+		// sink built above.
+		if tracer == nil {
+			tracer = obs.NewTracer(obs.TracerOptions{})
+		}
 		return serveHTTP(w, st, *httpAddr,
 			engine.Options{Capacity: *capacity, Shards: *shards},
-			server.Options{MaxInflight: *maxInflight, DefaultTimeout: *timeout},
+			server.Options{MaxInflight: *maxInflight, DefaultTimeout: *timeout, Tracer: tracer},
 			*drainTimeout)
 	}
 
@@ -517,6 +567,7 @@ func run(args []string, w io.Writer) error {
 	}
 	errs := make([]error, *concurrency)
 	var timeouts, reads, writes atomic.Uint64
+	var lat obs.Histogram // per-request closed-loop latency
 	t0 := time.Now()
 	par.ForEach(*concurrency, *concurrency, func(_, client int) {
 		rng := xrand.Stream(*seed, client, 0x5e12e)
@@ -539,11 +590,18 @@ func run(args []string, w io.Writer) error {
 				reads.Add(1)
 			}
 			ctx := context.Background()
+			var tr *obs.Trace
+			if tracer != nil {
+				ctx, tr = tracer.Start(ctx, r.name())
+			}
 			cancel := context.CancelFunc(func() {})
 			if *timeout > 0 {
 				ctx, cancel = context.WithTimeout(ctx, *timeout)
 			}
+			tq := time.Now()
 			err := r.issue(ctx, e, h)
+			lat.Observe(time.Since(tq))
+			tr.Finish(0) // nil-safe; emits the slow-log event if over threshold
 			cancel()
 			if err != nil {
 				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -576,6 +634,11 @@ func run(args []string, w io.Writer) error {
 		writes.Load(), float64(writes.Load())/elapsed.Seconds())
 	fmt.Fprintf(w, "cache: %d hits, %d dedup joins, %d misses (hit rate %.1f%%), %d computations, %d evictions, %d batch queries\n",
 		est.Hits, est.Dedup, est.Misses, 100*hitRate, est.Computations, est.Evictions, est.Queries)
+	printLatency(w, &lat)
+	if tracer != nil {
+		fmt.Fprintf(w, "slowlog: %d of %d traced requests crossed the %dms threshold (%d write errors)\n",
+			tracer.Slow(), tracer.Finished(), *slowMS, tracer.SlowLog().WriteErrors())
+	}
 	if sst := st.Stats(); sst.Epoch > 0 || sst.Durable {
 		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas (%d bytes) over %d patched vertices, graph now n=%d m=%d\n",
 			sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.Pending, sst.DeltaBytes, sst.PatchedVertices, st.N(), st.M())
@@ -591,6 +654,19 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// printLatency reports the closed-loop per-request latency percentiles.
+func printLatency(w io.Writer, lat *obs.Histogram) {
+	s := lat.Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	sum := s.Summarize()
+	d := func(ns int64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+	fmt.Fprintf(w, "latency: p50 %v  p90 %v  p99 %v  p99.9 %v  (mean %v over %d requests)\n",
+		d(sum.P50), d(sum.P90), d(sum.P99), d(sum.P999),
+		time.Duration(sum.Mean).Round(time.Microsecond), sum.Count)
+}
+
 // openStore wires the durability layer behind -datadir: recover an
 // existing on-disk store (the loaded/generated graph is superseded by the
 // recovered state), create a fresh durable store seeded from g, or fall
@@ -600,7 +676,9 @@ func openStore(g *graph.Graph, dir string, flush time.Duration) (*store.Store, b
 	if dir == "" {
 		return store.New(g), false, nil
 	}
-	opts := store.Options{Dir: dir, FlushInterval: flush}
+	// Durable stores always carry a WAL metrics bundle: the histograms cost
+	// nothing until observed and /metrics exposes them per graph.
+	opts := store.Options{Dir: dir, FlushInterval: flush, Metrics: obs.NewWALMetrics()}
 	if store.Exists(dir) {
 		st, err := store.Open(opts)
 		return st, true, err
@@ -783,6 +861,7 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 	}
 	errs := make([]error, cfg.concurrency)
 	var timeouts, shed, reads, writes atomic.Uint64
+	var lat obs.Histogram // over-the-wire closed-loop latency
 	t0 := time.Now()
 	par.ForEach(cfg.concurrency, cfg.concurrency, func(_, client int) {
 		rng := xrand.Stream(cfg.seed, client, 0x5e12e)
@@ -808,7 +887,9 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 			if cfg.timeout > 0 {
 				rctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 			}
+			tq := time.Now()
 			err := r.issueHTTP(rctx, c, info.ID)
+			lat.Observe(time.Since(tq))
 			cancel()
 			switch {
 			case err == nil:
@@ -839,6 +920,7 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 		reads.Load(), float64(reads.Load())/elapsed.Seconds(),
 		writes.Load(), float64(writes.Load())/elapsed.Seconds(),
 		timeouts.Load(), shed.Load())
+	printLatency(w, &lat)
 	if info, err = c.GraphInfo(ctx, info.ID); err == nil {
 		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas, graph now n=%d m=%d\n",
 			info.Epoch, info.Adds, info.Dels, info.Compactions, info.Pending, info.N, info.M)

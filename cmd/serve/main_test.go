@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http/httptest"
 	"os"
@@ -474,5 +475,70 @@ func TestHTTPServeModeDrainsOnSignal(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestLatencySummaryAndSlowlog(t *testing.T) {
+	dir := t.TempDir()
+	slog := filepath.Join(dir, "slow.ndjson")
+	var out strings.Builder
+	args := []string{"-gen", "grid", "-n", "400", "-requests", "200",
+		"-concurrency", "2", "-seedspace", "2", "-slowlog", slog, "-slowms", "0"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"latency: p50", "p99.9", "slowlog:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(slog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("slow log is empty at threshold 0")
+	}
+	sawAlgo := false
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("slow-log line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		for _, key := range []string{"ts", "trace", "name", "total_ns", "phases"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("slow-log line %d missing %q: %s", i+1, key, line)
+			}
+		}
+		if ev["algo"] == "changli" {
+			sawAlgo = true
+		}
+	}
+	if !sawAlgo {
+		t.Fatalf("no changli event in %d slow-log lines", len(lines))
+	}
+}
+
+func TestSlowlogThresholdFiltersFastRequests(t *testing.T) {
+	// At an hour-scale threshold nothing on a toy graph qualifies: the log
+	// stays empty but the latency summary still prints.
+	dir := t.TempDir()
+	slog := filepath.Join(dir, "slow.ndjson")
+	var out strings.Builder
+	args := []string{"-gen", "cycle", "-n", "200", "-requests", "100",
+		"-concurrency", "2", "-seedspace", "2", "-slowlog", slog, "-slowms", "3600000"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(slog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("expected empty slow log, got %d bytes:\n%s", len(data), data)
+	}
+	if !strings.Contains(out.String(), "latency: p50") {
+		t.Fatalf("latency summary missing:\n%s", out.String())
 	}
 }

@@ -50,6 +50,19 @@
 // client cancels its compute), an NDJSON batch endpoint streams results,
 // /metrics renders the engine, store, and admission counters, and
 // shutdown drains gracefully behind a bounded-concurrency admission gate.
+//
+// Observability is a first-class layer (internal/obs): lock-cheap
+// log-bucketed latency histograms over sharded atomic counters sit on
+// the engine's sub-microsecond cached-hit path (Observe is three atomic
+// adds, zero allocations), a context-carried span tracer names the
+// paper's phases (estimate, carve, phase3, assemble) inside each
+// request without perturbing results, and a threshold-gated NDJSON
+// slow-query log records per-phase breakdowns with the algorithm, cache
+// key, and snapshot fingerprint. The server exposes all of it:
+// Prometheus-format /metrics with per-endpoint latency histograms and
+// runtime gauges, /debug/traces for the recent-span ring, and the
+// standard /debug/pprof profiling plane — all bypassing the admission
+// gate so a draining or overloaded server can still be inspected.
 // An end-to-end equivalence suite pins that results served over HTTP are
 // bit-identical to direct engine calls, snapshot stamps included.
 // cmd/serve brackets it from both sides: -http serves a graph, -connect

@@ -25,11 +25,13 @@ package covering
 import (
 	"context"
 	"math"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/ilp"
 	"repro/internal/ldd"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/solve"
 	"repro/internal/xrand"
@@ -201,6 +203,9 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 	eps := clampEps(p.Epsilon)
 	rootRNG := xrand.New(p.Seed)
 	var rc local.RoundCounter
+	// Phase timings go only into the trace carried by ctx (nil for
+	// untraced runs); the Result is bit-identical either way.
+	tr := obs.FromContext(ctx)
 
 	st := &state{
 		inst:     inst,
@@ -226,6 +231,7 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 	wks := newWorkers(workers)
 	defer releaseWorkers(wks)
 
+	endPrep := tr.StartPhase("preparation")
 	lambdaPrep := math.Log(21.0 / 20.0)
 	prepSeeds := make([]uint64, d.prepRuns)
 	for run := range prepSeeds {
@@ -281,6 +287,7 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 		rc.Charge(min(d.estRadius, n))
 	}
 	rc.EndPhase()
+	endPrep()
 
 	// --- Phase 1: t carving iterations -------------------------------------
 	// Unlike the decomposition's Phase 1, each carve here fixes variables
@@ -292,6 +299,10 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 			return nil, err
 		}
 		interval := d.intervals[i-1]
+		endCarve := func() {}
+		if tr != nil {
+			endCarve = tr.StartPhase("carve-" + strconv.Itoa(i))
+		}
 		rc.StartPhase()
 		for ci := range clusters {
 			pc := clusters[ci]
@@ -306,18 +317,23 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 				continue
 			}
 			if err := ctx.Err(); err != nil {
+				endCarve()
 				return nil, err
 			}
 			if err := st.growCarveCovering(pc.members, interval[0], interval[1], wks[0]); err != nil {
+				endCarve()
 				return nil, err
 			}
 			rc.Charge(interval[1])
 		}
 		rc.EndPhase()
+		endCarve()
 	}
 	fixedWeight := inst.Value(st.solution)
 
 	// --- Phase 2: sparse cover + per-region local solves --------------------
+	endP2 := tr.StartPhase("phase2-solves")
+	defer endP2()
 	lambdaFinal := math.Log1p(eps / 5)
 	cov, err := ldd.SparseCoverCtx(ctx, g, st.alive, ldd.ENParams{
 		Lambda: lambdaFinal,

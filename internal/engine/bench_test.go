@@ -45,6 +45,19 @@ func BenchmarkEngineCachedQuery(b *testing.B) {
 	if got := e.Stats().Computations; got != base {
 		b.Fatalf("cached path ran %d decompositions", got-base)
 	}
+	reportHitTail(b, e)
+}
+
+// reportHitTail surfaces the sampled hit-latency tail next to the mean so
+// BENCH files carry p99 data, not just ns/op averages. Skipped when the
+// run was too short to collect samples.
+func reportHitTail(b *testing.B, e *Engine) {
+	s := e.Metrics().Hit.Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	b.ReportMetric(float64(s.Quantile(0.99)), "p99-ns")
+	b.ReportMetric(float64(s.Quantile(0.50)), "p50-ns")
 }
 
 // BenchmarkColdChangLi is the uncached baseline: a full ldd.ChangLi run per
@@ -127,6 +140,7 @@ func benchCachedParallel(b *testing.B, shards int) {
 	if got := e.Stats().Computations; got != benchSeeds {
 		b.Fatalf("timed loop recomputed: %d computations, want %d warm-only", got, benchSeeds)
 	}
+	reportHitTail(b, e)
 }
 
 func BenchmarkEngineCachedQueryParallel(b *testing.B) {
@@ -156,4 +170,6 @@ func BenchmarkEngineStoreCachedQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reportHitTail(b, e)
 }

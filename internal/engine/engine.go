@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algo"
 	"repro/internal/graph"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/ldd"
 	"repro/internal/netdecomp"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/solve"
 	"repro/internal/store"
@@ -71,6 +73,13 @@ type Options struct {
 	// reproduces the single-mutex engine (useful as a contention
 	// baseline and for tests that pin global LRU order).
 	Shards int
+	// MetricsSampleEvery sets the cached-hit latency sampling interval:
+	// one request in every MetricsSampleEvery (rounded up to a power of
+	// two) pays for clock reads and a histogram record. <= 0 means the
+	// default (obs.DefaultSampleEvery); 1 times every request. Compute
+	// and joiner-wait latency are always recorded — they are orders of
+	// magnitude slower than the instrumentation.
+	MetricsSampleEvery int
 }
 
 func (o Options) capacity() int {
@@ -195,6 +204,8 @@ type Engine struct {
 	queries       atomic.Uint64
 	cancellations atomic.Uint64
 
+	met *obs.EngineMetrics
+
 	wsPool sync.Pool // *graph.Workspace reservoir for the query paths
 }
 
@@ -205,6 +216,7 @@ func New(o Options) *Engine {
 	e := &Engine{
 		shards: make([]*shard, nshards),
 		mask:   uint64(nshards - 1),
+		met:    obs.NewEngineMetrics(nshards, o.MetricsSampleEvery),
 	}
 	// Split the total capacity exactly: the first capacity%nshards shards
 	// take one extra slot, so Options.Capacity is never silently shrunk by
@@ -252,6 +264,11 @@ func (e *Engine) Stats() Stats {
 
 // NumShards returns the engine's shard count.
 func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Metrics returns the engine's latency histograms (hit, compute,
+// joiner-wait, per-shard hit). Always non-nil; hit latency is sampled per
+// Options.MetricsSampleEvery.
+func (e *Engine) Metrics() *obs.EngineMetrics { return e.met }
 
 // sourceView is a resolved Source: the snapshot fingerprint that keys the
 // cache, plus access to the graph at that version. Exactly one of g / snap
@@ -388,20 +405,44 @@ func ctxErr(err error) bool {
 // unlinked), and a compute error can never leave a dangling inflight entry
 // behind, however the initiator's context races with the failure.
 func (e *Engine) do(ctx context.Context, key cacheKey, compute func(context.Context) (any, error)) (any, error) {
-	sh := e.shardFor(key)
+	// Hit-path timing is sampled: the cached-hit path runs in hundreds of
+	// nanoseconds, so only one request in SampleEvery pays for clock reads
+	// and histogram records. Compute and joiner-wait are always timed.
+	m := e.met
+	var t0 time.Time
+	sampled := m.Sample()
+	if sampled {
+		t0 = time.Now()
+	}
+	idx := e.shardIndex(key)
+	sh := e.shards[idx]
 	for {
 		sh.mu.Lock()
 		if ent, ok := sh.cache.get(key); ok {
 			e.hits.Add(1)
 			sh.mu.Unlock()
+			if sampled {
+				d := time.Since(t0)
+				m.Hit.Observe(d)
+				m.ShardHit[idx].Observe(d)
+			}
 			return ent.val, nil
 		}
 		if ent, ok := sh.inflight[key]; ok {
 			e.dedup.Add(1)
 			sh.mu.Unlock()
+			// A hit after a joiner wait would record the wait as lookup
+			// time; keep the hit histogram honest.
+			sampled = false
+			endWait := obs.StartPhase(ctx, "joiner-wait")
+			tw := time.Now()
 			select {
 			case <-ent.ready:
+				m.JoinWait.Observe(time.Since(tw))
+				endWait()
 			case <-ctx.Done():
+				m.JoinWait.Observe(time.Since(tw))
+				endWait()
 				e.cancellations.Add(1)
 				return nil, ctx.Err()
 			}
@@ -440,7 +481,11 @@ func (e *Engine) do(ctx context.Context, key cacheKey, compute func(context.Cont
 				close(ent.ready)
 			}()
 			e.computations.Add(1)
+			endCompute := obs.StartPhase(ctx, "compute")
+			tc := time.Now()
 			ent.val, ent.err = compute(ctx)
+			m.Compute.Observe(time.Since(tc))
+			endCompute()
 		}()
 		if ctxErr(ent.err) {
 			e.cancellations.Add(1)
@@ -496,6 +541,9 @@ func (e *Engine) Run(ctx context.Context, src Source, name string, p algo.Params
 		return nil, err
 	}
 	sv := src.resolve()
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.SetRequest(name, key, sv.fp.String())
+	}
 	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
 		r, err := s.RunSpec(ctx, sv.graph(), p)
 		if err != nil {
@@ -517,7 +565,11 @@ func (e *Engine) Run(ctx context.Context, src Source, name string, p algo.Params
 // immutable.
 func (e *Engine) ChangLi(ctx context.Context, src Source, p ldd.Params) (*ldd.Decomposition, error) {
 	sv := src.resolve()
-	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: algo.ChangLiKey(p)}, func(ctx context.Context) (any, error) {
+	key := algo.ChangLiKey(p)
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.SetRequest("changli", key, sv.fp.String())
+	}
+	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
 		r, err := algo.RunChangLi(ctx, sv.graph(), p)
 		if err != nil {
 			return nil, err
@@ -534,7 +586,11 @@ func (e *Engine) ChangLi(ctx context.Context, src Source, p ldd.Params) (*ldd.De
 // p, cached like ChangLi.
 func (e *Engine) SparseCover(ctx context.Context, src Source, p ldd.ENParams) (*ldd.Cover, error) {
 	sv := src.resolve()
-	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: algo.SparseCoverKey(p)}, func(ctx context.Context) (any, error) {
+	key := algo.SparseCoverKey(p)
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.SetRequest("sparsecover", key, sv.fp.String())
+	}
+	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
 		r, err := algo.RunSparseCover(ctx, sv.graph(), p)
 		if err != nil {
 			return nil, err
@@ -551,7 +607,11 @@ func (e *Engine) SparseCover(ctx context.Context, src Source, p ldd.ENParams) (*
 // src's snapshot under p, cached like ChangLi.
 func (e *Engine) NetDecomp(ctx context.Context, src Source, p netdecomp.Params) (*netdecomp.Decomposition, error) {
 	sv := src.resolve()
-	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: algo.NetDecompKey(p)}, func(ctx context.Context) (any, error) {
+	key := algo.NetDecompKey(p)
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.SetRequest("netdecomp", key, sv.fp.String())
+	}
+	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
 		r, err := algo.RunNetDecomp(ctx, sv.graph(), p)
 		if err != nil {
 			return nil, err

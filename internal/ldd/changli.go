@@ -3,9 +3,11 @@ package ldd
 import (
 	"context"
 	"math"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/xrand"
 )
@@ -13,6 +15,9 @@ import (
 // phase3Label salts the Phase-3 Elkin–Neiman seed so it is independent of
 // the per-vertex sampling streams.
 const phase3Label = 0x9a5e3
+
+// noopPhase is the end-func for iterations that are not being traced.
+var noopPhase = func() {}
 
 // Params configures the Chang–Li Theorem 1.1 decomposition.
 type Params struct {
@@ -161,6 +166,13 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 	if eps <= 0 {
 		eps = 0.5
 	}
+	// Trace phases mirror the paper's structure: the Θ(log ñ) preparation
+	// (n_v estimation), one phase per carve iteration, the Phase-3
+	// Elkin–Neiman pass, and assembly. Timings live only in the trace
+	// carried by ctx — the Decomposition itself stays bit-identical whether
+	// or not a trace is attached. tr is nil (and every stamp is a no-op)
+	// for untraced runs.
+	tr := obs.FromContext(ctx)
 
 	alive := make([]bool, n)
 	for i := range alive {
@@ -177,7 +189,9 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 	rc.StartPhase()
 	rc.Charge(min(d.EstimateRadius, n))
 	rc.EndPhase()
+	endEstimate := tr.StartPhase("estimate")
 	nv, err := ballSizes(ctx, g, alive, d.EstimateRadius, p.Workers)
+	endEstimate()
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +207,14 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 	for i := 1; i <= iterations; i++ {
 		interval := d.Intervals[i-1]
 		isPhase2 := !p.SkipPhase2 && i == d.T+1
+		endCarve := noopPhase
+		if tr != nil {
+			name := "carve-" + strconv.Itoa(i)
+			if isPhase2 {
+				name = "phase2-carve"
+			}
+			endCarve = tr.StartPhase(name)
+		}
 		rc.StartPhase()
 		// The centres of one iteration all carve against the same snapshot
 		// of the residual graph, so their executions are independent: sample
@@ -220,6 +242,7 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 			outcomes[j] = GrowCarveWS(g, int(centres[j]), interval[0], interval[1], alive, wss[w])
 		})
 		if err != nil {
+			endCarve()
 			return nil, err
 		}
 		for _, oc := range outcomes {
@@ -229,14 +252,17 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 		}
 		rc.EndPhase()
 		applyCarves(outcomes, alive, removed, deletedMark)
+		endCarve()
 	}
 
 	// Phase 3: Elkin–Neiman with λ = ε/10 on the residual graph.
+	endP3 := tr.StartPhase("phase3-en")
 	en, err := ElkinNeimanCtx(ctx, g, alive, ENParams{
 		Lambda: eps / 10,
 		NTilde: d.NTilde,
 		Seed:   xrand.New(p.Seed).Split(phase3Label).Uint64(),
 	})
+	endP3()
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +272,8 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 	// set (see applyCarves for why they are mutually non-adjacent and
 	// non-adjacent to the residual); Phase-3 clusters follow with offset
 	// ids; everything else is unclustered.
+	endAssemble := tr.StartPhase("assemble")
+	defer endAssemble()
 	clusterOf := make([]int32, n)
 	for v := range clusterOf {
 		clusterOf[v] = Unclustered

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Exposition helpers for the Prometheus text format (version 0.0.4).
+// Callers pre-render label sets as `name="value"` fragments (no braces);
+// these helpers take care of # HELP / # TYPE headers, brace placement, and
+// histogram family layout.
+
+// WriteHeader writes the # HELP and # TYPE lines for a metric family.
+func WriteHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteSample writes one sample line: name{labels} value. labels may be
+// empty.
+func WriteSample(w io.Writer, name, labels string, value float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(value))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(value))
+}
+
+// WriteUintSample writes one sample line with an integer value.
+func WriteUintSample(w io.Writer, name, labels string, value uint64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %d\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, value)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WriteDurationSeries writes one labeled series of a Prometheus histogram
+// family whose observations were recorded in nanoseconds; boundaries, sum,
+// and quantile-free exposition are converted to seconds. Only non-empty
+// buckets get a line (plus the mandatory +Inf), which keeps the ~350-bucket
+// layout compact on the wire. Cumulative counts are preserved exactly.
+func WriteDurationSeries(w io.Writer, name, labels string, s *HistSnapshot) {
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := float64(BucketUpper(i)) / 1e9
+		WriteUintSample(w, name+"_bucket", joinLabels(labels, `le="`+formatFloat(le)+`"`), cum)
+	}
+	WriteUintSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), s.Count)
+	WriteSample(w, name+"_sum", labels, float64(s.Sum)/1e9)
+	WriteUintSample(w, name+"_count", labels, s.Count)
+}
+
+// WriteQuantileSeries writes p50/p90/p99/p999 of a nanosecond-valued
+// snapshot as a gauge family with a quantile label, in seconds.
+func WriteQuantileSeries(w io.Writer, name, labels string, s *HistSnapshot) {
+	for _, q := range [...]struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		v := float64(s.Quantile(q.q)) / 1e9
+		WriteSample(w, name, joinLabels(labels, `quantile="`+q.label+`"`), v)
+	}
+}
+
+// WriteValueQuantileSeries is WriteQuantileSeries for unit-less value
+// histograms (e.g. batch sizes): no nanosecond conversion.
+func WriteValueQuantileSeries(w io.Writer, name, labels string, s *HistSnapshot) {
+	for _, q := range [...]struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		WriteSample(w, name, joinLabels(labels, `quantile="`+q.label+`"`), float64(s.Quantile(q.q)))
+	}
+}

@@ -1,0 +1,203 @@
+// Package obs is the zero-dependency observability core: lock-cheap
+// log-bucketed latency histograms, a span-style tracer carried through
+// context.Context, and a threshold-gated NDJSON slow-query log.
+//
+// The package is deliberately tiny and self-contained (standard library
+// only) so that every other layer — engine, server, WAL, CLI — can depend
+// on it without dragging in an external metrics stack. Histograms are the
+// workhorse: recording is a handful of atomic adds on striped counters, so
+// they can sit on hot paths (the engine's cached-hit path budgets a few
+// nanoseconds for instrumentation); snapshots are mergeable and render to
+// Prometheus text exposition with p50/p90/p99/p999 summaries.
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout. Values below linearBuckets get an exact bucket each; above
+// that, each power-of-two octave is split into 8 sub-buckets, so the relative
+// bucket width is at most 1/8 = 12.5% (midpoint error ≤ 6.25%). With octaves
+// up to 2^45 the scheme covers 1ns .. ~9.7h when values are nanoseconds;
+// anything larger clamps into the final bucket.
+const (
+	linearBuckets = 16
+	subBits       = 3
+	subBuckets    = 1 << subBits
+	minOctave     = 4  // first bucketed octave: values 16..31
+	maxOctave     = 45 // values up to 2^46-1 resolve exactly; beyond clamps
+
+	// NumBuckets is the total number of histogram buckets.
+	NumBuckets = linearBuckets + (maxOctave-minOctave+1)*subBuckets
+)
+
+// nStripes is the number of independently updated counter stripes. Writers
+// pick a stripe with a cheap per-P random draw, so concurrent recorders
+// rarely contend on the same cache lines. Must be a power of two.
+const nStripes = 4
+
+type histStripe struct {
+	counts [NumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	_      [48]byte // keep adjacent stripes' tail counters off one line
+}
+
+// Histogram is a fixed-size log-bucketed histogram safe for concurrent use.
+// The zero value is ready to use and must not be copied after first use.
+type Histogram struct {
+	stripes [nStripes]histStripe
+}
+
+// bucketIndex maps a value to its bucket. Negative values count as zero.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	uv := uint64(v)
+	if uv < linearBuckets {
+		return int(uv)
+	}
+	o := bits.Len64(uv) - 1
+	if o > maxOctave {
+		return NumBuckets - 1
+	}
+	sub := (uv >> (uint(o) - subBits)) & (subBuckets - 1)
+	return linearBuckets + (o-minOctave)*subBuckets + int(sub)
+}
+
+// BucketUpper returns the largest value that falls into bucket i (the
+// inclusive upper bound, i.e. a Prometheus `le` boundary when interpreted
+// in the recorded unit).
+func BucketUpper(i int) int64 {
+	if i < linearBuckets {
+		return int64(i)
+	}
+	j := i - linearBuckets
+	o := uint(j/subBuckets) + minOctave
+	sub := uint64(j % subBuckets)
+	return int64(uint64(1)<<o + (sub+1)<<(o-subBits) - 1)
+}
+
+// bucketMid returns a representative value for bucket i, used when a
+// quantile lands inside the bucket.
+func bucketMid(i int) int64 {
+	if i < linearBuckets {
+		return int64(i)
+	}
+	j := i - linearBuckets
+	o := uint(j/subBuckets) + minOctave
+	sub := uint64(j % subBuckets)
+	lower := uint64(1)<<o + sub<<(o-subBits)
+	return int64(lower + (uint64(1)<<(o-subBits))/2)
+}
+
+// Observe records a duration in nanoseconds.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValue records a raw value (nanoseconds for latency histograms,
+// counts for size histograms). Cost is one cheap random draw plus three
+// atomic adds on a randomly chosen stripe; it never allocates.
+func (h *Histogram) ObserveValue(v int64) {
+	s := &h.stripes[rand.Uint64()&(nStripes-1)]
+	s.counts[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	if v > 0 {
+		s.sum.Add(uint64(v))
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, suitable for
+// quantile queries, merging, and exposition. Snapshots taken while writers
+// are active are internally consistent per-stripe but may straddle a small
+// number of in-flight observations; for metrics that is immaterial.
+type HistSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	Sum    uint64
+}
+
+// Snapshot folds all stripes into one consistent-enough view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.counts {
+			s.Counts[b] += st.counts[b].Load()
+		}
+		s.Count += st.count.Load()
+		s.Sum += st.sum.Load()
+	}
+	return s
+}
+
+// Merge adds o into s. Merging is commutative and associative, so shard- or
+// process-level snapshots can be combined in any order.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile returns an approximation of the q-quantile (0 < q <= 1) of the
+// recorded values, with relative error bounded by half a bucket width
+// (≤ 6.25% for values ≥ 16). Returns 0 when the snapshot is empty.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of recorded values, or 0 when empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Summary bundles the standard latency quantiles for reporting.
+type Summary struct {
+	Count               uint64
+	Mean                float64
+	P50, P90, P99, P999 int64
+}
+
+// Summarize computes the standard p50/p90/p99/p999 summary in one pass
+// over the snapshot per quantile.
+func (s *HistSnapshot) Summarize() Summary {
+	return Summary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+	}
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotoneAndConsistent(t *testing.T) {
+	// Every value maps into a bucket whose bounds actually contain it, and
+	// bucket indices are monotone in the value.
+	vals := []int64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1000, 4095, 4096,
+		1 << 20, 1<<20 + 1, 1 << 30, 1 << 40, 1 << 45, 1<<46 - 1, 1 << 50, math.MaxInt64}
+	prev := -1
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		upper := BucketUpper(i)
+		if v <= 1<<46-1 && v > upper {
+			t.Fatalf("value %d above its bucket upper %d (bucket %d)", v, upper, i)
+		}
+		if i > 0 && v <= 1<<46-1 && v <= BucketUpper(i-1) {
+			t.Fatalf("value %d should be in an earlier bucket than %d (prev upper %d)", v, i, BucketUpper(i-1))
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+}
+
+func TestBucketUpperStrictlyIncreasing(t *testing.T) {
+	for i := 1; i < NumBuckets; i++ {
+		if BucketUpper(i) <= BucketUpper(i-1) {
+			t.Fatalf("BucketUpper not strictly increasing at %d: %d <= %d",
+				i, BucketUpper(i), BucketUpper(i-1))
+		}
+	}
+}
+
+// lcg is a tiny deterministic generator so the adversarial distributions
+// are reproducible without seeding global state.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 11
+}
+
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(q * float64(len(sorted)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func checkQuantiles(t *testing.T, name string, vals []int64) {
+	t.Helper()
+	var h Histogram
+	for _, v := range vals {
+		h.ObserveValue(v)
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("%s: count %d want %d", name, s.Count, len(vals))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := s.Quantile(q)
+		want := exactQuantile(sorted, q)
+		// The quantile may land anywhere in the exact value's bucket, and
+		// concurrent-free recording means the bucket is the right one; the
+		// bucket midpoint is within 1/8 of the true value for v >= 16
+		// (plus one ulp of bucket-boundary slack for the rank rounding).
+		relErr := math.Abs(float64(got)-float64(want)) / math.Max(float64(want), 1)
+		if want >= 16 && relErr > 0.13 {
+			t.Errorf("%s: q=%g got %d want %d relErr %.3f > 0.13", name, q, got, want, relErr)
+		}
+		if want < 16 && got != want {
+			t.Errorf("%s: q=%g got %d want exact %d (linear range)", name, q, got, want)
+		}
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	// Bimodal: 90% fast-path around 300ns, 10% slow-path around 40ms.
+	// Adversarial for averaged summaries; the histogram must keep the modes
+	// separate and nail p99 in the slow mode.
+	g := &lcg{s: 42}
+	vals := make([]int64, 0, 200000)
+	for i := 0; i < 180000; i++ {
+		vals = append(vals, 250+int64(g.next()%100)) // 250..349ns
+	}
+	for i := 0; i < 20000; i++ {
+		vals = append(vals, 35_000_000+int64(g.next()%10_000_000)) // 35..45ms
+	}
+	checkQuantiles(t, "bimodal", vals)
+}
+
+func TestQuantileHeavyTail(t *testing.T) {
+	// Pareto-ish heavy tail: x = minv / u^(1/alpha) with alpha ~ 1.2.
+	g := &lcg{s: 7}
+	vals := make([]int64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		u := (float64(g.next()%1_000_000) + 1) / 1_000_001
+		x := 1000.0 / math.Pow(u, 1/1.2)
+		if x > 1e15 {
+			x = 1e15
+		}
+		vals = append(vals, int64(x))
+	}
+	checkQuantiles(t, "heavy-tail", vals)
+}
+
+func TestQuantileSmallExactRange(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 16; v++ {
+		h.ObserveValue(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 of 0..15 = %d, want 7", got)
+	}
+	if got := s.Quantile(1.0); got != 15 {
+		t.Fatalf("p100 of 0..15 = %d, want 15", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}
+
+func TestConcurrentObservers(t *testing.T) {
+	// Hammer one histogram from many goroutines; total count and sum must
+	// be conserved exactly (run under -race in CI).
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := &lcg{s: seed}
+			for i := 0; i < perG; i++ {
+				h.ObserveValue(int64(r.next() % 1_000_000))
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count %d want %d", s.Count, goroutines*perG)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestMergeAssociativityAndCommutativity(t *testing.T) {
+	mk := func(seed uint64, n int) HistSnapshot {
+		var h Histogram
+		r := &lcg{s: seed}
+		for i := 0; i < n; i++ {
+			h.ObserveValue(int64(r.next() % 10_000_000))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1, 1000), mk(2, 2000), mk(3, 3000)
+
+	// (a+b)+c
+	ab := a
+	ab.Merge(&b)
+	abc1 := ab
+	abc1.Merge(&c)
+	// a+(b+c)
+	bc := b
+	bc.Merge(&c)
+	abc2 := a
+	abc2.Merge(&bc)
+	// (c+b)+a — commutativity too
+	cb := c
+	cb.Merge(&b)
+	abc3 := cb
+	abc3.Merge(&a)
+
+	for _, other := range []*HistSnapshot{&abc2, &abc3} {
+		if abc1.Count != other.Count || abc1.Sum != other.Sum || abc1.Counts != other.Counts {
+			t.Fatal("merge is not associative/commutative")
+		}
+	}
+	if abc1.Count != 6000 {
+		t.Fatalf("merged count %d want 6000", abc1.Count)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(1234 * time.Nanosecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", n)
+	}
+	m := NewEngineMetrics(4, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		if m.Sample() {
+			m.Hit.ObserveValue(300)
+		}
+	}); n != 0 {
+		t.Fatalf("sampled record path allocates %v per run, want 0", n)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.ObserveValue(i * 1000) // 1µs .. 1ms
+	}
+	snap := h.Snapshot()
+	sum := snap.Summarize()
+	if sum.Count != 1000 {
+		t.Fatalf("count %d", sum.Count)
+	}
+	if sum.P50 <= 0 || sum.P90 < sum.P50 || sum.P99 < sum.P90 || sum.P999 < sum.P99 {
+		t.Fatalf("quantiles not ordered: %+v", sum)
+	}
+}
+
+func TestEngineMetricsSampling(t *testing.T) {
+	m := NewEngineMetrics(2, 8)
+	if m.SampleEvery() != 8 {
+		t.Fatalf("SampleEvery = %d want 8", m.SampleEvery())
+	}
+	hits := 0
+	for i := 0; i < 80; i++ {
+		if m.Sample() {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("sampled %d of 80 at 1/8, want 10", hits)
+	}
+	// Non-power-of-two rounds up.
+	if m2 := NewEngineMetrics(1, 3); m2.SampleEvery() != 4 {
+		t.Fatalf("SampleEvery(3) = %d want 4", m2.SampleEvery())
+	}
+}
+
+// BenchmarkHistogramObserve pins the record path's cost; it must stay a
+// few atomic ops (regression gate for the engine hot path).
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveValue(int64(i)&0xfffff + 100)
+	}
+}
+
+// BenchmarkSampledRecord measures what the engine hit path actually pays
+// per request: one Sample tick, occasionally a full Observe.
+func BenchmarkSampledRecord(b *testing.B) {
+	m := NewEngineMetrics(8, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m.Sample() {
+			m.Hit.ObserveValue(300)
+		}
+	}
+}

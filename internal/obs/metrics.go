@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// EngineMetrics is the engine's latency bundle: where did a request's time
+// go — cache lookup (hit), joiner wait behind an in-flight computation, or
+// the computation itself — plus per-shard hit latency for spotting skew.
+//
+// The cached-hit path runs at hundreds of nanoseconds, so hit timing is
+// sampled: Sample ticks an atomic sequence counter and returns true once
+// every SampleEvery calls, and only sampled calls pay for clock reads.
+// Compute and joiner-wait are rare and slow, so they are always timed.
+type EngineMetrics struct {
+	mask uint64
+	seq  atomic.Uint64
+
+	Hit      Histogram
+	Compute  Histogram
+	JoinWait Histogram
+	ShardHit []Histogram
+}
+
+// DefaultSampleEvery is the default hit-path sampling interval.
+const DefaultSampleEvery = 64
+
+// NewEngineMetrics builds an EngineMetrics with one per-shard hit
+// histogram per shard. sampleEvery is rounded up to a power of two;
+// values <= 0 select DefaultSampleEvery, 1 samples every call.
+func NewEngineMetrics(shards, sampleEvery int) *EngineMetrics {
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	if sampleEvery&(sampleEvery-1) != 0 {
+		sampleEvery = 1 << bits.Len(uint(sampleEvery))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return &EngineMetrics{
+		mask:     uint64(sampleEvery - 1),
+		ShardHit: make([]Histogram, shards),
+	}
+}
+
+// Sample ticks the sequence counter and reports whether this call should
+// be timed. One atomic add, no branches on the common path.
+func (m *EngineMetrics) Sample() bool {
+	return m.seq.Add(1)&m.mask == 0
+}
+
+// SampleEvery reports the effective sampling interval.
+func (m *EngineMetrics) SampleEvery() int { return int(m.mask) + 1 }
+
+// WALMetrics is the write-ahead log's latency bundle: append latency
+// (frame encode + buffered write), fsync latency, and the group-commit
+// batch size (records flushed per fsync).
+type WALMetrics struct {
+	Append Histogram // nanoseconds per Append
+	Fsync  Histogram // nanoseconds per fsync
+	Batch  Histogram // records per group commit (unit-less)
+}
+
+// NewWALMetrics returns an empty WALMetrics.
+func NewWALMetrics() *WALMetrics { return &WALMetrics{} }

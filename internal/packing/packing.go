@@ -23,11 +23,13 @@ package packing
 import (
 	"context"
 	"math"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/ilp"
 	"repro/internal/ldd"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/solve"
 	"repro/internal/xrand"
@@ -153,6 +155,9 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 	rootRNG := xrand.New(p.Seed)
 	var rc local.RoundCounter
 	exact := true
+	// Phase timings go only into the trace carried by ctx (nil for
+	// untraced runs); the Result is bit-identical either way.
+	tr := obs.FromContext(ctx)
 
 	// --- Preparation -----------------------------------------------------
 	// The Θ(log ñ) decompositions are independent (per-run seed splits),
@@ -163,6 +168,7 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 	wss := ldd.AcquireWorkspaces(workers)
 	defer ldd.ReleaseWorkspaces(wss)
 
+	endPrep := tr.StartPhase("preparation")
 	prepSeeds := make([]uint64, d.prepRuns)
 	for run := range prepSeeds {
 		prepSeeds[run] = rootRNG.Split(uint64(run) + 0x9e9).Uint64()
@@ -207,6 +213,7 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 		rc.Charge(min(d.estRadius, n))
 	}
 	rc.EndPhase()
+	endPrep()
 
 	// --- Phases 1 and 2 ---------------------------------------------------
 	alive := make([]bool, n)
@@ -223,6 +230,14 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 		}
 		interval := d.intervals[i-1]
 		isPhase2 := i == d.t+1
+		endCarve := func() {}
+		if tr != nil {
+			name := "carve-" + strconv.Itoa(i)
+			if isPhase2 {
+				name = "phase2-carve"
+			}
+			endCarve = tr.StartPhase(name)
+		}
 		rc.StartPhase()
 		// All carves of one iteration run against the same alive snapshot,
 		// so they are independent: sample the clusters first, then fan the
@@ -261,14 +276,17 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 		}
 		rc.EndPhase()
 		applyCarves(outcomes, alive, removed, deletedMark)
+		endCarve()
 	}
 
 	// --- Phase 3 -----------------------------------------------------------
+	endP3 := tr.StartPhase("phase3-en")
 	en, err := ldd.ElkinNeimanCtx(ctx, g, alive, ldd.ENParams{
 		Lambda: eps / 10,
 		NTilde: d.nTilde,
 		Seed:   rootRNG.Split(0x3a5e).Uint64(),
 	})
+	endP3()
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +297,8 @@ func SolveCtx(ctx context.Context, inst *ilp.Instance, p Params) (*Result, error
 	// clusters. All are mutually non-adjacent; deleted vertices are 0. The
 	// per-region solves are independent (each reads only the instance) and
 	// fan out across the pool; the solutions are OR-ed in region order.
+	endSolves := tr.StartPhase("local-solves")
+	defer endSolves()
 	solution := inst.NewSolution()
 	comps := 0
 	comp, count := g.ComponentsAlive(removed)

@@ -229,7 +229,7 @@ func TestHTTPChurnSoak(t *testing.T) {
 	if err != nil {
 		t.Fatalf("metrics after drain: %v", err)
 	}
-	for _, want := range []string{"server_draining 1", "engine_inflight_computations 0"} {
+	for _, want := range []string{"repro_server_draining 1", "repro_engine_inflight_computations 0"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q after drain", want)
 		}

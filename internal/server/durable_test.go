@@ -41,8 +41,8 @@ func TestHealthzThreeStates(t *testing.T) {
 		t.Fatalf("/v1 during replay = %d, want 503", got)
 	}
 	body := metricsBody(t, ts.URL)
-	if !strings.Contains(body, "server_replaying 1") {
-		t.Fatal("metrics do not report server_replaying 1 during recovery")
+	if !strings.Contains(body, "repro_server_replaying 1") {
+		t.Fatal("metrics do not report repro_server_replaying 1 during recovery")
 	}
 
 	// Ready.
@@ -117,7 +117,7 @@ func TestDurableGraphLifecycleOverHTTP(t *testing.T) {
 		t.Fatalf("served durable info: %+v", info)
 	}
 	body := metricsBody(t, ts.URL)
-	for _, want := range []string{"graph_durable{graph=\"" + id + "\"} 1", "graph_delta_bytes", "graph_wal_syncs_total"} {
+	for _, want := range []string{"repro_graph_durable{graph=\"" + id + "\"} 1", "repro_graph_delta_bytes", "repro_graph_wal_syncs_total"} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q", want)
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -33,6 +34,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/graphs/{id}/deledge", s.handleEdge(false))
 	s.mux.HandleFunc("POST /v1/graphs/{id}/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /v1/graphs/{id}/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	// The standard pprof handlers; /debug/pprof/ itself serves the index
+	// and the named profiles (heap, goroutine, block, ...).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -447,65 +456,5 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics renders engine, server, and per-graph store counters in the
-// Prometheus text exposition style (gauges and counters only; no external
-// dependency).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	est := s.e.Stats()
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-
-	p("# engine result cache and singleflight counters\n")
-	p("engine_hits_total %d\n", est.Hits)
-	p("engine_misses_total %d\n", est.Misses)
-	p("engine_dedup_total %d\n", est.Dedup)
-	p("engine_computations_total %d\n", est.Computations)
-	p("engine_evictions_total %d\n", est.Evictions)
-	p("engine_queries_total %d\n", est.Queries)
-	p("engine_cancellations_total %d\n", est.Cancellations)
-	p("engine_cache_entries %d\n", est.EntriesTotal())
-	p("engine_inflight_computations %d\n", est.InflightTotal())
-	p("engine_shards %d\n", len(est.Shards))
-	for i, sh := range est.Shards {
-		p("engine_shard_entries{shard=\"%d\"} %d\n", i, sh.Entries)
-		p("engine_shard_evictions_total{shard=\"%d\"} %d\n", i, sh.Evictions)
-		p("engine_shard_inflight{shard=\"%d\"} %d\n", i, sh.Inflight)
-	}
-
-	inflight, draining := s.gate.stats()
-	p("# http serving layer\n")
-	p("server_inflight_requests %d\n", inflight)
-	p("server_admitted_total %d\n", s.admitted.Load())
-	p("server_shed_total %d\n", s.shed.Load())
-	p("server_draining %d\n", boolGauge(draining))
-	p("server_replaying %d\n", boolGauge(s.replaying.Load()))
-	p("server_graphs %d\n", len(s.graphList()))
-	p("server_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
-
-	p("# per-graph store state (epoch advances once per applied mutation)\n")
-	for _, sg := range s.graphList() {
-		st := sg.st.Stats()
-		id := sg.id
-		p("graph_vertices{graph=%q} %d\n", id, st.N)
-		p("graph_edges{graph=%q} %d\n", id, st.M)
-		p("graph_epoch{graph=%q} %d\n", id, st.Epoch)
-		p("graph_pending_deltas{graph=%q} %d\n", id, st.Pending)
-		p("graph_patched_vertices{graph=%q} %d\n", id, st.PatchedVertices)
-		p("graph_adds_total{graph=%q} %d\n", id, st.Adds)
-		p("graph_dels_total{graph=%q} %d\n", id, st.Dels)
-		p("graph_compactions_total{graph=%q} %d\n", id, st.Compactions)
-		p("graph_delta_bytes{graph=%q} %d\n", id, st.DeltaBytes)
-		p("graph_durable{graph=%q} %d\n", id, boolGauge(st.Durable))
-		if st.Durable {
-			p("graph_checkpoint_epoch{graph=%q} %d\n", id, st.CheckpointEpoch)
-			p("graph_wal_syncs_total{graph=%q} %d\n", id, st.WALSyncs)
-		}
-	}
-}
-
-func boolGauge(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
+// handleMetrics lives in obshttp.go with the rest of the serving-layer
+// observability plumbing.

@@ -1,0 +1,414 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+func TestClassifyEndpoint(t *testing.T) {
+	cases := []struct {
+		method, path, want string
+	}{
+		{"GET", "/healthz", "healthz"},
+		{"GET", "/metrics", "metrics"},
+		{"GET", "/debug/traces", "traces"},
+		{"GET", "/debug/pprof/", "pprof"},
+		{"GET", "/debug/pprof/profile", "pprof"},
+		{"GET", "/v1/algorithms", "algorithms"},
+		{"GET", "/v1/graphs", "graphs.list"},
+		{"POST", "/v1/graphs", "graphs.create"},
+		{"GET", "/v1/graphs/g1", "graph.info"},
+		{"DELETE", "/v1/graphs/g1", "graph.delete"},
+		{"POST", "/v1/graphs/g1/run", "run"},
+		{"POST", "/v1/graphs/g1/query", "query"},
+		{"POST", "/v1/graphs/g1/addedge", "addedge"},
+		{"POST", "/v1/graphs/g1/deledge", "deledge"},
+		{"POST", "/v1/graphs/g1/compact", "compact"},
+		{"POST", "/v1/graphs/g1/batch", "batch"},
+		{"POST", "/v1/graphs/g1/nonsense", "other"},
+		{"GET", "/favicon.ico", "other"},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest(c.method, c.path, nil)
+		if got := classifyEndpoint(r); got != c.want {
+			t.Errorf("classify(%s %s) = %q, want %q", c.method, c.path, got, c.want)
+		}
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional {labels}, value.
+var sampleLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9].*|[+-]Inf|NaN)$`)
+
+// TestMetricsExpositionWellFormed scrapes a live server and checks the
+// whole /metrics payload against the text-format grammar: every sample
+// belongs to a family announced by # HELP + # TYPE, every family carries
+// the repro_ prefix, values parse, and histogram buckets are cumulative
+// with a closing +Inf equal to _count.
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerOptions{})
+	s, c := newTestServer(t, Options{Tracer: tracer})
+	_ = s
+	ctx := context.Background()
+	if _, err := c.Generate(ctx, "cycle", 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic: one miss, then hits, so latency histograms have content.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Run(ctx, "g1", RunRequest{Algo: "changli"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	types := map[string]string{} // family -> declared type
+	helped := map[string]bool{}
+	// bucket series -> last cumulative value, +Inf seen, count value
+	type histState struct {
+		last    uint64
+		inf     uint64
+		infSeen bool
+		count   uint64
+	}
+	hists := map[string]*histState{}
+	stateFor := func(series string) *histState {
+		st := hists[series]
+		if st == nil {
+			st = &histState{}
+			hists[series] = st
+		}
+		return st
+	}
+	samples := 0
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch f[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, f[1])
+			}
+			if !helped[f[0]] {
+				t.Fatalf("line %d: TYPE for %s without preceding HELP", ln+1, f[0])
+			}
+			types[f[0]] = f[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: stray comment %q", ln+1, line)
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: does not match the sample grammar: %q", ln+1, line)
+		}
+		samples++
+		name, labels, value := m[1], m[2], m[4]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, value, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && types[base] == "histogram" {
+				family = base
+			}
+		}
+		if types[family] == "" {
+			t.Fatalf("line %d: sample %s has no # TYPE", ln+1, name)
+		}
+		if !strings.HasPrefix(family, "repro_") {
+			t.Fatalf("line %d: family %s lacks the repro_ prefix", ln+1, family)
+		}
+		if types[family] != "histogram" {
+			continue
+		}
+		// Histogram shape checks. The series key is the label set minus le.
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			v, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket value %q: %v", ln+1, value, err)
+			}
+			le := ""
+			var rest []string
+			for _, l := range strings.Split(strings.Trim(labels, "{}"), ",") {
+				if s, ok := strings.CutPrefix(l, "le="); ok {
+					le = strings.Trim(s, `"`)
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			if le == "" {
+				t.Fatalf("line %d: bucket without le label: %q", ln+1, line)
+			}
+			key := family
+			if len(rest) > 0 {
+				key += "{" + strings.Join(rest, ",") + "}"
+			}
+			st := stateFor(key)
+			if le == "+Inf" {
+				st.inf, st.infSeen = v, true
+				break
+			}
+			if v < st.last {
+				t.Fatalf("line %d: bucket counts not cumulative: %d after %d", ln+1, v, st.last)
+			}
+			st.last = v
+		case strings.HasSuffix(name, "_count"):
+			v, _ := strconv.ParseUint(value, 10, 64)
+			st := stateFor(family + labels)
+			st.count = v
+			if !st.infSeen || st.inf != v {
+				t.Fatalf("series %s%s: +Inf bucket %d (seen=%v) != count %d",
+					family, labels, st.inf, st.infSeen, v)
+			}
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples scraped")
+	}
+	// The families the rest of the system depends on must be present.
+	for _, want := range []string{
+		"repro_engine_hit_seconds", "repro_engine_compute_seconds",
+		"repro_http_request_seconds", "repro_http_requests_total",
+		"repro_runtime_goroutines", "repro_traces_finished_total",
+	} {
+		if types[want] == "" {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+}
+
+// TestDebugEndpoints checks the pprof and trace-ring endpoints serve, and
+// keep serving while the server is draining (observability must survive
+// shutdown).
+func TestDebugEndpoints(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerOptions{RingSize: 8})
+	s := New(engine.New(engine.Options{}), Options{Tracer: tracer})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	if _, err := c.Generate(ctx, "cycle", 40, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, "g1", RunRequest{Algo: "changli"}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof index: status %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", code)
+	}
+	if code, body := get("/debug/pprof/goroutine?debug=1"); code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof goroutine profile: status %d, %d bytes", code, len(body))
+	}
+
+	code, body := get("/debug/traces?n=4")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces: status %d", code)
+	}
+	var traces []obs.TraceSnapshot
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatalf("/debug/traces body: %v\n%s", err, body)
+	}
+	var run *obs.TraceSnapshot
+	for i := range traces {
+		if traces[i].Name == "run" {
+			run = &traces[i]
+		}
+	}
+	if run == nil {
+		t.Fatalf("no run trace in %s", body)
+	}
+	if run.Status != http.StatusOK || run.Algo != "changli" || run.Snapshot == "" {
+		t.Fatalf("run trace not fully labeled: %+v", run)
+	}
+
+	// Draining must not cut off the debug plane.
+	drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get("/debug/traces"); code != http.StatusOK {
+		t.Fatalf("/debug/traces while draining: status %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof while draining: status %d", code)
+	}
+}
+
+// syncBuffer is a goroutine-safe writer for slow-log assertions.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSlowLogEndToEnd drives a traced request through the HTTP layer with a
+// zero slow threshold and checks the NDJSON slow log names the work (algo,
+// key, snapshot) and carries per-phase timings, each nested inside the
+// recorded total. Phases may nest (the algorithm's spans run inside the
+// engine's compute span), so the invariant is containment, not a flat sum.
+func TestSlowLogEndToEnd(t *testing.T) {
+	var out syncBuffer
+	tracer := obs.NewTracer(obs.TracerOptions{
+		SlowLog: obs.NewSlowLog(&out),
+		// Zero threshold: every finished trace is logged.
+	})
+	_, c := newTestServer(t, Options{Tracer: tracer})
+	ctx := context.Background()
+	if _, err := c.Generate(ctx, "grid", 400, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, "g1", RunRequest{Algo: "changli"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace finishes in a ServeHTTP defer that can race the client's
+	// read of the response body; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	var line string
+	for {
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.Contains(l, `"name":"run"`) {
+				line = l
+			}
+		}
+		if line != "" || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if line == "" {
+		t.Fatalf("no run event in slow log:\n%s", out.String())
+	}
+
+	var ev struct {
+		TS      string `json:"ts"`
+		Trace   uint64 `json:"trace"`
+		Name    string `json:"name"`
+		Algo    string `json:"algo"`
+		Key     string `json:"key"`
+		Snap    string `json:"snapshot"`
+		Status  int    `json:"status"`
+		TotalNS int64  `json:"total_ns"`
+		Phases  []struct {
+			Name    string `json:"name"`
+			StartNS int64  `json:"start_ns"`
+			DurNS   int64  `json:"dur_ns"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("slow-log line is not valid JSON: %v\n%s", err, line)
+	}
+	if ev.Algo != "changli" || ev.Snap == "" || !strings.HasPrefix(ev.Key, "changli|") {
+		t.Fatalf("event does not name the work: %+v", ev)
+	}
+	if ev.Status != http.StatusOK || ev.TotalNS <= 0 {
+		t.Fatalf("event status/total: %+v", ev)
+	}
+	var computeNS int64
+	names := make([]string, 0, len(ev.Phases))
+	for _, ph := range ev.Phases {
+		names = append(names, ph.Name)
+		if ph.StartNS < 0 || ph.DurNS < 0 || ph.StartNS+ph.DurNS > ev.TotalNS {
+			t.Fatalf("phase %s [%d, +%d] escapes the trace total %d",
+				ph.Name, ph.StartNS, ph.DurNS, ev.TotalNS)
+		}
+		if ph.Name == "compute" {
+			computeNS = ph.DurNS
+		}
+	}
+	joined := strings.Join(names, ",")
+	if computeNS == 0 {
+		t.Fatalf("no compute phase in %s", joined)
+	}
+	for _, want := range []string{"estimate", "phase3-en", "assemble"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing algorithm phase %q in %s", want, joined)
+		}
+	}
+	// The nested algorithm phases account for time inside compute; each
+	// must fit within it.
+	for _, ph := range ev.Phases {
+		if ph.Name != "compute" && ph.DurNS > computeNS {
+			t.Fatalf("nested phase %s (%dns) exceeds compute (%dns)", ph.Name, ph.DurNS, computeNS)
+		}
+	}
+}
+
+// TestShedRequestsCounted pins that rejected requests still land in the
+// endpoint histograms and status counters — overload must not be invisible.
+func TestShedRequestsCounted(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Graphs(ctx); err == nil {
+		t.Fatal("expected 503 while draining")
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`repro_http_requests_total{endpoint="graphs.list",status="%d"} 1`, http.StatusServiceUnavailable)
+	if !strings.Contains(text, want) {
+		t.Fatalf("metrics missing %q", want)
+	}
+}

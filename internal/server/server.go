@@ -25,8 +25,20 @@
 //	                               NDJSON stream of results out
 //	GET    /v1/algorithms          the registry catalog with parameter docs
 //	GET    /healthz                liveness (503 while draining)
-//	GET    /metrics                engine / store / server counters
-//	                               (Prometheus text exposition style)
+//	GET    /metrics                engine / store / server / runtime metrics
+//	                               (Prometheus text exposition, version
+//	                               0.0.4: # HELP / # TYPE per family,
+//	                               latency histograms with le in seconds)
+//	GET    /debug/traces           recent finished request traces (JSON,
+//	                               newest first, ?n= bounds the count)
+//	GET    /debug/pprof/*          the standard net/http/pprof handlers
+//	                               (profile, heap, goroutine, trace, ...)
+//
+// Every request is classified into a fixed endpoint label set, timed into a
+// per-endpoint latency histogram, and counted per (endpoint, status). When
+// the server is constructed with a Tracer, each admitted /v1 request carries
+// a trace through the engine and algorithm layers, so /debug/traces and the
+// slow-query log show per-phase latency breakdowns.
 //
 // Graphs are always served through a versioned store (internal/store), so
 // the mutation endpoints give a graph a new snapshot identity in O(1) and
@@ -45,12 +57,14 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -71,6 +85,12 @@ type Options struct {
 	// DefaultTimeout applies to run/query/batch requests that do not carry
 	// their own timeout_ms. 0 means no server-imposed deadline.
 	DefaultTimeout time.Duration
+	// Tracer, if set, traces every admitted /v1 request: the request
+	// context carries an obs.Trace through the engine and algorithm
+	// layers, /debug/traces serves the recent ring, and the tracer's slow
+	// log (if configured) receives threshold-crossing requests. Nil
+	// disables tracing; per-endpoint histograms still record.
+	Tracer *obs.Tracer
 }
 
 func (o Options) maxInflight() int {
@@ -182,6 +202,11 @@ type Server struct {
 	// stores from checkpoint + WAL.
 	replaying atomic.Bool
 
+	// httpm holds per-endpoint latency histograms and per-(endpoint,
+	// status) counters; tracer (possibly nil) mints per-request traces.
+	httpm  *httpMetrics
+	tracer *obs.Tracer
+
 	start time.Time
 
 	mu     sync.Mutex
@@ -198,6 +223,8 @@ func New(e *engine.Engine, opts Options) *Server {
 		mux:    http.NewServeMux(),
 		sem:    make(chan struct{}, opts.maxInflight()),
 		gate:   newDrainGate(),
+		httpm:  newHTTPMetrics(),
+		tracer: opts.Tracer,
 		start:  time.Now(),
 		graphs: make(map[string]*servedGraph),
 	}
@@ -348,23 +375,31 @@ func (s *Server) Prewarm(ctx context.Context) (int, error) {
 	return total, nil
 }
 
-// ServeHTTP implements http.Handler: health and metrics bypass admission
-// (they must stay observable under overload and during drain); everything
-// else passes the drain check and the bounded-concurrency gate.
+// ServeHTTP implements http.Handler: health, metrics, and the debug
+// endpoints bypass admission (they must stay observable under overload and
+// during drain); everything else passes the drain check and the
+// bounded-concurrency gate. Every request — admitted or shed — is timed
+// into its endpoint's latency histogram and counted by terminal status.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
-		s.mux.ServeHTTP(w, r)
+	endpoint := classifyEndpoint(r)
+	sw := &statusWriter{ResponseWriter: w}
+	t0 := time.Now()
+	defer func() {
+		s.httpm.observe(endpoint, sw.status(), time.Since(t0))
+	}()
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/") {
+		s.mux.ServeHTTP(sw, r)
 		return
 	}
 	if s.replaying.Load() {
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "server starting: recovery in progress")
+		sw.Header().Set("Retry-After", "1")
+		writeError(sw, http.StatusServiceUnavailable, "server starting: recovery in progress")
 		return
 	}
 	if !s.gate.enter() {
 		s.shed.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(sw, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	defer s.gate.exit()
@@ -372,13 +407,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable,
+		sw.Header().Set("Retry-After", "1")
+		writeError(sw, http.StatusServiceUnavailable,
 			fmt.Sprintf("overloaded: %d requests already in flight", cap(s.sem)))
 		return
 	}
 	defer func() { <-s.sem }()
 	s.admitted.Add(1)
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes())
-	s.mux.ServeHTTP(w, r)
+	r.Body = http.MaxBytesReader(sw, r.Body, s.opts.maxBodyBytes())
+	if s.tracer != nil {
+		ctx, tr := s.tracer.Start(r.Context(), endpoint)
+		r = r.WithContext(ctx)
+		defer func() { tr.Finish(sw.status()) }()
+	}
+	s.mux.ServeHTTP(sw, r)
 }

@@ -387,10 +387,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("metrics: %v", err)
 	}
 	for _, want := range []string{
-		"engine_hits_total", "engine_misses_total 1", "engine_cancellations_total",
-		"engine_shard_entries{shard=\"0\"}", "server_inflight_requests",
-		"server_admitted_total", "server_draining 0",
-		"graph_vertices{graph=\"g1\"} 40", "graph_epoch{graph=\"g1\"} 0",
+		"repro_engine_hits_total", "repro_engine_misses_total 1", "repro_engine_cancellations_total",
+		"repro_engine_shard_entries{shard=\"0\"}", "repro_server_inflight_requests",
+		"repro_server_admitted_total", "repro_server_draining 0",
+		"repro_graph_vertices{graph=\"g1\"} 40", "repro_graph_epoch{graph=\"g1\"} 0",
+		"# TYPE repro_engine_hits_total counter", "# HELP repro_http_request_seconds",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)

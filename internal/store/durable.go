@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -45,6 +46,10 @@ type Options struct {
 	FlushBytes int
 	// Injector, if set, injects deterministic write faults (tests only).
 	Injector *wal.Injector
+	// Metrics, if set, receives WAL append/fsync latency and group-commit
+	// batch-size histograms; it survives Compact's WAL rotation (every
+	// generation of the log records into the same bundle).
+	Metrics *obs.WALMetrics
 }
 
 func (o Options) walOptions() wal.Options {
@@ -52,6 +57,7 @@ func (o Options) walOptions() wal.Options {
 		FlushInterval: o.FlushInterval,
 		FlushBytes:    o.FlushBytes,
 		Injector:      o.Injector,
+		Metrics:       o.Metrics,
 	}
 }
 
@@ -265,6 +271,10 @@ func (s *Store) removeOrphansLocked() {
 
 // Dir returns the durability directory ("" for a memory-only store).
 func (s *Store) Dir() string { return s.dir }
+
+// WALMetrics returns the metrics bundle the store's WAL records into, or
+// nil when none was configured (or the store is memory-only).
+func (s *Store) WALMetrics() *obs.WALMetrics { return s.opts.Metrics }
 
 // Err returns the sticky durability error, if any. Once a WAL append fails,
 // every subsequent mutation is rejected (AddEdge/DeleteEdge return false)

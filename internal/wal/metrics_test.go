@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWriterMetrics checks the append/fsync/batch histograms fill and
+// agree with the writer's own counters, across both inline and forced
+// syncs.
+func TestWriterMetrics(t *testing.T) {
+	m := obs.NewWALMetrics()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	// FlushInterval large so only explicit Syncs and the inline FlushBytes
+	// trigger fire; FlushBytes = 4 frames.
+	w, err := Create(path, Options{FlushInterval: 1e9, FlushBytes: 4 * FrameSize, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const records = 10
+	for i := 0; i < records; i++ {
+		if err := w.Append(Record{Op: OpAddEdge, Epoch: uint64(i + 1), U: 0, V: int32(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appends, syncs := w.Counters()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.Append.Snapshot().Count; got != uint64(appends) || got != records {
+		t.Fatalf("append observations = %d, counters say %d appends", got, appends)
+	}
+	fs := m.Fsync.Snapshot()
+	if fs.Count != uint64(syncs) {
+		t.Fatalf("fsync observations = %d, counters say %d syncs", fs.Count, syncs)
+	}
+	if fs.Count < 2 {
+		t.Fatalf("expected at least one inline + one forced sync, got %d", fs.Count)
+	}
+	// Batch sizes: every appended record is attributed to exactly one sync.
+	bs := m.Batch.Snapshot()
+	if bs.Count != fs.Count {
+		t.Fatalf("batch observations %d != fsync observations %d", bs.Count, fs.Count)
+	}
+	if bs.Sum != records {
+		t.Fatalf("batch sizes sum to %d, want %d (each record in exactly one group commit)", bs.Sum, records)
+	}
+}
+
+// TestWriterNoMetrics pins that a nil Metrics stays nil-safe on every path.
+func TestWriterNoMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, Options{FlushInterval: -1}) // sync every append
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(Record{Op: OpAddEdge, Epoch: uint64(i + 1), U: 0, V: int32(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

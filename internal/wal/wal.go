@@ -43,6 +43,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Record ops. The values are written to disk and must never be renumbered;
@@ -200,6 +202,10 @@ type Options struct {
 	// Injector, when non-nil, deterministically injects write/sync faults
 	// (tests only).
 	Injector *Injector
+	// Metrics, when non-nil, receives append latency, fsync latency, and
+	// group-commit batch sizes (records per fsync). Recording is a few
+	// atomic adds; nil disables all timing.
+	Metrics *obs.WALMetrics
 }
 
 func (o Options) flushInterval() time.Duration {
@@ -228,10 +234,13 @@ type Writer struct {
 	unsynced int
 	appends  uint64
 	syncs    uint64
-	err      error
-	closed   bool
-	done     chan struct{}
-	wg       sync.WaitGroup
+	// batch counts records appended since the last fsync, so the metrics
+	// can histogram group-commit batch sizes.
+	batch  int
+	err    error
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // Create creates (or truncates) the log at path and starts the group-commit
@@ -299,6 +308,10 @@ func (w *Writer) Append(r Record) error {
 	if w.closed {
 		return errors.New("wal: writer closed")
 	}
+	var t0 time.Time
+	if w.opts.Metrics != nil {
+		t0 = time.Now()
+	}
 	frame := AppendRecord(make([]byte, 0, FrameSize), r)
 	if inj := w.opts.Injector; inj != nil {
 		mutated, err := inj.transformAppend(frame)
@@ -321,19 +334,37 @@ func (w *Writer) Append(r Record) error {
 	w.off += int64(len(frame))
 	w.unsynced += len(frame)
 	w.appends++
+	w.batch++
 	if w.unsynced >= w.opts.flushBytes() || w.opts.flushInterval() < 0 {
-		return w.syncLocked()
+		err := w.syncLocked()
+		if m := w.opts.Metrics; m != nil {
+			m.Append.Observe(time.Since(t0))
+		}
+		return err
+	}
+	if m := w.opts.Metrics; m != nil {
+		m.Append.Observe(time.Since(t0))
 	}
 	return nil
 }
 
 // syncLocked fsyncs pending bytes; caller holds w.mu.
 func (w *Writer) syncLocked() error {
+	m := w.opts.Metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		w.err = fmt.Errorf("wal: fsync: %w", err)
 		return w.err
 	}
+	if m != nil {
+		m.Fsync.Observe(time.Since(t0))
+		m.Batch.ObserveValue(int64(w.batch))
+	}
 	w.unsynced = 0
+	w.batch = 0
 	w.syncs++
 	if inj := w.opts.Injector; inj != nil {
 		if err := inj.afterSync(); err != nil {
