@@ -1,14 +1,18 @@
 // Command benchdiff compares two BENCH_<rev>.json baselines produced by
 // bench_baseline.sh and prints the per-benchmark ns/op, B/op, and allocs/op
-// deltas. With -threshold t (default 0.10), any benchmark whose ns/op
-// regressed by more than t (as a fraction) makes the command exit with
-// status 1, so CI can gate on it. Benchmarks present in only one baseline
-// are reported as added/removed and never fail the diff — a new benchmark
-// in HEAD must not break comparisons against older baselines.
+// deltas, plus the tail metrics the churn benchmarks report (hit_rate,
+// p99_ns) when both baselines carry them. With -threshold t (default
+// 0.10), any benchmark whose ns/op or p99_ns regressed by more than t (as
+// a fraction), or whose hit_rate dropped by more than t, makes the command
+// exit with status 1, so CI can gate on latency tails and repair
+// effectiveness, not just the mean. Benchmarks present in only one
+// baseline are reported as added/removed and never fail the diff — a new
+// benchmark in HEAD must not break comparisons against older baselines.
 //
 // -json switches the report to NDJSON: one object per benchmark with the
-// averaged old/new metrics, the relative ns/op delta as a fraction, and the
-// regression verdict (added/removed benchmarks carry a status field
+// averaged old/new metrics (including hit_rate/p99_ns when present), the
+// relative ns/op delta as a fraction, the regression verdict, and the
+// metrics that tripped it (added/removed benchmarks carry a status field
 // instead), so dashboards and scripts consume the diff without scraping the
 // table. The exit status is the same in both modes.
 //
@@ -26,6 +30,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 )
 
@@ -48,11 +53,17 @@ type record struct {
 	nsPerOp     float64
 	bPerOp      float64
 	allocsPerOp float64
+	hitRate     float64
+	p99Ns       float64
 	runs        int
 	memRuns     int
+	rateRuns    int
+	p99Runs     int
 }
 
-func (r *record) hasMem() bool { return r.memRuns > 0 }
+func (r *record) hasMem() bool  { return r.memRuns > 0 }
+func (r *record) hasRate() bool { return r.rateRuns > 0 }
+func (r *record) hasP99() bool  { return r.p99Runs > 0 }
 
 // loadBaseline parses a bench_baseline.sh JSON file, averaging repeated
 // entries for the same benchmark name (COUNT > 1 runs).
@@ -88,6 +99,14 @@ func loadBaseline(path string) (map[string]*record, error) {
 			}
 			r.memRuns++
 		}
+		if h, ok := row["hit_rate"].(float64); ok {
+			r.hitRate += h
+			r.rateRuns++
+		}
+		if p, ok := row["p99_ns"].(float64); ok {
+			r.p99Ns += p
+			r.p99Runs++
+		}
 		r.runs++
 	}
 	for _, r := range out {
@@ -95,6 +114,12 @@ func loadBaseline(path string) (map[string]*record, error) {
 		if r.memRuns > 0 {
 			r.bPerOp /= float64(r.memRuns)
 			r.allocsPerOp /= float64(r.memRuns)
+		}
+		if r.rateRuns > 0 {
+			r.hitRate /= float64(r.rateRuns)
+		}
+		if r.p99Runs > 0 {
+			r.p99Ns /= float64(r.p99Runs)
 		}
 	}
 	return out, nil
@@ -110,6 +135,24 @@ func delta(old, new float64) string {
 		return fmt.Sprintf("+%g (from 0)", new)
 	}
 	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+// regressReasons lists the metrics that regressed beyond the threshold for
+// one benchmark pair: ns/op or p99_ns growing past it, or hit_rate falling
+// past it. Tail metrics are judged only when both baselines carry them —
+// an old baseline without churn benchmarks cannot fail the new gate.
+func regressReasons(o, n *record, threshold float64) []string {
+	var rs []string
+	if o.nsPerOp > 0 && (n.nsPerOp-o.nsPerOp)/o.nsPerOp > threshold {
+		rs = append(rs, "ns/op")
+	}
+	if o.hasP99() && n.hasP99() && o.p99Ns > 0 && (n.p99Ns-o.p99Ns)/o.p99Ns > threshold {
+		rs = append(rs, "p99_ns")
+	}
+	if o.hasRate() && n.hasRate() && o.hitRate > 0 && (o.hitRate-n.hitRate)/o.hitRate > threshold {
+		rs = append(rs, "hit_rate")
+	}
+	return rs
 }
 
 func run(args []string, w io.Writer) (regressions int, err error) {
@@ -154,20 +197,28 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 	}
 
 	tw := newTabWriter(w)
-	fmt.Fprintf(tw, "benchmark\tns/op old\tns/op new\tdelta\tB/op\tallocs/op\n")
+	fmt.Fprintf(tw, "benchmark\tns/op old\tns/op new\tdelta\tB/op\tallocs/op\tp99\thit_rate\n")
 	for _, name := range names {
 		o, n := oldBase[name], newBase[name]
 		mark := ""
-		if o.nsPerOp > 0 && (n.nsPerOp-o.nsPerOp)/o.nsPerOp > *threshold {
+		if reasons := regressReasons(o, n, *threshold); len(reasons) > 0 {
 			regressions++
-			mark = "  << REGRESSION"
+			mark = "  << REGRESSION (" + strings.Join(reasons, ", ") + ")"
 		}
 		memCols := "-\t-"
 		if o.hasMem() && n.hasMem() {
 			memCols = fmt.Sprintf("%s\t%s", delta(o.bPerOp, n.bPerOp), delta(o.allocsPerOp, n.allocsPerOp))
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s%s\n",
-			name, o.nsPerOp, n.nsPerOp, delta(o.nsPerOp, n.nsPerOp), memCols, mark)
+		p99Col := "-"
+		if o.hasP99() && n.hasP99() {
+			p99Col = delta(o.p99Ns, n.p99Ns)
+		}
+		rateCol := "-"
+		if o.hasRate() && n.hasRate() {
+			rateCol = fmt.Sprintf("%.3f->%.3f", o.hitRate, n.hitRate)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t%s%s\n",
+			name, o.nsPerOp, n.nsPerOp, delta(o.nsPerOp, n.nsPerOp), memCols, p99Col, rateCol, mark)
 	}
 	tw.Flush()
 
@@ -193,7 +244,7 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 		fmt.Fprintf(w, "added (only in %s): %s\n", newPath, name)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "%d benchmark(s) regressed ns/op beyond %.0f%%\n", regressions, 100**threshold)
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %.0f%% (ns/op, p99_ns, or hit_rate)\n", regressions, 100**threshold)
 	}
 	return regressions, nil
 }
@@ -212,10 +263,15 @@ type jsonDelta struct {
 	NsPerOpNew *float64 `json:"ns_per_op_new,omitempty"`
 	Delta      *float64 `json:"delta,omitempty"` // fractional ns/op change
 	Regression bool     `json:"regression"`
+	Reasons    []string `json:"regression_reasons,omitempty"`
 	BPerOpOld  *float64 `json:"b_per_op_old,omitempty"`
 	BPerOpNew  *float64 `json:"b_per_op_new,omitempty"`
 	AllocsOld  *float64 `json:"allocs_per_op_old,omitempty"`
 	AllocsNew  *float64 `json:"allocs_per_op_new,omitempty"`
+	HitRateOld *float64 `json:"hit_rate_old,omitempty"`
+	HitRateNew *float64 `json:"hit_rate_new,omitempty"`
+	P99NsOld   *float64 `json:"p99_ns_old,omitempty"`
+	P99NsNew   *float64 `json:"p99_ns_new,omitempty"`
 }
 
 // runJSON emits the diff as NDJSON: common benchmarks first (sorted), then
@@ -230,16 +286,22 @@ func runJSON(w io.Writer, names []string, oldBase, newBase map[string]*record, t
 			NsPerOpOld: f(o.nsPerOp), NsPerOpNew: f(n.nsPerOp),
 		}
 		if o.nsPerOp > 0 {
-			frac := (n.nsPerOp - o.nsPerOp) / o.nsPerOp
-			d.Delta = f(frac)
-			if frac > threshold {
-				regressions++
-				d.Regression = true
-			}
+			d.Delta = f((n.nsPerOp - o.nsPerOp) / o.nsPerOp)
+		}
+		if reasons := regressReasons(o, n, threshold); len(reasons) > 0 {
+			regressions++
+			d.Regression = true
+			d.Reasons = reasons
 		}
 		if o.hasMem() && n.hasMem() {
 			d.BPerOpOld, d.BPerOpNew = f(o.bPerOp), f(n.bPerOp)
 			d.AllocsOld, d.AllocsNew = f(o.allocsPerOp), f(n.allocsPerOp)
+		}
+		if o.hasRate() && n.hasRate() {
+			d.HitRateOld, d.HitRateNew = f(o.hitRate), f(n.hitRate)
+		}
+		if o.hasP99() && n.hasP99() {
+			d.P99NsOld, d.P99NsNew = f(o.p99Ns), f(n.p99Ns)
 		}
 		if err := enc.Encode(d); err != nil {
 			return regressions, err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -111,6 +112,60 @@ func TestMemAverageIgnoresRowsWithoutMemFields(t *testing.T) {
 	// if the divisor was the mem-carrying run count.
 	if !strings.Contains(out.String(), "+0.0%") {
 		t.Fatalf("mem average wrong:\n%s", out.String())
+	}
+}
+
+// TestTailMetricGate pins the churn-benchmark gate: a p99_ns regression or
+// a hit_rate drop beyond the threshold fails the diff even when ns/op is
+// flat, and the -json report carries the tail metrics plus the reasons.
+func TestTailMetricGate(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBaseline(t, dir, "old.json", `[
+        {"rev": "a", "name": "BenchmarkEngineChurnRepair", "iterations": 100, "ns_per_op": 70000, "hit_rate": 0.99, "p99_ns": 150000}
+    ]`)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "b", "name": "BenchmarkEngineChurnRepair", "iterations": 100, "ns_per_op": 70000, "hit_rate": 0.80, "p99_ns": 3000000}
+    ]`)
+	var out strings.Builder
+	reg, err := run([]string{"-json", o, n}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", reg, out.String())
+	}
+	var row map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &row); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if row["regression"] != true {
+		t.Fatalf("regression not flagged: %v", row)
+	}
+	reasons := fmt.Sprint(row["regression_reasons"])
+	for _, want := range []string{"p99_ns", "hit_rate"} {
+		if !strings.Contains(reasons, want) {
+			t.Fatalf("reasons %q missing %q", reasons, want)
+		}
+	}
+	if row["hit_rate_old"].(float64) != 0.99 || row["p99_ns_new"].(float64) != 3000000 {
+		t.Fatalf("tail metrics missing from JSON: %v", row)
+	}
+	// Table mode flags the same pair and shows the tail columns.
+	var tbl strings.Builder
+	if reg, err = run([]string{o, n}, &tbl); err != nil || reg != 1 {
+		t.Fatalf("table mode: reg=%d err=%v", reg, err)
+	}
+	for _, want := range []string{"REGRESSION", "0.990->0.800"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	// An old baseline without tail metrics never trips the tail gate.
+	plain := writeBaseline(t, dir, "plain.json", `[
+        {"rev": "c", "name": "BenchmarkEngineChurnRepair", "iterations": 100, "ns_per_op": 70000}
+    ]`)
+	if reg, err = run([]string{plain, n}, io.Discard); err != nil || reg != 0 {
+		t.Fatalf("tail-less old baseline: reg=%d err=%v", reg, err)
 	}
 }
 

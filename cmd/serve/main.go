@@ -420,6 +420,7 @@ func run(args []string, w io.Writer) error {
 	seedSpace := fs.Int("seedspace", 4, "distinct decomposition seeds in the synthetic workload")
 	capacity := fs.Int("capacity", 0, "engine cache capacity (0 = default)")
 	shards := fs.Int("shards", 0, "engine shard count (0 = default; rounded to a power of two)")
+	repairK := fs.Int("repairk", 16, "delta-repair ancestry window: a cache miss repairs a cached result up to this many mutations old instead of recomputing (0 = always recompute)")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	trace := fs.String("trace", "", "replay this request trace instead of synthesizing")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none); expired requests are counted, not fatal")
@@ -443,6 +444,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *churn < 0 || *churn > 1 {
 		return errors.New("churn must be in [0, 1]")
+	}
+	if *repairK < 0 {
+		return errors.New("repairk must be >= 0")
 	}
 	if *httpAddr != "" && *connect != "" {
 		return errors.New("-http and -connect are mutually exclusive")
@@ -522,12 +526,12 @@ func run(args []string, w io.Writer) error {
 			tracer = obs.NewTracer(obs.TracerOptions{})
 		}
 		return serveHTTP(w, st, *httpAddr,
-			engine.Options{Capacity: *capacity, Shards: *shards},
+			engine.Options{Capacity: *capacity, Shards: *shards, RepairK: *repairK},
 			server.Options{MaxInflight: *maxInflight, DefaultTimeout: *timeout, Tracer: tracer},
 			*drainTimeout)
 	}
 
-	e := engine.New(engine.Options{Capacity: *capacity, Shards: *shards})
+	e := engine.New(engine.Options{Capacity: *capacity, Shards: *shards, RepairK: *repairK})
 	h := e.RegisterStore(st)
 	// A recovered store supersedes the -gen/-load graph, so size the
 	// workload off the store, not g.
@@ -623,8 +627,12 @@ func run(args []string, w io.Writer) error {
 	est := e.Stats()
 	lookups := est.Hits + est.Misses + est.Dedup
 	hitRate := 0.0
+	effRate := 0.0
 	if lookups > 0 {
 		hitRate = float64(est.Hits+est.Dedup) / float64(lookups)
+		// Repaired misses never ran the full algorithm, so they count
+		// toward the effective (recompute-avoiding) rate.
+		effRate = float64(est.Hits+est.Dedup+est.RepairHits) / float64(lookups)
 	}
 	fmt.Fprintf(w, "served %d requests in %v with %d clients: %.0f req/s\n",
 		total, elapsed.Round(time.Microsecond), *concurrency,
@@ -634,6 +642,11 @@ func run(args []string, w io.Writer) error {
 		writes.Load(), float64(writes.Load())/elapsed.Seconds())
 	fmt.Fprintf(w, "cache: %d hits, %d dedup joins, %d misses (hit rate %.1f%%), %d computations, %d evictions, %d batch queries\n",
 		est.Hits, est.Dedup, est.Misses, 100*hitRate, est.Computations, est.Evictions, est.Queries)
+	if *repairK > 0 {
+		fmt.Fprintf(w, "repair: %d exact, %d repaired, %d recomputed (effective hit rate %.1f%%), %d fallbacks, %d clusters re-carved\n",
+			est.Hits+est.Dedup, est.RepairHits, est.Misses-est.RepairHits, 100*effRate,
+			est.RepairFallbacks, est.RepairedClusters)
+	}
 	printLatency(w, &lat)
 	if tracer != nil {
 		fmt.Fprintf(w, "slowlog: %d of %d traced requests crossed the %dms threshold (%d write errors)\n",
@@ -641,7 +654,7 @@ func run(args []string, w io.Writer) error {
 	}
 	if sst := st.Stats(); sst.Epoch > 0 || sst.Durable {
 		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas (%d bytes) over %d patched vertices, graph now n=%d m=%d\n",
-			sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.Pending, sst.DeltaBytes, sst.PatchedVertices, st.N(), st.M())
+			sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.PendingDeltas, sst.DeltaBytes, sst.PatchedVertices, st.N(), st.M())
 		if sst.Durable {
 			fmt.Fprintf(w, "durable: dir %s, checkpoint epoch %d, %d wal syncs\n",
 				st.Dir(), sst.CheckpointEpoch, sst.WALSyncs)
@@ -741,7 +754,7 @@ func serveHTTP(w io.Writer, st *store.Store, addr string, eopts engine.Options, 
 		est.Hits, est.Dedup, est.Misses, est.Computations, est.Cancellations)
 	sst := h.Store().Stats()
 	fmt.Fprintf(w, "http: store epoch %d (%d adds, %d dels, %d compactions), %d pending deltas (%d bytes)\n",
-		sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.Pending, sst.DeltaBytes)
+		sst.Epoch, sst.Adds, sst.Dels, sst.Compactions, sst.PendingDeltas, sst.DeltaBytes)
 	if sst.Durable {
 		fmt.Fprintf(w, "http: durable state flushed to %s (checkpoint epoch %d, %d wal syncs)\n",
 			st.Dir(), sst.CheckpointEpoch, sst.WALSyncs)
@@ -923,7 +936,7 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 	printLatency(w, &lat)
 	if info, err = c.GraphInfo(ctx, info.ID); err == nil {
 		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas, graph now n=%d m=%d\n",
-			info.Epoch, info.Adds, info.Dels, info.Compactions, info.Pending, info.N, info.M)
+			info.Epoch, info.Adds, info.Dels, info.Compactions, info.PendingDeltas, info.N, info.M)
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/ldd"
 )
 
 // Kind classifies a registered algorithm's output shape.
@@ -78,10 +79,25 @@ type Capabilities struct {
 	// Workers reports whether the algorithm fans out across the worker
 	// pool (a workers parameter, excluded from cache keys).
 	Workers bool
+	// Repairable reports whether the family supports delta repair: a
+	// cached result computed on an ancestor graph can be patched onto a
+	// descendant differing by a few edges instead of recomputed (derived
+	// from Spec.Repair at registration).
+	Repairable bool
 }
 
 // Runner is the uniform entry signature of every registered algorithm.
 type Runner func(ctx context.Context, g *graph.Graph, p Params) (*Result, error)
+
+// Repairer delta-repairs a cached result onto gv: old was computed (under
+// the same parameters p) on an ancestor graph that differs from gv by
+// delta. Implementations return a fresh envelope satisfying the same
+// quality invariants as a full run, or an error wrapping
+// ldd.ErrRepairFallback when only a full recompute can. The graph arrives
+// as a read view so overlay-backed store snapshots repair without
+// materializing a CSR; repairs that genuinely need one (re-carves)
+// materialize it themselves via the view.
+type Repairer func(ctx context.Context, gv graph.View, old *Result, p Params, delta ldd.EdgeDelta) (*Result, error)
 
 // Spec is one registry entry.
 type Spec struct {
@@ -97,6 +113,9 @@ type Spec struct {
 	Defs []ParamDef
 	// Run is the typed runner.
 	Run Runner
+	// Repair, when non-nil, is the family's delta-repair entry point
+	// (invoked through RepairSpec; sets Caps.Repairable).
+	Repair Repairer
 }
 
 // Validate rejects parameter keys the spec does not declare, so typos in
@@ -171,6 +190,7 @@ var (
 // Register adds a Spec to the registry; duplicate names panic (registration
 // happens at init time).
 func Register(s *Spec) {
+	s.Caps.Repairable = s.Repair != nil
 	names := append([]string{s.Name}, s.Aliases...)
 	for _, n := range names {
 		if _, dup := byName[n]; dup {
@@ -230,6 +250,40 @@ func (s *Spec) RunSpec(ctx context.Context, g *graph.Graph, p Params) (*Result, 
 	}
 	start := time.Now()
 	res, err := s.Run(ctx, g, p)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = s.Name
+	res.Key = key
+	res.Kind = s.Caps.Kind
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RepairSpec is RunSpec for the delta-repair path: it validates p, invokes
+// the family's Repairer against the cached envelope old, and stamps the
+// repaired envelope identically to a full run (same Algorithm/Key/Kind, a
+// fresh Elapsed covering only the repair work). Families without a
+// Repairer return an error wrapping ldd.ErrRepairFallback.
+func (s *Spec) RepairSpec(ctx context.Context, gv graph.View, old *Result, p Params, delta ldd.EdgeDelta) (*Result, error) {
+	if s.Repair == nil {
+		return nil, fmt.Errorf("%w: algo %s is not repairable", ldd.ErrRepairFallback, s.Name)
+	}
+	if gv == nil {
+		return nil, fmt.Errorf("algo %s: nil graph view", s.Name)
+	}
+	if old == nil {
+		return nil, fmt.Errorf("%w: algo %s: nil cached result", ldd.ErrRepairFallback, s.Name)
+	}
+	if err := s.Validate(p); err != nil {
+		return nil, err
+	}
+	key, err := s.CacheKey(p)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.Repair(ctx, gv, old, p, delta)
 	if err != nil {
 		return nil, err
 	}

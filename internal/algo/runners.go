@@ -62,6 +62,20 @@ func registerDecompositions() {
 			}
 			return decompositionResult(ctx, g, dec, lp.Epsilon, repair)
 		},
+		Repair: func(ctx context.Context, gv graph.View, old *Result, p Params, delta ldd.EdgeDelta) (*Result, error) {
+			d := decoder{p: p}
+			lp := ldd.Params{
+				Epsilon:    d.float("eps", 0.3),
+				NTilde:     d.int("ntilde", 0),
+				Seed:       d.uint("seed", 1),
+				Scale:      d.float("scale", 0),
+				SkipPhase2: d.bool("skip2", false),
+			}
+			if d.err != nil {
+				return nil, d.err
+			}
+			return repairDecompositionResult(ctx, gv, old, delta, lp)
+		},
 	})
 
 	Register(&Spec{
@@ -253,6 +267,37 @@ func registerDecompositions() {
 			res.metric("mean_multiplicity", c.MeanMultiplicity())
 			return res, nil
 		},
+		Repair: func(ctx context.Context, gv graph.View, old *Result, p Params, delta ldd.EdgeDelta) (*Result, error) {
+			d := decoder{p: p}
+			ep := ldd.ENParams{
+				Lambda: d.float("lambda", 0.5),
+				NTilde: d.int("ntilde", 0),
+				Seed:   d.uint("seed", 1),
+			}
+			if d.err != nil {
+				return nil, d.err
+			}
+			c, ok := old.Raw.(*ldd.Cover)
+			if !ok || c == nil {
+				return nil, fmt.Errorf("%w: cached result carries no cover", ldd.ErrRepairFallback)
+			}
+			out, rep, err := ldd.RepairCoverDelta(ctx, gv, c, delta, ldd.RepairCoverParams{
+				WeakBound: ep.WeakDiameterBound(gv.N()),
+			})
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{
+				Clusters:    out.Clusters,
+				NumClusters: len(out.Clusters),
+				Rounds:      out.Rounds,
+				Raw:         out,
+			}
+			res.metric("max_multiplicity", float64(out.MaxMultiplicity()))
+			res.metric("mean_multiplicity", out.MeanMultiplicity())
+			stampRepairMetrics(res, old, rep.NewClusters, rep.Certified)
+			return res, nil
+		},
 	})
 
 	Register(&Spec{
@@ -310,6 +355,53 @@ func decompositionResult(ctx context.Context, g *graph.Graph, dec *ldd.Decomposi
 	}
 	res.metric("unclustered_frac", dec.UnclusteredFraction())
 	return res, nil
+}
+
+// repairDecompositionResult is the shared delta-repair body of the
+// ClusterOf decomposition families: unwrap the cached ldd.Decomposition,
+// patch it onto the view with ldd.RepairDelta (certifying kept clusters
+// against the family's analytic weak-diameter budget), and rebuild the
+// envelope with freshly computed quality metrics.
+func repairDecompositionResult(ctx context.Context, gv graph.View, old *Result, delta ldd.EdgeDelta, lp ldd.Params) (*Result, error) {
+	dec, ok := old.Raw.(*ldd.Decomposition)
+	if !ok || dec == nil {
+		return nil, fmt.Errorf("%w: cached result carries no decomposition", ldd.ErrRepairFallback)
+	}
+	out, rep, err := ldd.RepairDelta(ctx, gv, dec, delta, ldd.RepairDeltaParams{
+		Epsilon:   lp.Epsilon,
+		WeakBound: lp.WeakDiameterBound(gv.N()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ClusterOf:   out.ClusterOf,
+		NumClusters: out.NumClusters,
+		Unclustered: out.UnclusteredCount(),
+		Rounds:      out.Rounds,
+		Raw:         out,
+	}
+	res.metric("unclustered_frac", out.UnclusteredFraction())
+	stampRepairMetrics(res, old, rep.Recarved, rep.Certified)
+	return res, nil
+}
+
+// stampRepairMetrics marks a repaired envelope: repair_gen counts repairs
+// since the last full run (the engine caps it to bound drift), and the
+// cluster counters attribute how much work the repair actually did.
+func stampRepairMetrics(res, old *Result, repaired, certified int) {
+	res.metric("repair_gen", RepairGen(old)+1)
+	res.metric("repaired_clusters", float64(repaired))
+	res.metric("certified_clusters", float64(certified))
+}
+
+// RepairGen returns how many delta repairs separate res from a full run
+// (0 for a fresh computation).
+func RepairGen(res *Result) float64 {
+	if res == nil || res.Metrics == nil {
+		return 0
+	}
+	return res.Metrics["repair_gen"]
 }
 
 // SyntheticWeights derives the deterministic vertex weights used by the

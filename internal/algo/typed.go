@@ -55,6 +55,13 @@ func RunChangLi(ctx context.Context, g *graph.Graph, p ldd.Params) (*Result, err
 	return s.RunSpec(ctx, g, ChangLiParams(p))
 }
 
+// RepairChangLi delta-repairs a cached changli envelope onto the view gv
+// from typed params (the engine's repair path).
+func RepairChangLi(ctx context.Context, gv graph.View, old *Result, p ldd.Params, delta ldd.EdgeDelta) (*Result, error) {
+	s, _ := Get("changli")
+	return s.RepairSpec(ctx, gv, old, ChangLiParams(p), delta)
+}
+
 // SparseCoverKey is the cache key of a sparsecover run under p.
 func SparseCoverKey(p ldd.ENParams) string {
 	return fmt.Sprintf("sparsecover|lambda=%g|ntilde=%d|seed=%d",
@@ -74,6 +81,13 @@ func SparseCoverParams(p ldd.ENParams) Params {
 func RunSparseCover(ctx context.Context, g *graph.Graph, p ldd.ENParams) (*Result, error) {
 	s, _ := Get("sparsecover")
 	return s.RunSpec(ctx, g, SparseCoverParams(p))
+}
+
+// RepairSparseCover delta-repairs a cached sparsecover envelope onto the
+// view gv from typed params.
+func RepairSparseCover(ctx context.Context, gv graph.View, old *Result, p ldd.ENParams, delta ldd.EdgeDelta) (*Result, error) {
+	s, _ := Get("sparsecover")
+	return s.RepairSpec(ctx, gv, old, SparseCoverParams(p), delta)
 }
 
 // NetDecompKey is the cache key of a netdecomp run under p.

@@ -4,10 +4,12 @@ import (
 	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/ldd"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/xrand"
 )
@@ -149,6 +151,67 @@ func BenchmarkEngineCachedQueryParallel(b *testing.B) {
 
 func BenchmarkEngineCachedQueryParallelSingleShard(b *testing.B) {
 	benchCachedParallel(b, 1)
+}
+
+// benchChurn is the mixed churn workload behind the repair benchmarks: a
+// 10k-vertex store-backed graph, 4 warm decomposition seeds, and a 5%
+// chance per request that an edge toggles first (invalidating every warm
+// fingerprint). With repairK=0 each invalidation forces up to 4 full
+// recomputes; with repair enabled the misses patch the cached ancestor.
+// Reported metrics: hit_rate is the effective (recompute-avoiding) rate
+// including repairs, p99-ns/p50-ns the per-request latency tail.
+func benchChurn(b *testing.B, repairK int) {
+	g := gen.GNP(10000, 8.0/10000, xrand.New(1))
+	st := store.New(g)
+	e := New(Options{Capacity: 256, RepairK: repairK})
+	h := e.RegisterStore(st)
+	const seeds = 4
+	var ps [seeds]ldd.Params
+	for s := range ps {
+		ps[s] = benchParams()
+		ps[s].Seed = uint64(s)
+		if _, err := e.ChangLi(context.Background(), h, ps[s]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := xrand.New(7)
+	var lat obs.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rng.Bernoulli(0.05) {
+			u, v := rng.Intn(st.N()), rng.Intn(st.N())
+			if u != v && !st.AddEdge(u, v) {
+				st.DeleteEdge(u, v)
+			}
+		}
+		t0 := time.Now()
+		if _, err := e.ChangLi(context.Background(), h, ps[i%seeds]); err != nil {
+			b.Fatal(err)
+		}
+		lat.Observe(time.Since(t0))
+	}
+	b.StopTimer()
+	est := e.Stats()
+	if lookups := est.Hits + est.Misses + est.Dedup; lookups > 0 {
+		b.ReportMetric(float64(est.Hits+est.Dedup+est.RepairHits)/float64(lookups), "hit_rate")
+	}
+	if s := lat.Snapshot(); s.Count > 0 {
+		b.ReportMetric(float64(s.Quantile(0.99)), "p99-ns")
+		b.ReportMetric(float64(s.Quantile(0.50)), "p50-ns")
+	}
+}
+
+// BenchmarkEngineChurnRepair serves the churn mix with delta repair on.
+func BenchmarkEngineChurnRepair(b *testing.B) {
+	benchChurn(b, 16)
+}
+
+// BenchmarkEngineChurnRecompute is the same workload with repair disabled:
+// every invalidated fingerprint recomputes from scratch. The p99 gap to
+// BenchmarkEngineChurnRepair is the repair speedup on the miss path.
+func BenchmarkEngineChurnRecompute(b *testing.B) {
+	benchChurn(b, 0)
 }
 
 // BenchmarkEngineStoreCachedQuery measures the store-handle resolve

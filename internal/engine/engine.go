@@ -24,6 +24,19 @@
 // computed against superseded snapshots age out of the sharded LRU
 // naturally instead of requiring invalidation sweeps.
 //
+// Under churn, a cache miss against a store-backed source does not always
+// recompute: with Options.RepairK > 0 the engine walks the snapshot's
+// ancestry (the store's delta log and fingerprint chain) up to RepairK
+// mutations back for a cached result under the same algorithm key, and
+// delta-repairs it onto the current snapshot (ldd.RepairDelta /
+// ldd.RepairCoverDelta) — certifying untouched clusters and re-carving
+// only what the net edge delta broke. Repairs run on the snapshot's
+// overlay view, so a certificate-only repair never materializes a CSR.
+// Chains of repairs-of-repairs are capped at Options.RepairMaxGen before a
+// full recompute resets the drift; repairs that decline (region too large,
+// failed certificate, quality regression) fall back to a recompute and are
+// counted in Stats.RepairFallbacks.
+//
 // Every request takes a context: a cancelled or deadline-expired request
 // stops promptly — computations poll the context in their outer loops, a
 // joiner abandons its singleflight wait without disturbing the computation,
@@ -80,6 +93,19 @@ type Options struct {
 	// and joiner-wait latency are always recorded — they are orders of
 	// magnitude slower than the instrumentation.
 	MetricsSampleEvery int
+	// RepairK enables incremental repair on the miss path for store-backed
+	// snapshots: a request whose fingerprint misses walks up to RepairK
+	// deltas back through the snapshot's ancestry, and if a cached result
+	// exists for an ancestor (for a repairable algorithm family) it is
+	// delta-repaired onto the current graph instead of recomputed from
+	// scratch. <= 0 disables repair (the default): results are then
+	// produced exclusively by full runs.
+	RepairK int
+	// RepairMaxGen caps consecutive repairs of the same cached lineage:
+	// once a result's repair generation reaches the cap, the next miss
+	// recomputes in full, resetting drift accumulated by repair
+	// certificates. <= 0 means the default (32).
+	RepairMaxGen int
 }
 
 func (o Options) capacity() int {
@@ -87,6 +113,13 @@ func (o Options) capacity() int {
 		return 64
 	}
 	return o.Capacity
+}
+
+func (o Options) repairMaxGen() int {
+	if o.RepairMaxGen <= 0 {
+		return 32
+	}
+	return o.RepairMaxGen
 }
 
 // maxShards caps the shard count: beyond this, per-shard state is all
@@ -132,10 +165,23 @@ type Stats struct {
 	// Dedup counts requests that joined an in-flight identical computation
 	// instead of starting their own (the singleflight savings).
 	Dedup uint64
-	// Computations counts underlying algorithm runs; Misses and
-	// Computations agree unless a computation panicked or was retried
-	// after a cancelled initiator abandoned it.
+	// Computations counts underlying algorithm runs, including delta
+	// repairs; Misses and Computations agree unless a computation panicked
+	// or was retried after a cancelled initiator abandoned it. Full
+	// recomputes are Computations - RepairHits.
 	Computations uint64
+	// RepairHits counts misses served by delta-repairing a cached ancestor
+	// result instead of recomputing from scratch (a subset of Misses;
+	// requires Options.RepairK > 0 and a store-backed snapshot).
+	RepairHits uint64
+	// RepairFallbacks counts miss-path repair attempts that fell through
+	// to a full recompute: no cached ancestor within RepairK deltas, the
+	// generation cap was reached, or the repair itself declined (delta too
+	// large, certificate failure, invariant violation).
+	RepairFallbacks uint64
+	// RepairedClusters totals the clusters re-carved or patched across all
+	// successful repairs (the incremental work actually done).
+	RepairedClusters uint64
 	// Evictions counts cache entries dropped by the LRU policy (capacity
 	// overflow or Unregister), summed over shards.
 	Evictions uint64
@@ -204,6 +250,12 @@ type Engine struct {
 	queries       atomic.Uint64
 	cancellations atomic.Uint64
 
+	repairK          int
+	repairMaxGen     int
+	repairHits       atomic.Uint64
+	repairFallbacks  atomic.Uint64
+	repairedClusters atomic.Uint64
+
 	met *obs.EngineMetrics
 
 	wsPool sync.Pool // *graph.Workspace reservoir for the query paths
@@ -214,9 +266,11 @@ func New(o Options) *Engine {
 	nshards := o.shardCount()
 	capacity := o.capacity()
 	e := &Engine{
-		shards: make([]*shard, nshards),
-		mask:   uint64(nshards - 1),
-		met:    obs.NewEngineMetrics(nshards, o.MetricsSampleEvery),
+		shards:       make([]*shard, nshards),
+		mask:         uint64(nshards - 1),
+		repairK:      o.RepairK,
+		repairMaxGen: o.repairMaxGen(),
+		met:          obs.NewEngineMetrics(nshards, o.MetricsSampleEvery),
 	}
 	// Split the total capacity exactly: the first capacity%nshards shards
 	// take one extra slot, so Options.Capacity is never silently shrunk by
@@ -248,7 +302,12 @@ func (e *Engine) Stats() Stats {
 		Evictions:     e.evictions.Load(),
 		Queries:       e.queries.Load(),
 		Cancellations: e.cancellations.Load(),
-		Shards:        make([]ShardStat, len(e.shards)),
+
+		RepairHits:       e.repairHits.Load(),
+		RepairFallbacks:  e.repairFallbacks.Load(),
+		RepairedClusters: e.repairedClusters.Load(),
+
+		Shards: make([]ShardStat, len(e.shards)),
 	}
 	for i, sh := range e.shards {
 		sh.mu.Lock()
@@ -293,6 +352,17 @@ func (v sourceView) graph() *graph.Graph {
 		return v.g
 	}
 	return v.snap.Graph()
+}
+
+// view returns the resolved version as a read view without forcing
+// materialization: store snapshots serve adjacency through their overlay,
+// so certificate-only repairs skip the O(n+m) CSR build entirely (a
+// re-carve materializes on demand via Snapshot.Graph).
+func (v sourceView) view() graph.View {
+	if v.g != nil {
+		return v.g
+	}
+	return v.snap
 }
 
 // Source is anything the engine can serve requests against: a Handle to a
@@ -545,6 +615,13 @@ func (e *Engine) Run(ctx context.Context, src Source, name string, p algo.Params
 		tr.SetRequest(name, key, sv.fp.String())
 	}
 	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
+		if s.Caps.Repairable {
+			if r, ok := e.tryRepair(ctx, sv, key, func(ctx context.Context, old *algo.Result, delta ldd.EdgeDelta) (*algo.Result, error) {
+				return s.RepairSpec(ctx, sv.view(), old, p, delta)
+			}); ok {
+				return r, nil
+			}
+		}
 		r, err := s.RunSpec(ctx, sv.graph(), p)
 		if err != nil {
 			return nil, err
@@ -570,6 +647,11 @@ func (e *Engine) ChangLi(ctx context.Context, src Source, p ldd.Params) (*ldd.De
 		tr.SetRequest("changli", key, sv.fp.String())
 	}
 	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
+		if r, ok := e.tryRepair(ctx, sv, key, func(ctx context.Context, old *algo.Result, delta ldd.EdgeDelta) (*algo.Result, error) {
+			return algo.RepairChangLi(ctx, sv.view(), old, p, delta)
+		}); ok {
+			return r, nil
+		}
 		r, err := algo.RunChangLi(ctx, sv.graph(), p)
 		if err != nil {
 			return nil, err
@@ -591,6 +673,11 @@ func (e *Engine) SparseCover(ctx context.Context, src Source, p ldd.ENParams) (*
 		tr.SetRequest("sparsecover", key, sv.fp.String())
 	}
 	v, err := e.do(ctx, cacheKey{fp: sv.fp, key: key}, func(ctx context.Context) (any, error) {
+		if r, ok := e.tryRepair(ctx, sv, key, func(ctx context.Context, old *algo.Result, delta ldd.EdgeDelta) (*algo.Result, error) {
+			return algo.RepairSparseCover(ctx, sv.view(), old, p, delta)
+		}); ok {
+			return r, nil
+		}
 		r, err := algo.RunSparseCover(ctx, sv.graph(), p)
 		if err != nil {
 			return nil, err
@@ -715,6 +802,11 @@ func (e *Engine) LocalSolves(ctx context.Context, src Source, p ldd.Params, inst
 	}
 	key := cacheKey{fp: sv.fp, key: algo.ChangLiKey(p)}
 	ent, err := e.getEntry(ctx, key, func(ctx context.Context) (any, error) {
+		if r, ok := e.tryRepair(ctx, sv, key.key, func(ctx context.Context, old *algo.Result, delta ldd.EdgeDelta) (*algo.Result, error) {
+			return algo.RepairChangLi(ctx, sv.view(), old, p, delta)
+		}); ok {
+			return r, nil
+		}
 		r, err := algo.RunChangLi(ctx, sv.graph(), p)
 		if err != nil {
 			return nil, err

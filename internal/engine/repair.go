@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/ldd"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// repairFn patches a cached ancestor result onto the current snapshot's
+// graph given the collapsed net edge delta between the two versions.
+type repairFn func(ctx context.Context, old *algo.Result, delta ldd.EdgeDelta) (*algo.Result, error)
+
+// tryRepair is the miss-path shortcut behind Options.RepairK: instead of
+// recomputing from scratch, walk the snapshot's ancestry (store delta log
+// + fingerprint chain) newest-first for a cached result under the same
+// algorithm key, and delta-repair the first one found. Runs inside a do()
+// compute closure — the caller holds no shard lock, so the cross-shard
+// cache peeks cannot deadlock, and singleflight dedup covers the repair
+// exactly like a full computation.
+//
+// Returns (result, true) on a successful repair (the result is stamped
+// with the current snapshot's fingerprint and will be cached under it by
+// do). Returns (nil, false) — counting a fallback — when no ancestor is
+// cached within RepairK deltas, the repair generation cap is reached, or
+// the repair itself declines; the caller then recomputes in full.
+func (e *Engine) tryRepair(ctx context.Context, sv sourceView, key string, fn repairFn) (*algo.Result, bool) {
+	if e.repairK <= 0 || sv.snap == nil {
+		return nil, false
+	}
+	ancestors := sv.snap.Ancestry(e.repairK)
+	if len(ancestors) == 0 {
+		// Nothing to walk (pristine or freshly compacted store): this miss
+		// was never repairable, so it is not a fallback.
+		return nil, false
+	}
+	for _, anc := range ancestors {
+		old, ok := e.peek(cacheKey{fp: anc.Fingerprint, key: key})
+		if !ok {
+			continue
+		}
+		if algo.RepairGen(old) >= float64(e.repairMaxGen) {
+			// Drift cap: certificates admit slightly weaker structure than
+			// a fresh run, so chains of repairs-of-repairs are bounded and
+			// the next full computation resets the generation.
+			e.repairFallbacks.Add(1)
+			return nil, false
+		}
+		delta := collapseDeltas(anc.Deltas)
+		endRepair := obs.StartPhase(ctx, "repair")
+		t0 := time.Now()
+		var res *algo.Result
+		var err error
+		if delta.Empty() {
+			// The pending mutations cancelled out (e.g. an add and its
+			// delete): the edge sets are identical, only the incremental
+			// fingerprint differs. Re-stamp a copy of the cached envelope.
+			clone := *old
+			res = &clone
+		} else {
+			res, err = fn(ctx, old, delta)
+		}
+		e.met.Repair.Observe(time.Since(t0))
+		endRepair()
+		if err != nil {
+			if !ctxErr(err) {
+				e.repairFallbacks.Add(1)
+			}
+			return nil, false
+		}
+		e.repairHits.Add(1)
+		if res.Metrics != nil {
+			e.repairedClusters.Add(uint64(res.Metrics["repaired_clusters"]))
+		}
+		return stamp(res, sv.fp), true
+	}
+	e.repairFallbacks.Add(1)
+	return nil, false
+}
+
+// peek looks up a cached result under an ancestor's key without touching
+// the hit counters (the request's own lookup already counted a miss).
+func (e *Engine) peek(key cacheKey) (*algo.Result, bool) {
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ent, ok := sh.cache.get(key); ok {
+		if r, ok := ent.val.(*algo.Result); ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// collapseDeltas nets a raw mutation suffix into the edge difference
+// between the two versions it spans. Store mutations on one edge strictly
+// alternate (an add applies only when absent, a delete only when present),
+// so an even op count returns the edge to its ancestor state and an odd
+// count nets to the last op. The result is sorted for determinism — the
+// repair outcome must not depend on map iteration order.
+func collapseDeltas(deltas []store.Delta) ldd.EdgeDelta {
+	type edge struct{ u, v int32 }
+	parity := make(map[edge]store.Op, len(deltas))
+	for _, d := range deltas {
+		k := edge{d.U, d.V}
+		if _, dup := parity[k]; dup {
+			delete(parity, k) // even count so far: cancelled out
+		} else {
+			parity[k] = d.Op
+		}
+	}
+	var out ldd.EdgeDelta
+	for k, op := range parity {
+		if op == store.OpAdd {
+			out.Added = append(out.Added, [2]int32{k.u, k.v})
+		} else {
+			out.Removed = append(out.Removed, [2]int32{k.u, k.v})
+		}
+	}
+	sortEdges(out.Added)
+	sortEdges(out.Removed)
+	return out
+}
+
+func sortEdges(es [][2]int32) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+}

@@ -15,7 +15,13 @@
 //     ε-fraction bound on unclustered vertices holds with high probability;
 //   - Blackbox: the Section 1.6 boost of Coiteux-Roy et al. that improves
 //     the log³(1/ε) round factor to log(1/ε);
-//   - RepairDiameter: the weak-to-ideal diameter cleanup step.
+//   - RepairDiameter: the weak-to-ideal diameter cleanup step;
+//   - RepairDelta / RepairCoverDelta: incremental repair of a cached
+//     decomposition or cover onto a mutated graph — classify the net edge
+//     delta, certify untouched clusters with single-BFS weak-diameter
+//     certificates, re-carve (or patch) only what broke, and fall back
+//     (ErrRepairFallback) whenever the repaired result could not match a
+//     fresh run's invariants.
 package ldd
 
 import (

@@ -20,6 +20,7 @@ type EngineMetrics struct {
 	Hit      Histogram
 	Compute  Histogram
 	JoinWait Histogram
+	Repair   Histogram
 	ShardHit []Histogram
 }
 

@@ -111,9 +111,10 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 			Aliases:  sp.Aliases,
 			Summary:  sp.Summary,
 			Kind:     sp.Caps.Kind.String(),
-			Seeded:   sp.Caps.Seeded,
-			Weighted: sp.Caps.Weighted,
-			Workers:  sp.Caps.Workers,
+			Seeded:     sp.Caps.Seeded,
+			Weighted:   sp.Caps.Weighted,
+			Workers:    sp.Caps.Workers,
+			Repairable: sp.Caps.Repairable,
 		}
 		for _, d := range sp.Defs {
 			info.Params = append(info.Params, AlgorithmParam{

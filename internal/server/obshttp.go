@@ -206,6 +206,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("repro_engine_evictions_total", "cache entries dropped by the LRU policy", est.Evictions)
 	counter("repro_engine_queries_total", "batch query calls (cluster-of, balls, local solves)", est.Queries)
 	counter("repro_engine_cancellations_total", "requests that returned a context error", est.Cancellations)
+	counter("repro_engine_repair_hits_total", "misses served by delta-repairing a cached ancestor result", est.RepairHits)
+	counter("repro_engine_repair_fallbacks_total", "repair attempts that fell through to a full recompute", est.RepairFallbacks)
+	counter("repro_engine_repaired_clusters_total", "clusters re-carved or patched by successful repairs", est.RepairedClusters)
 	gauge("repro_engine_cache_entries", "resident completed results across shards", uint64(est.EntriesTotal()))
 	gauge("repro_engine_inflight_computations", "computations currently running", uint64(est.InflightTotal()))
 	gauge("repro_engine_shards", "number of cache shards", uint64(len(est.Shards)))
@@ -229,6 +232,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cache-hit lookup latency (sampled; see repro_engine_hit_sample_interval)", em.Hit.Snapshot())
 	durHist("repro_engine_compute_seconds", "cache-miss computation latency", em.Compute.Snapshot())
 	durHist("repro_engine_joinwait_seconds", "wait behind an in-flight identical computation", em.JoinWait.Snapshot())
+	durHist("repro_engine_repair_seconds", "delta-repair latency on the miss path", em.Repair.Snapshot())
 	gauge("repro_engine_hit_sample_interval", "hit-path sampling interval (1 = every hit timed)", uint64(em.SampleEvery()))
 	obs.WriteHeader(w, "repro_engine_shard_hit_seconds", "gauge", "per-shard sampled hit latency quantiles")
 	for i := range em.ShardHit {
@@ -304,7 +308,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	graphFamily("repro_graph_epoch", "counter", "mutations applied over the store's lifetime",
 		func(sg *servedGraph) uint64 { return sg.st.Stats().Epoch }, nil)
 	graphFamily("repro_graph_pending_deltas", "gauge", "delta-log length since the last compaction",
-		func(sg *servedGraph) uint64 { return uint64(sg.st.Stats().Pending) }, nil)
+		func(sg *servedGraph) uint64 { return uint64(sg.st.Stats().PendingDeltas) }, nil)
 	graphFamily("repro_graph_patched_vertices", "gauge", "vertices with overlaid adjacency",
 		func(sg *servedGraph) uint64 { return uint64(sg.st.Stats().PatchedVertices) }, nil)
 	graphFamily("repro_graph_adds_total", "counter", "applied edge insertions",
@@ -313,7 +317,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(sg *servedGraph) uint64 { return sg.st.Stats().Dels }, nil)
 	graphFamily("repro_graph_compactions_total", "counter", "delta-overlay compactions",
 		func(sg *servedGraph) uint64 { return sg.st.Stats().Compactions }, nil)
-	graphFamily("repro_graph_delta_bytes", "gauge", "on-disk footprint of the pending delta log",
+	graphFamily("repro_graph_delta_bytes", "gauge", "on-disk footprint of the pending delta log (0 for memory-only graphs)",
 		func(sg *servedGraph) uint64 { return uint64(sg.st.Stats().DeltaBytes) }, nil)
 	graphFamily("repro_graph_durable", "gauge", "1 when backed by WAL + checkpoint",
 		func(sg *servedGraph) uint64 { return uint64(boolGauge(sg.st.Stats().Durable)) }, nil)

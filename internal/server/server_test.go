@@ -317,7 +317,7 @@ func TestMutationEndpoints(t *testing.T) {
 		t.Fatalf("compact: %v", err)
 	}
 	after, err := c.GraphInfo(ctx, id)
-	if err != nil || after.Pending != 0 || after.Compactions != 1 || after.M != 50 {
+	if err != nil || after.PendingDeltas != 0 || after.Compactions != 1 || after.M != 50 {
 		t.Fatalf("post-compact info: %v %+v", err, after)
 	}
 	if cres.Fingerprint != after.Fingerprint {

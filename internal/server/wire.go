@@ -214,12 +214,13 @@ type GraphInfo struct {
 	M           int    `json:"m"`
 	Fingerprint string `json:"fingerprint"`
 	Epoch       uint64 `json:"epoch"`
-	Pending     int    `json:"pending_deltas"`
-	Patched     int    `json:"patched_vertices"`
-	Adds        uint64 `json:"adds"`
-	Dels        uint64 `json:"dels"`
-	Compactions uint64 `json:"compactions"`
-	// DeltaBytes is the exact on-disk footprint of the pending delta log.
+	PendingDeltas int    `json:"pending_deltas"`
+	Patched       int    `json:"patched_vertices"`
+	Adds          uint64 `json:"adds"`
+	Dels          uint64 `json:"dels"`
+	Compactions   uint64 `json:"compactions"`
+	// DeltaBytes is the exact on-disk footprint of the pending delta log
+	// (0 for memory-only graphs, which keep nothing on disk).
 	DeltaBytes int64 `json:"delta_bytes"`
 	// Durable reports whether mutations to this graph survive restarts;
 	// CheckpointEpoch is the epoch of its on-disk checkpoint.
@@ -236,7 +237,7 @@ func graphInfo(sg *servedGraph) GraphInfo {
 		M:               st.M,
 		Fingerprint:     st.Fingerprint.String(),
 		Epoch:           st.Epoch,
-		Pending:         st.Pending,
+		PendingDeltas:   st.PendingDeltas,
 		Patched:         st.PatchedVertices,
 		Adds:            st.Adds,
 		Dels:            st.Dels,
@@ -269,10 +270,11 @@ type AlgorithmInfo struct {
 	Aliases  []string         `json:"aliases,omitempty"`
 	Summary  string           `json:"summary"`
 	Kind     string           `json:"kind"`
-	Seeded   bool             `json:"seeded,omitempty"`
-	Weighted bool             `json:"weighted,omitempty"`
-	Workers  bool             `json:"workers,omitempty"`
-	Params   []AlgorithmParam `json:"params,omitempty"`
+	Seeded     bool             `json:"seeded,omitempty"`
+	Weighted   bool             `json:"weighted,omitempty"`
+	Workers    bool             `json:"workers,omitempty"`
+	Repairable bool             `json:"repairable,omitempty"`
+	Params     []AlgorithmParam `json:"params,omitempty"`
 }
 
 // AlgorithmParam documents one declared parameter.

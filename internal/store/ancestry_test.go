@@ -1,0 +1,104 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/graphio"
+)
+
+// TestAncestryChain pins the fingerprint chain: Ancestry(k) walks
+// newest-first, each ancestor's fingerprint matches the snapshot the store
+// actually exposed at that version, and the delta suffix replays the
+// ancestor forward to the current snapshot.
+func TestAncestryChain(t *testing.T) {
+	st := New(gen.Cycle(12))
+	muts := [][2]int{{0, 4}, {2, 7}, {5, 9}, {1, 6}}
+	fps := []graphio.Fingerprint{st.Fingerprint()} // fps[i] = fp after i mutations
+	for _, m := range muts {
+		if !st.AddEdge(m[0], m[1]) {
+			t.Fatalf("AddEdge%v failed", m)
+		}
+		fps = append(fps, st.Fingerprint())
+	}
+
+	snap := st.Snapshot()
+	anc := snap.Ancestry(10) // more than available: clamped to the window
+	if len(anc) != len(muts) {
+		t.Fatalf("Ancestry(10) returned %d ancestors, want %d", len(anc), len(muts))
+	}
+	for i, a := range anc {
+		// anc[0] is one mutation back, anc[1] two back, ...
+		wantFP := fps[len(muts)-1-i]
+		if a.Fingerprint != wantFP {
+			t.Fatalf("ancestor %d: fingerprint %s, want %s", i, a.Fingerprint.Short(), wantFP.Short())
+		}
+		if len(a.Deltas) != i+1 {
+			t.Fatalf("ancestor %d: %d deltas, want %d", i, len(a.Deltas), i+1)
+		}
+		// Replaying the suffix onto the ancestor graph must reproduce the
+		// current edge set.
+		g := New(gen.Cycle(12))
+		for _, m := range muts[:len(muts)-1-i] {
+			g.AddEdge(m[0], m[1])
+		}
+		for _, d := range a.Deltas {
+			switch d.Op {
+			case OpAdd:
+				g.AddEdge(int(d.U), int(d.V))
+			case OpDel:
+				g.DeleteEdge(int(d.U), int(d.V))
+			}
+		}
+		if g.Fingerprint() != snap.Fingerprint() {
+			t.Fatalf("ancestor %d: replayed suffix does not reach the snapshot", i)
+		}
+	}
+
+	if got := snap.Ancestry(2); len(got) != 2 {
+		t.Fatalf("Ancestry(2) returned %d ancestors, want 2", len(got))
+	}
+	if got := snap.Ancestry(0); got != nil {
+		t.Fatalf("Ancestry(0) = %v, want nil", got)
+	}
+}
+
+// TestAncestryStopsAtCompaction pins that ancestry never crosses a
+// compaction: the folded CSR has no delta log to walk.
+func TestAncestryStopsAtCompaction(t *testing.T) {
+	st := New(gen.Cycle(10))
+	st.AddEdge(0, 5)
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if anc := st.Snapshot().Ancestry(8); anc != nil {
+		t.Fatalf("post-compaction Ancestry = %v, want nil", anc)
+	}
+	// Mutations after the compaction re-grow the window from the compacted
+	// version.
+	st.AddEdge(1, 6)
+	st.DeleteEdge(3, 4)
+	anc := st.Snapshot().Ancestry(8)
+	if len(anc) != 2 {
+		t.Fatalf("Ancestry after compaction returned %d ancestors, want 2", len(anc))
+	}
+}
+
+// TestAncestrySnapshotStable pins snapshot isolation for the ancestry
+// view: mutations applied after a snapshot was taken must not change what
+// that snapshot's Ancestry returns.
+func TestAncestrySnapshotStable(t *testing.T) {
+	st := New(gen.Cycle(10))
+	st.AddEdge(0, 3)
+	snap := st.Snapshot()
+	before := snap.Ancestry(8)
+	st.AddEdge(1, 4)
+	st.AddEdge(2, 5)
+	after := snap.Ancestry(8)
+	if len(before) != 1 || len(after) != 1 {
+		t.Fatalf("ancestry lengths %d/%d, want 1/1", len(before), len(after))
+	}
+	if before[0].Fingerprint != after[0].Fingerprint || len(after[0].Deltas) != 1 {
+		t.Fatal("snapshot ancestry changed under later mutations")
+	}
+}

@@ -69,8 +69,8 @@ func TestDurableCreateReopen(t *testing.T) {
 		}
 	}
 	want := st.Stats()
-	if !want.Durable || want.DeltaBytes != int64(want.Pending)*wal.FrameSize {
-		t.Fatalf("stats: durable=%v deltaBytes=%d pending=%d", want.Durable, want.DeltaBytes, want.Pending)
+	if !want.Durable || want.DeltaBytes != int64(want.PendingDeltas)*wal.FrameSize {
+		t.Fatalf("stats: durable=%v deltaBytes=%d pending=%d", want.Durable, want.DeltaBytes, want.PendingDeltas)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestDurableCreateReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := back.Stats()
-	if got.Fingerprint != want.Fingerprint || got.Epoch != want.Epoch || got.M != want.M || got.Pending != want.Pending {
+	if got.Fingerprint != want.Fingerprint || got.Epoch != want.Epoch || got.M != want.M || got.PendingDeltas != want.PendingDeltas {
 		t.Fatalf("reopen drifted: got %+v want %+v", got, want)
 	}
 	// The reopened store keeps appending on the same chain.
@@ -119,7 +119,7 @@ func TestDurableCompactRotates(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := st.Stats()
-	if stats.Pending != 0 || stats.DeltaBytes != 0 || stats.CheckpointEpoch != stats.Epoch {
+	if stats.PendingDeltas != 0 || stats.DeltaBytes != 0 || stats.CheckpointEpoch != stats.Epoch {
 		t.Fatalf("post-compact stats: %+v", stats)
 	}
 	if snap.Fingerprint() != graphio.FingerprintOf(snap.Graph()) {
@@ -193,7 +193,7 @@ func TestDurableTruncationSweep(t *testing.T) {
 		if got := back.Fingerprint(); got != fps[prefix] {
 			t.Fatalf("offset %d: fingerprint %s, want %s (prefix %d)", off, got.Short(), fps[prefix].Short(), prefix)
 		}
-		if p := back.Stats().Pending; p != prefix {
+		if p := back.Stats().PendingDeltas; p != prefix {
 			t.Fatalf("offset %d: pending %d, want %d", off, p, prefix)
 		}
 		// Repair truncated the torn tail, so the file is frame-aligned again.
@@ -327,7 +327,7 @@ func TestDurableCompactFailureLeavesStateIntact(t *testing.T) {
 		t.Fatal("compact succeeded over a blocked checkpoint path")
 	}
 	after := st.Stats()
-	if after.Fingerprint != before.Fingerprint || after.Pending != before.Pending || after.CheckpointEpoch != before.CheckpointEpoch {
+	if after.Fingerprint != before.Fingerprint || after.PendingDeltas != before.PendingDeltas || after.CheckpointEpoch != before.CheckpointEpoch {
 		t.Fatalf("failed compact changed state: before %+v after %+v", before, after)
 	}
 	if !st.AddEdge(0, 7) {

@@ -85,15 +85,15 @@ type Stats struct {
 	// Epoch is the number of mutations applied over the store's lifetime
 	// (monotone; Compact does not reset it).
 	Epoch uint64
-	// Pending is the delta-log length since the last Compact.
-	Pending int
+	// PendingDeltas is the delta-log length since the last Compact.
+	PendingDeltas int
 	// PatchedVertices counts vertices whose adjacency is overlaid.
 	PatchedVertices int
 	// Adds, Dels, Compactions are lifetime counters of applied operations.
 	Adds, Dels, Compactions uint64
 	// DeltaBytes is the on-disk footprint of the pending delta log. WAL
-	// frames are fixed-size, so this is exact (and is reported for
-	// memory-only stores too, as the bytes the log would occupy).
+	// frames are fixed-size, so this is exact. Memory-only stores report 0:
+	// nothing is on disk (the in-memory log length is PendingDeltas).
 	DeltaBytes int64
 	// Durable reports whether the store is backed by a WAL + checkpoint
 	// directory.
@@ -116,8 +116,15 @@ type Store struct {
 	fp      graphio.Fingerprint
 	epoch   uint64
 	log     []Delta
-	sealed  bool // the current patched map is shared with a live snapshot
-	snap    *Snapshot
+	// fpLog parallels log: fpLog[i] is the fingerprint after log[i] was
+	// applied, so together with windowFP (the fingerprint at the start of
+	// the window, i.e. after the last Compact) it names every intermediate
+	// version in the current delta window. Both are append-only between
+	// Compacts, which is what lets snapshots capture slice headers in O(1).
+	fpLog    []graphio.Fingerprint
+	windowFP graphio.Fingerprint
+	sealed   bool // the current patched map is shared with a live snapshot
+	snap     *Snapshot
 
 	// cur is the lock-free fast path of Snapshot(): the currently
 	// published snapshot, or nil when a mutation has invalidated it.
@@ -141,12 +148,14 @@ type Store struct {
 // New wraps g (retained, must not be mutated by the caller) in a store.
 // The initial fingerprint is g's canonical content fingerprint.
 func New(g *graph.Graph) *Store {
+	fp := graphio.FingerprintOf(g)
 	return &Store{
-		base:    g,
-		patched: make(map[int32][]int32),
-		n:       g.N(),
-		m:       g.M(),
-		fp:      graphio.FingerprintOf(g),
+		base:     g,
+		patched:  make(map[int32][]int32),
+		n:        g.N(),
+		m:        g.M(),
+		fp:       fp,
+		windowFP: fp,
 	}
 }
 
@@ -183,15 +192,17 @@ func (s *Store) Stats() Stats {
 		M:               s.m,
 		Fingerprint:     s.fp,
 		Epoch:           s.epoch,
-		Pending:         len(s.log),
+		PendingDeltas:   len(s.log),
 		PatchedVertices: len(s.patched),
 		Adds:            s.adds,
 		Dels:            s.dels,
 		Compactions:     s.compactions,
-		DeltaBytes:      int64(len(s.log)) * wal.FrameSize,
 		Durable:         s.dir != "",
 		WALSyncs:        s.syncsBase,
 		CheckpointEpoch: s.ckptEpoch,
+	}
+	if s.dir != "" {
+		st.DeltaBytes = int64(len(s.log)) * wal.FrameSize
 	}
 	if s.w != nil {
 		_, syncs := s.w.Counters()
@@ -321,6 +332,7 @@ func (s *Store) applyDelta(op Op, u, v int) {
 	s.epoch++
 	s.fp = graphio.NextFingerprint(s.fp, byte(op), int32(u), int32(v))
 	s.log = append(s.log, Delta{Op: op, U: int32(u), V: int32(v), Epoch: s.epoch})
+	s.fpLog = append(s.fpLog, s.fp)
 }
 
 // Snapshot returns an immutable view of the current graph in O(1). The
@@ -341,12 +353,15 @@ func (s *Store) Snapshot() *Snapshot {
 	defer s.mu.Unlock()
 	if s.snap == nil {
 		s.snap = &Snapshot{
-			base:    s.base,
-			patched: s.patched,
-			n:       s.n,
-			m:       s.m,
-			fp:      s.fp,
-			epoch:   s.epoch,
+			base:     s.base,
+			patched:  s.patched,
+			n:        s.n,
+			m:        s.m,
+			fp:       s.fp,
+			epoch:    s.epoch,
+			window:   s.log,
+			fpWindow: s.fpLog,
+			windowFP: s.windowFP,
 		}
 		// The snapshot now shares the patched map (even an empty one), so
 		// the next mutation must clone it before writing.
@@ -386,6 +401,8 @@ func (s *Store) Compact() (*Snapshot, error) {
 		s.patched = make(map[int32][]int32)
 		s.fp = graphio.FingerprintOf(g)
 		s.log = nil
+		s.fpLog = nil
+		s.windowFP = s.fp
 		s.compactions++
 		s.sealed = false
 		s.snap = nil
@@ -400,7 +417,10 @@ func (s *Store) Compact() (*Snapshot, error) {
 		}
 	}
 	if s.snap == nil {
-		s.snap = &Snapshot{base: s.base, patched: s.patched, n: s.n, m: s.m, fp: s.fp, epoch: s.epoch}
+		s.snap = &Snapshot{
+			base: s.base, patched: s.patched, n: s.n, m: s.m, fp: s.fp, epoch: s.epoch,
+			window: s.log, fpWindow: s.fpLog, windowFP: s.windowFP,
+		}
 		s.sealed = true
 	}
 	s.cur.Store(s.snap)
@@ -448,6 +468,15 @@ type Snapshot struct {
 	fp      graphio.Fingerprint
 	epoch   uint64
 
+	// Ancestry: the delta window this snapshot sits at the end of. window
+	// holds the deltas applied since the last Compact, fpWindow[i] is the
+	// fingerprint after window[i], and windowFP is the fingerprint at the
+	// window start. The slices are append-only in the owning store, so the
+	// captured headers stay internally consistent forever.
+	window   []Delta
+	fpWindow []graphio.Fingerprint
+	windowFP graphio.Fingerprint
+
 	once sync.Once
 	g    *graph.Graph
 }
@@ -494,6 +523,42 @@ func (s *Snapshot) HasEdge(u, v int) bool {
 // overlay (no materialization).
 func (s *Snapshot) Ball(v, k int) []int32 {
 	return graph.BallOnView(s, v, k)
+}
+
+// Ancestor is an earlier version of a snapshot's store, reachable by
+// rewinding pending deltas: applying Deltas (in order) to the graph with
+// identity Fingerprint reproduces the snapshot's edge set.
+type Ancestor struct {
+	// Fingerprint is the ancestor version's cache identity.
+	Fingerprint graphio.Fingerprint
+	// Deltas is the suffix of the delta window separating the ancestor from
+	// the snapshot. The slice aliases store history and must not be modified.
+	Deltas []Delta
+}
+
+// Ancestry returns the snapshot's ancestors within the current delta
+// window, newest first (i.e. fewest separating deltas first), at most max
+// entries. The snapshot itself is not included. Ancestors never cross a
+// Compact: compaction folds the window and restores the canonical
+// fingerprint, so there is nothing to rewind through. The walk is O(max)
+// — slice arithmetic over history captured at snapshot time.
+func (s *Snapshot) Ancestry(max int) []Ancestor {
+	l := len(s.window)
+	if max > l {
+		max = l
+	}
+	if max <= 0 {
+		return nil
+	}
+	out := make([]Ancestor, 0, max)
+	for j := l - 1; j >= l-max; j-- {
+		fp := s.windowFP
+		if j > 0 {
+			fp = s.fpWindow[j-1]
+		}
+		out = append(out, Ancestor{Fingerprint: fp, Deltas: s.window[j:]})
+	}
+	return out
 }
 
 // Graph materializes the snapshot as a concrete CSR graph, at most once

@@ -176,11 +176,11 @@ func TestDeltaLogAndTombstones(t *testing.T) {
 		}
 	}
 	stats := st.Stats()
-	if stats.Adds != 2 || stats.Dels != 1 || stats.Pending != 3 || stats.Epoch != 3 {
+	if stats.Adds != 2 || stats.Dels != 1 || stats.PendingDeltas != 3 || stats.Epoch != 3 {
 		t.Fatalf("stats %+v", stats)
 	}
 	st.Compact()
-	if got := st.Stats(); got.Pending != 0 || got.Compactions != 1 || got.Epoch != 3 {
+	if got := st.Stats(); got.PendingDeltas != 0 || got.Compactions != 1 || got.Epoch != 3 {
 		t.Fatalf("post-compact stats %+v", got)
 	}
 }
