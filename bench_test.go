@@ -18,6 +18,7 @@ import (
 	"repro/internal/ldd"
 	"repro/internal/packing"
 	"repro/internal/problems"
+	"repro/internal/xrand"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -70,6 +71,20 @@ func BenchmarkAlgoChangLiScaled(b *testing.B) {
 	g := gen.Cycle(3000)
 	for i := 0; i < b.N; i++ {
 		_ = ldd.ChangLi(g, ldd.Params{Epsilon: 0.2, Seed: uint64(i), Scale: 0.001})
+	}
+}
+
+// BenchmarkAlgoChangLiLarge is the large-graph decomposition benchmark the
+// -cpu sweep reads for parallel speedup: the GNP instance is big enough
+// that BFS frontier degree sums clear the parallel dispatch threshold, and
+// Workers is left zero so -cpu (via GOMAXPROCS) controls the worker count.
+// Output is bit-identical at every -cpu value; only the time moves.
+func BenchmarkAlgoChangLiLarge(b *testing.B) {
+	g := gen.GNP(60000, 8.0/60000, xrand.New(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ldd.ChangLi(g, ldd.Params{Epsilon: 0.25, Seed: uint64(i), Scale: 0.05})
 	}
 }
 

@@ -16,6 +16,11 @@
 // instead), so dashboards and scripts consume the diff without scraping the
 // table. The exit status is the same in both modes.
 //
+// Baselines record the GOMAXPROCS they were captured under; when the two
+// files disagree, benchdiff prints a warning (stderr in -json mode) but
+// never fails on it — a 1-CPU baseline against a 4-CPU run measures the
+// machine, not the change, and the reader should know that.
+//
 // Usage:
 //
 //	benchdiff old.json new.json
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -66,25 +72,31 @@ func (r *record) hasRate() bool { return r.rateRuns > 0 }
 func (r *record) hasP99() bool  { return r.p99Runs > 0 }
 
 // loadBaseline parses a bench_baseline.sh JSON file, averaging repeated
-// entries for the same benchmark name (COUNT > 1 runs).
-func loadBaseline(path string) (map[string]*record, error) {
+// entries for the same benchmark name (COUNT > 1 runs). The second return
+// is the sorted set of distinct gomaxprocs values the rows were captured
+// under (empty for baselines predating that field).
+func loadBaseline(path string) (map[string]*record, []int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var rows []map[string]any
 	if err := json.Unmarshal(data, &rows); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
+	gset := make(map[int]bool)
 	out := make(map[string]*record)
 	for i, row := range rows {
 		name, ok := row["name"].(string)
 		if !ok {
-			return nil, fmt.Errorf("%s: entry %d has no benchmark name", path, i)
+			return nil, nil, fmt.Errorf("%s: entry %d has no benchmark name", path, i)
 		}
 		ns, ok := row["ns_per_op"].(float64)
 		if !ok {
-			return nil, fmt.Errorf("%s: %s has no ns_per_op", path, name)
+			return nil, nil, fmt.Errorf("%s: %s has no ns_per_op", path, name)
+		}
+		if g, ok := row["gomaxprocs"].(float64); ok && g > 0 {
+			gset[int(g)] = true
 		}
 		r := out[name]
 		if r == nil {
@@ -122,7 +134,23 @@ func loadBaseline(path string) (map[string]*record, error) {
 			r.p99Ns /= float64(r.p99Runs)
 		}
 	}
-	return out, nil
+	gmp := make([]int, 0, len(gset))
+	for g := range gset {
+		gmp = append(gmp, g)
+	}
+	sort.Ints(gmp)
+	return out, gmp, nil
+}
+
+// gomaxprocsWarning renders the mismatch warning when the two baselines
+// were captured under different GOMAXPROCS: ns/op deltas then partly
+// measure machine shape, not the code change, so the diff warns instead
+// of gating. Baselines predating the gomaxprocs field never warn.
+func gomaxprocsWarning(old, new []int) string {
+	if len(old) == 0 || len(new) == 0 || slices.Equal(old, new) {
+		return ""
+	}
+	return fmt.Sprintf("warning: baselines captured under different GOMAXPROCS (old %v, new %v); ns/op deltas partly reflect parallelism, not the code change", old, new)
 }
 
 // delta formats a relative change; new baselines of 0 against old 0 are a
@@ -170,13 +198,21 @@ func run(args []string, w io.Writer) (regressions int, err error) {
 		return 0, fmt.Errorf("threshold must be >= 0")
 	}
 	oldPath, newPath := fs.Arg(0), fs.Arg(1)
-	oldBase, err := loadBaseline(oldPath)
+	oldBase, oldGMP, err := loadBaseline(oldPath)
 	if err != nil {
 		return 0, err
 	}
-	newBase, err := loadBaseline(newPath)
+	newBase, newGMP, err := loadBaseline(newPath)
 	if err != nil {
 		return 0, err
+	}
+	if warn := gomaxprocsWarning(oldGMP, newGMP); warn != "" {
+		// In -json mode the warning goes to stderr so stdout stays NDJSON.
+		if *asJSON {
+			fmt.Fprintln(os.Stderr, warn)
+		} else {
+			fmt.Fprintln(w, warn)
+		}
 	}
 
 	names := make([]string, 0, len(oldBase))

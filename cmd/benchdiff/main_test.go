@@ -265,3 +265,41 @@ func TestJSONMode(t *testing.T) {
 		t.Fatalf("New record: %v", nw)
 	}
 }
+
+func TestGomaxprocsMismatchWarnsNotFails(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBaseline(t, dir, "old.json", `[
+        {"rev": "aaa", "gomaxprocs": 1, "name": "BenchmarkFoo", "iterations": 10, "ns_per_op": 1000}
+    ]`)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "bbb", "gomaxprocs": 4, "name": "BenchmarkFoo", "iterations": 10, "ns_per_op": 1050}
+    ]`)
+	var out strings.Builder
+	reg, err := run([]string{o, n}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if reg != 0 {
+		t.Fatalf("GOMAXPROCS mismatch must warn, not fail: %d regressions\n%s", reg, out.String())
+	}
+	if !strings.Contains(out.String(), "different GOMAXPROCS") {
+		t.Fatalf("warning missing:\n%s", out.String())
+	}
+
+	// Matching values (and baselines without the field) stay silent.
+	same := writeBaseline(t, dir, "same.json", `[
+        {"rev": "ccc", "gomaxprocs": 4, "name": "BenchmarkFoo", "iterations": 10, "ns_per_op": 1050}
+    ]`)
+	legacy := writeBaseline(t, dir, "legacy.json", `[
+        {"rev": "ddd", "name": "BenchmarkFoo", "iterations": 10, "ns_per_op": 1050}
+    ]`)
+	for _, pair := range [][2]string{{n, same}, {legacy, n}, {n, legacy}} {
+		out.Reset()
+		if _, err := run([]string{pair[0], pair[1]}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(out.String(), "GOMAXPROCS") {
+			t.Fatalf("unexpected warning for %v:\n%s", pair, out.String())
+		}
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -421,6 +422,7 @@ func run(args []string, w io.Writer) error {
 	capacity := fs.Int("capacity", 0, "engine cache capacity (0 = default)")
 	shards := fs.Int("shards", 0, "engine shard count (0 = default; rounded to a power of two)")
 	repairK := fs.Int("repairk", 16, "delta-repair ancestry window: a cache miss repairs a cached result up to this many mutations old instead of recomputing (0 = always recompute)")
+	workers := fs.Int("workers", 0, "per-query worker bound for parallel BFS inside algorithm runs (0 = GOMAXPROCS); results are bit-identical at any setting")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	trace := fs.String("trace", "", "replay this request trace instead of synthesizing")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none); expired requests are counted, not fatal")
@@ -526,18 +528,20 @@ func run(args []string, w io.Writer) error {
 			tracer = obs.NewTracer(obs.TracerOptions{})
 		}
 		return serveHTTP(w, st, *httpAddr,
-			engine.Options{Capacity: *capacity, Shards: *shards, RepairK: *repairK},
+			engine.Options{Capacity: *capacity, Shards: *shards, RepairK: *repairK, Workers: *workers},
 			server.Options{MaxInflight: *maxInflight, DefaultTimeout: *timeout, Tracer: tracer},
 			*drainTimeout)
 	}
 
-	e := engine.New(engine.Options{Capacity: *capacity, Shards: *shards, RepairK: *repairK})
+	e := engine.New(engine.Options{Capacity: *capacity, Shards: *shards, RepairK: *repairK, Workers: *workers})
 	h := e.RegisterStore(st)
 	// A recovered store supersedes the -gen/-load graph, so size the
 	// workload off the store, not g.
 	nv := st.N()
 	fmt.Fprintf(w, "graph: n=%d m=%d  fingerprint: %s  shards: %d\n",
 		nv, st.M(), st.Snapshot().Fingerprint().Short(), e.NumShards())
+	fmt.Fprintf(w, "parallel: GOMAXPROCS %d (%d cpus), per-query workers %d\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), e.Workers())
 
 	var work []request
 	if *trace != "" {

@@ -70,6 +70,7 @@ func registerDecompositions() {
 				Seed:       d.uint("seed", 1),
 				Scale:      d.float("scale", 0),
 				SkipPhase2: d.bool("skip2", false),
+				Workers:    d.int("workers", 0),
 			}
 			if d.err != nil {
 				return nil, d.err
@@ -137,19 +138,21 @@ func registerDecompositions() {
 		Name:    "en",
 		Aliases: []string{"elkin-neiman"},
 		Summary: "Elkin–Neiman exponential-shift LDD (Lemma C.1, expectation-only)",
-		Caps:    Capabilities{Kind: KindDecomposition, Seeded: true},
+		Caps:    Capabilities{Kind: KindDecomposition, Seeded: true, Workers: true},
 		Defs: []ParamDef{
 			{Key: "lambda", Kind: Float, Default: "0.3", Doc: "deletion-rate parameter"},
 			{Key: "ntilde", Kind: Int, Default: "0", Doc: "known upper bound ñ >= n (0 = n)"},
 			{Key: "seed", Kind: Uint, Default: "1", Doc: "random seed"},
 			{Key: "repair", Kind: Bool, Default: "false", Doc: "repair cluster diameters to the ideal bound"},
+			{Key: "workers", Kind: Int, Default: "0", Doc: "worker pool bound (0 = GOMAXPROCS)", NoCache: true},
 		},
 		Run: func(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			d := decoder{p: p}
 			ep := ldd.ENParams{
-				Lambda: d.float("lambda", 0.3),
-				NTilde: d.int("ntilde", 0),
-				Seed:   d.uint("seed", 1),
+				Lambda:  d.float("lambda", 0.3),
+				NTilde:  d.int("ntilde", 0),
+				Seed:    d.uint("seed", 1),
+				Workers: d.int("workers", 0),
 			}
 			repair := d.bool("repair", false)
 			if d.err != nil {
@@ -237,18 +240,20 @@ func registerDecompositions() {
 		Name:    "sparsecover",
 		Aliases: []string{"cover"},
 		Summary: "Lemma C.2 sparse cover (hyperedge-preserving, geometric multiplicity)",
-		Caps:    Capabilities{Kind: KindCover, Seeded: true},
+		Caps:    Capabilities{Kind: KindCover, Seeded: true, Workers: true},
 		Defs: []ParamDef{
 			{Key: "lambda", Kind: Float, Default: "0.5", Doc: "shift parameter (diameter 8 ln ñ / λ)"},
 			{Key: "ntilde", Kind: Int, Default: "0", Doc: "known upper bound ñ >= n (0 = n)"},
 			{Key: "seed", Kind: Uint, Default: "1", Doc: "random seed"},
+			{Key: "workers", Kind: Int, Default: "0", Doc: "worker pool bound (0 = GOMAXPROCS)", NoCache: true},
 		},
 		Run: func(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			d := decoder{p: p}
 			ep := ldd.ENParams{
-				Lambda: d.float("lambda", 0.5),
-				NTilde: d.int("ntilde", 0),
-				Seed:   d.uint("seed", 1),
+				Lambda:  d.float("lambda", 0.5),
+				NTilde:  d.int("ntilde", 0),
+				Seed:    d.uint("seed", 1),
+				Workers: d.int("workers", 0),
 			}
 			if d.err != nil {
 				return nil, d.err
@@ -270,9 +275,10 @@ func registerDecompositions() {
 		Repair: func(ctx context.Context, gv graph.View, old *Result, p Params, delta ldd.EdgeDelta) (*Result, error) {
 			d := decoder{p: p}
 			ep := ldd.ENParams{
-				Lambda: d.float("lambda", 0.5),
-				NTilde: d.int("ntilde", 0),
-				Seed:   d.uint("seed", 1),
+				Lambda:  d.float("lambda", 0.5),
+				NTilde:  d.int("ntilde", 0),
+				Seed:    d.uint("seed", 1),
+				Workers: d.int("workers", 0),
 			}
 			if d.err != nil {
 				return nil, d.err
@@ -283,6 +289,7 @@ func registerDecompositions() {
 			}
 			out, rep, err := ldd.RepairCoverDelta(ctx, gv, c, delta, ldd.RepairCoverParams{
 				WeakBound: ep.WeakDiameterBound(gv.N()),
+				Workers:   ep.Workers,
 			})
 			if err != nil {
 				return nil, err
@@ -304,18 +311,20 @@ func registerDecompositions() {
 		Name:    "netdecomp",
 		Aliases: []string{"net"},
 		Summary: "Linial–Saks style colored network decomposition (GKM substrate)",
-		Caps:    Capabilities{Kind: KindColoring, Seeded: true},
+		Caps:    Capabilities{Kind: KindColoring, Seeded: true, Workers: true},
 		Defs: []ParamDef{
 			{Key: "lambda", Kind: Float, Default: "0.5", Doc: "per-phase Elkin–Neiman parameter"},
 			{Key: "ntilde", Kind: Int, Default: "0", Doc: "known upper bound ñ >= n (0 = n)"},
 			{Key: "seed", Kind: Uint, Default: "1", Doc: "random seed"},
+			{Key: "workers", Kind: Int, Default: "0", Doc: "worker pool bound (0 = GOMAXPROCS)", NoCache: true},
 		},
 		Run: func(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			d := decoder{p: p}
 			np := netdecomp.Params{
-				Lambda: d.float("lambda", 0.5),
-				NTilde: d.int("ntilde", 0),
-				Seed:   d.uint("seed", 1),
+				Lambda:  d.float("lambda", 0.5),
+				NTilde:  d.int("ntilde", 0),
+				Seed:    d.uint("seed", 1),
+				Workers: d.int("workers", 0),
 			}
 			if d.err != nil {
 				return nil, d.err
@@ -370,6 +379,7 @@ func repairDecompositionResult(ctx context.Context, gv graph.View, old *Result, 
 	out, rep, err := ldd.RepairDelta(ctx, gv, dec, delta, ldd.RepairDeltaParams{
 		Epsilon:   lp.Epsilon,
 		WeakBound: lp.WeakDiameterBound(gv.N()),
+		Workers:   lp.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -71,9 +71,10 @@ func SparseCoverKey(p ldd.ENParams) string {
 // SparseCoverParams converts an ldd.ENParams to the registry bag.
 func SparseCoverParams(p ldd.ENParams) Params {
 	return Params{
-		"lambda": formatFloat(p.Lambda),
-		"ntilde": strconv.Itoa(p.NTilde),
-		"seed":   strconv.FormatUint(p.Seed, 10),
+		"lambda":  formatFloat(p.Lambda),
+		"ntilde":  strconv.Itoa(p.NTilde),
+		"seed":    strconv.FormatUint(p.Seed, 10),
+		"workers": strconv.Itoa(p.Workers),
 	}
 }
 
@@ -99,9 +100,10 @@ func NetDecompKey(p netdecomp.Params) string {
 // NetDecompParams converts a netdecomp.Params to the registry bag.
 func NetDecompParams(p netdecomp.Params) Params {
 	return Params{
-		"lambda": formatFloat(p.Lambda),
-		"ntilde": strconv.Itoa(p.NTilde),
-		"seed":   strconv.FormatUint(p.Seed, 10),
+		"lambda":  formatFloat(p.Lambda),
+		"ntilde":  strconv.Itoa(p.NTilde),
+		"seed":    strconv.FormatUint(p.Seed, 10),
+		"workers": strconv.Itoa(p.Workers),
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +107,13 @@ type Options struct {
 	// recomputes in full, resetting drift accumulated by repair
 	// certificates. <= 0 means the default (32).
 	RepairMaxGen int
+	// Workers is the default per-query worker bound injected into requests
+	// for worker-capable algorithm families (and the Balls/LocalSolves fan
+	// outs) when the request leaves its own workers knob unset. <= 0 keeps
+	// the downstream default (GOMAXPROCS). Worker counts never change
+	// results (parallel execution is bit-identical to serial) and are
+	// excluded from cache keys, so this knob only shapes CPU usage.
+	Workers int
 }
 
 func (o Options) capacity() int {
@@ -252,6 +260,7 @@ type Engine struct {
 
 	repairK          int
 	repairMaxGen     int
+	workers          int
 	repairHits       atomic.Uint64
 	repairFallbacks  atomic.Uint64
 	repairedClusters atomic.Uint64
@@ -270,6 +279,7 @@ func New(o Options) *Engine {
 		mask:         uint64(nshards - 1),
 		repairK:      o.RepairK,
 		repairMaxGen: o.repairMaxGen(),
+		workers:      o.Workers,
 		met:          obs.NewEngineMetrics(nshards, o.MetricsSampleEvery),
 	}
 	// Split the total capacity exactly: the first capacity%nshards shards
@@ -288,6 +298,22 @@ func New(o Options) *Engine {
 	}
 	e.wsPool.New = func() any { return graph.NewWorkspace(0) }
 	return e
+}
+
+// Workers reports the effective per-query worker bound: Options.Workers
+// if set, otherwise GOMAXPROCS.
+func (e *Engine) Workers() int {
+	return par.Workers(e.workers)
+}
+
+// defaultWorkers applies the engine's configured worker bound to a request
+// that left its own workers knob unset (<= 0). An explicit per-request
+// value always wins.
+func (e *Engine) defaultWorkers(requested int) int {
+	if requested <= 0 && e.workers > 0 {
+		return e.workers
+	}
+	return requested
 }
 
 // Stats returns a snapshot of the counters. The per-shard occupancy is
@@ -606,6 +632,16 @@ func (e *Engine) Run(ctx context.Context, src Source, name string, p algo.Params
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown algorithm %q", name)
 	}
+	if e.workers > 0 && s.Caps.Workers {
+		if v, ok := p["workers"]; !ok || v == "" || v == "0" {
+			q := make(algo.Params, len(p)+1)
+			for k, v := range p {
+				q[k] = v
+			}
+			q["workers"] = strconv.Itoa(e.workers)
+			p = q
+		}
+	}
 	key, err := s.CacheKey(p)
 	if err != nil {
 		return nil, err
@@ -641,6 +677,7 @@ func (e *Engine) Run(ctx context.Context, src Source, name string, p algo.Params
 // the key with strconv appends. The result is shared; treat it as
 // immutable.
 func (e *Engine) ChangLi(ctx context.Context, src Source, p ldd.Params) (*ldd.Decomposition, error) {
+	p.Workers = e.defaultWorkers(p.Workers)
 	sv := src.resolve()
 	key := algo.ChangLiKey(p)
 	if tr := obs.FromContext(ctx); tr != nil {
@@ -667,6 +704,7 @@ func (e *Engine) ChangLi(ctx context.Context, src Source, p ldd.Params) (*ldd.De
 // SparseCover returns the Lemma C.2 sparse cover of src's snapshot under
 // p, cached like ChangLi.
 func (e *Engine) SparseCover(ctx context.Context, src Source, p ldd.ENParams) (*ldd.Cover, error) {
+	p.Workers = e.defaultWorkers(p.Workers)
 	sv := src.resolve()
 	key := algo.SparseCoverKey(p)
 	if tr := obs.FromContext(ctx); tr != nil {
@@ -693,6 +731,7 @@ func (e *Engine) SparseCover(ctx context.Context, src Source, p ldd.ENParams) (*
 // NetDecomp returns the Linial–Saks style colored network decomposition of
 // src's snapshot under p, cached like ChangLi.
 func (e *Engine) NetDecomp(ctx context.Context, src Source, p netdecomp.Params) (*netdecomp.Decomposition, error) {
+	p.Workers = e.defaultWorkers(p.Workers)
 	sv := src.resolve()
 	key := algo.NetDecompKey(p)
 	if tr := obs.FromContext(ctx); tr != nil {
@@ -745,7 +784,7 @@ func (e *Engine) Balls(ctx context.Context, src Source, vs []int32, radius, work
 		}
 	}
 	out := make([][]int32, len(vs))
-	workers = min(par.Workers(workers), len(vs))
+	workers = min(par.Workers(e.defaultWorkers(workers)), len(vs))
 	if workers == 0 {
 		return out, nil
 	}
@@ -796,6 +835,7 @@ type ClusterSolve struct {
 // solve.CoveringLocal; inst must have one variable per graph vertex.
 func (e *Engine) LocalSolves(ctx context.Context, src Source, p ldd.Params, inst *ilp.Instance, opt solve.Options, workers int) ([]ClusterSolve, error) {
 	e.queries.Add(1)
+	p.Workers = e.defaultWorkers(p.Workers)
 	sv := src.resolve()
 	if inst.NumVars() != sv.n() {
 		return nil, fmt.Errorf("engine: instance has %d variables, graph has %d vertices", inst.NumVars(), sv.n())
@@ -822,7 +862,7 @@ func (e *Engine) LocalSolves(ctx context.Context, src Source, p ldd.Params, inst
 
 	out := make([]ClusterSolve, len(clusters))
 	errs := make([]error, len(clusters))
-	ferr := par.ForEachCtx(ctx, workers, len(clusters), func(_, c int) {
+	ferr := par.ForEachCtx(ctx, e.defaultWorkers(workers), len(clusters), func(_, c int) {
 		switch inst.Kind() {
 		case ilp.Covering:
 			_, val, m, err := solve.CoveringLocalCtx(ctx, inst, clusters[c], opt)

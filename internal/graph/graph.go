@@ -17,6 +17,14 @@
 // loops should hold an explicit Workspace — one per goroutine — and call the
 // *WithWorkspace variants directly. See Workspace for the ownership and
 // aliasing rules.
+//
+// A third flavor parallelizes inside one traversal: the Par* family
+// (ParBFSBounded, ParMultiBFS, ParBallFromSet, ParComponents, ParDiameter,
+// ...) expands BFS levels across a worker pool with merges that are
+// bit-identical to the serial traversals at every worker count, dispatching
+// to the serial loop whenever a frontier is too small to be worth fanning
+// out. See parbfs.go for the claim/emit discipline and ParWorkspace for the
+// shared-scratch rules.
 package graph
 
 import (

@@ -113,19 +113,22 @@ func derive(n int, p Params) Derived {
 func ballSizes(ctx context.Context, g *graph.Graph, alive []bool, radius, workers int) ([]int, error) {
 	n := g.N()
 	sizes := make([]int, n)
-	cws := graph.AcquireWorkspace()
-	defer graph.ReleaseWorkspace(cws)
-	comp, count := g.ComponentsAliveWithWorkspace(cws, alive)
+	workers = par.Workers(workers)
+	pw := graph.AcquireParWorkspace()
+	defer graph.ReleaseParWorkspace(pw)
+	comp, count := graph.ParComponents(pw, g, alive, workers)
 	compSize := make([]int, count)
 	for v := 0; v < n; v++ {
 		if comp[v] >= 0 {
 			compSize[comp[v]]++
 		}
 	}
-	workers = par.Workers(workers)
 	wss := acquireGraphWorkspaces(workers)
 	defer releaseGraphWorkspaces(wss)
-	err := par.ForEachCtx(ctx, workers, n, func(w, v int) {
+	// Per-vertex costs are heavily skewed (component shortcut vs real
+	// ball): chunked grabbing keeps the scheduling overhead off the cheap
+	// vertices without giving up the balance.
+	err := par.ForEachChunkCtx(ctx, workers, n, 32, func(w, v int) {
 		if alive != nil && !alive[v] {
 			return
 		}
@@ -238,10 +241,23 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 			}
 		}
 		outcomes := make([]*CarveOutcome, len(centres))
-		err := par.ForEachCtx(ctx, workers, len(centres), func(w, j int) {
+		if workers > 1 && len(centres) < workers {
+			// Too few centres to fill the pool from the outside: run them
+			// in order and parallelize each carve's frontier expansion
+			// instead. Either path yields bit-identical outcomes.
+			pw := graph.AcquireParWorkspace()
+			for j := range centres {
+				if err := ctx.Err(); err != nil {
+					graph.ReleaseParWorkspace(pw)
+					endCarve()
+					return nil, err
+				}
+				outcomes[j] = GrowCarvePar(g, int(centres[j]), interval[0], interval[1], alive, pw, workers)
+			}
+			graph.ReleaseParWorkspace(pw)
+		} else if err := par.ForEachCtx(ctx, workers, len(centres), func(w, j int) {
 			outcomes[j] = GrowCarveWS(g, int(centres[j]), interval[0], interval[1], alive, wss[w])
-		})
-		if err != nil {
+		}); err != nil {
 			endCarve()
 			return nil, err
 		}
@@ -258,9 +274,10 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 	// Phase 3: Elkin–Neiman with λ = ε/10 on the residual graph.
 	endP3 := tr.StartPhase("phase3-en")
 	en, err := ElkinNeimanCtx(ctx, g, alive, ENParams{
-		Lambda: eps / 10,
-		NTilde: d.NTilde,
-		Seed:   xrand.New(p.Seed).Split(phase3Label).Uint64(),
+		Lambda:  eps / 10,
+		NTilde:  d.NTilde,
+		Seed:    xrand.New(p.Seed).Split(phase3Label).Uint64(),
+		Workers: p.Workers,
 	})
 	endP3()
 	if err != nil {
@@ -278,12 +295,14 @@ func ChangLiCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition, 
 	for v := range clusterOf {
 		clusterOf[v] = Unclustered
 	}
-	comp, count := g.ComponentsAlive(removed)
+	pw := graph.AcquireParWorkspace()
+	comp, count := graph.ParComponents(pw, g, removed, workers)
 	for v := 0; v < n; v++ {
 		if removed[v] {
 			clusterOf[v] = comp[v]
 		}
 	}
+	graph.ReleaseParWorkspace(pw)
 	for v := 0; v < n; v++ {
 		if alive[v] && en.ClusterOf[v] >= 0 {
 			clusterOf[v] = int32(count) + en.ClusterOf[v]

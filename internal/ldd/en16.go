@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/xrand"
 )
 
@@ -18,6 +19,12 @@ type ENParams struct {
 	NTilde int
 	// Seed drives the per-vertex exponential shifts.
 	Seed uint64
+	// Workers bounds the worker pool for the per-vertex shift draws (each
+	// vertex's shift comes from its own (Seed, vertex, label) stream, so
+	// the draws are order-independent and the result is bit-identical for
+	// every worker count). <= 0 means GOMAXPROCS; the label-spread search
+	// itself is inherently sequential and unaffected.
+	Workers int
 }
 
 // enShiftLabel is the stream label for the exponential shift draw, shared by
@@ -34,15 +41,28 @@ func enShiftsInto(dst []float64, n int, p ENParams) float64 {
 		nTilde = n
 	}
 	maxT := 4 * lnTilde(nTilde) / p.Lambda
-	for v := 0; v < n; v++ {
+	draw := func(v int) {
 		t := xrand.Stream(p.Seed, v, enShiftLabel).Exp(p.Lambda)
 		if t >= maxT {
 			t = 0
 		}
 		dst[v] = t
 	}
+	if workers := par.Workers(p.Workers); workers > 1 && n >= enParShiftMin {
+		// Each draw touches only dst[v]; chunks amortize the scheduling
+		// atomics over the cheap per-vertex work.
+		par.ForEachChunk(workers, n, 512, func(_, v int) { draw(v) })
+		return maxT
+	}
+	for v := 0; v < n; v++ {
+		draw(v)
+	}
 	return maxT
 }
+
+// enParShiftMin is the vertex count below which the shift draws stay
+// serial; under it the fan-out costs more than the draws.
+const enParShiftMin = 4096
 
 // enShifts draws the shifts into the workspace's buffer.
 func enShifts(n int, p ENParams, ws *Workspace) ([]float64, float64) {

@@ -45,6 +45,10 @@ type Params struct {
 	NTilde int
 	// Seed drives the randomness.
 	Seed uint64
+	// Workers bounds the worker pool of the per-phase Elkin–Neiman passes
+	// (see ldd.ENParams.Workers); <= 0 means GOMAXPROCS. The decomposition
+	// is bit-identical for every worker count.
+	Workers int
 }
 
 // Decompose computes the colored decomposition of g.
@@ -92,9 +96,10 @@ func DecomposeCtx(ctx context.Context, g *graph.Graph, p Params) (*Decomposition
 	defer ldd.ReleaseWorkspace(ws)
 	for phase := 0; phase < maxPhases && remaining > 0; phase++ {
 		en, err := ldd.ElkinNeimanWSCtx(ctx, g, alive, ldd.ENParams{
-			Lambda: lambda,
-			NTilde: nTilde,
-			Seed:   rng.Split(uint64(phase) + 0xde0).Uint64(),
+			Lambda:  lambda,
+			NTilde:  nTilde,
+			Seed:    rng.Split(uint64(phase) + 0xde0).Uint64(),
+			Workers: p.Workers,
 		}, ws)
 		if err != nil {
 			return nil, err

@@ -13,6 +13,14 @@
 // moment its context is cancelled (tasks already started run to completion)
 // and returns the context's error, so a deadline-bounded request never
 // holds the pool hostage. ForEach is the uncancellable wrapper.
+//
+// Tasks are scheduled dynamically: workers grab the next undone index (or,
+// with ForEachChunk, the next contiguous chunk of indices) from a shared
+// atomic counter, so skewed per-item costs balance across workers without
+// any static assignment. Chunking trades scheduling granularity for fewer
+// atomic operations on cheap items; both schedules run every index exactly
+// once and preserve the in-order merge contract, so the observable output
+// is identical to a static partitioning.
 package par
 
 import (
@@ -47,7 +55,31 @@ func Workers(requested int) int {
 // remaining tasks may or may not run — callers must treat a panicked
 // ForEach as having no usable output).
 func ForEach(workers, n int, fn func(worker, i int)) {
-	forEach(nil, workers, n, fn)
+	forEach(nil, workers, n, 1, fn)
+}
+
+// ForEachChunk is ForEach with chunked dynamic scheduling: workers grab
+// contiguous chunks of `chunk` indices from the shared atomic counter and
+// run fn on each index of the chunk in order. One atomic operation per
+// chunk instead of per item makes this the right schedule when individual
+// items are cheap but their costs are skewed (per-vertex ball queries,
+// per-vertex RNG draws): small chunks still balance the skew, and the
+// in-order merge contract is unchanged — every index runs exactly once, so
+// callers that write out[i] from task i observe output identical to
+// ForEach or any static partitioning. chunk <= 1 degenerates to ForEach.
+func ForEachChunk(workers, n, chunk int, fn func(worker, i int)) {
+	forEach(nil, workers, n, chunk, fn)
+}
+
+// ForEachChunkCtx is ForEachChunk with cancellation: the done channel is
+// polled once per chunk (not per item), so in-flight chunks finish before
+// the fan-out stops. See ForEachCtx for the error contract.
+func ForEachChunkCtx(ctx context.Context, workers, n, chunk int, fn func(worker, i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forEach(ctx.Done(), workers, n, chunk, fn)
+	return ctx.Err()
 }
 
 // ForEachCtx is ForEach with cancellation: once ctx is cancelled, no new
@@ -60,7 +92,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(worker, i int)) err
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	forEach(ctx.Done(), workers, n, fn)
+	forEach(ctx.Done(), workers, n, 1, fn)
 	return ctx.Err()
 }
 
@@ -77,13 +109,17 @@ func stopped(done <-chan struct{}) bool {
 	}
 }
 
-func forEach(done <-chan struct{}, workers, n int, fn func(worker, i int)) {
+func forEach(done <-chan struct{}, workers, n, chunk int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
+	if chunk < 1 {
+		chunk = 1
+	}
 	workers = Workers(workers)
-	if workers > n {
-		workers = n
+	chunks := (n + chunk - 1) / chunk
+	if workers > chunks {
+		workers = chunks
 	}
 	if workers == 1 {
 		if done == nil {
@@ -92,11 +128,16 @@ func forEach(done <-chan struct{}, workers, n int, fn func(worker, i int)) {
 			}
 			return
 		}
-		for i := 0; i < n; i++ {
+		// The sequential path polls at the same chunk granularity as the
+		// parallel one, so cancellation latency does not depend on the
+		// worker count.
+		for lo := 0; lo < n; lo += chunk {
 			if stopped(done) {
 				return
 			}
-			fn(0, i)
+			for i := lo; i < min(lo+chunk, n); i++ {
+				fn(0, i)
+			}
 		}
 		return
 	}
@@ -117,11 +158,13 @@ func forEach(done <-chan struct{}, workers, n int, fn func(worker, i int)) {
 				if stopped(done) {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
 					return
 				}
-				fn(worker, i)
+				for i := c * chunk; i < min((c+1)*chunk, n); i++ {
+					fn(worker, i)
+				}
 			}
 		}(w)
 	}

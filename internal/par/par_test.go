@@ -206,3 +206,88 @@ func TestForEachCtxNoGoroutineLeak(t *testing.T) {
 		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
 	}
 }
+
+// --- Chunked scheduling -----------------------------------------------------
+
+// TestForEachChunkMatchesStaticPartitioning pins the satellite contract:
+// chunked dynamic scheduling observes output identical to a static
+// partitioning (and to plain ForEach) — every index exactly once, and
+// out[i] written from task i merges to the same slice for any worker
+// count or chunk size.
+func TestForEachChunkMatchesStaticPartitioning(t *testing.T) {
+	n := 1003
+	want := make([]int64, n)
+	for i := range want { // static partitioning reference: fn in index order
+		want[i] = int64(i) * 3
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, chunk := range []int{0, 1, 3, 16, 1024, 5000} {
+			got := make([]int64, n)
+			var calls atomic.Int64
+			ForEachChunk(workers, n, chunk, func(worker, i int) {
+				calls.Add(1)
+				got[i] = int64(i) * 3
+			})
+			if calls.Load() != int64(n) {
+				t.Fatalf("workers=%d chunk=%d: %d calls, want %d", workers, chunk, calls.Load(), n)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d chunk=%d: out[%d] = %d, want %d", workers, chunk, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForEachChunkContiguousInOrder verifies each chunk runs its indices
+// contiguously in ascending order on a single worker — the property that
+// lets callers build per-chunk buffers and merge them in chunk order.
+func TestForEachChunkContiguousInOrder(t *testing.T) {
+	n, chunk := 517, 8
+	owner := make([]int32, n)
+	ForEachChunk(4, n, chunk, func(worker, i int) {
+		owner[i] = int32(worker) + 1
+	})
+	for c := 0; c*chunk < n; c++ {
+		lo, hi := c*chunk, min((c+1)*chunk, n)
+		for i := lo; i < hi; i++ {
+			if owner[i] == 0 {
+				t.Fatalf("index %d never ran", i)
+			}
+			if owner[i] != owner[lo] {
+				t.Fatalf("chunk %d split across workers: owner[%d]=%d owner[%d]=%d", c, lo, owner[lo]-1, i, owner[i]-1)
+			}
+		}
+	}
+}
+
+func TestForEachChunkCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := ForEachChunkCtx(ctx, 4, 100, 8, func(worker, i int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("task dispatched after cancellation")
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var count atomic.Int64
+	const chunk = 4
+	err := ForEachChunkCtx(ctx2, 2, 100000, chunk, func(worker, i int) {
+		if count.Add(1) == 3 {
+			cancel2()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// In-flight chunks finish; dispatch stops after at most one extra
+	// chunk per worker.
+	if got := count.Load(); got > 3+2*chunk {
+		t.Fatalf("%d tasks ran after cancellation", got)
+	}
+}

@@ -277,9 +277,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Go runtime.
+	// Go runtime and parallel-execution shape: how many cores this process
+	// may use, and the engine's per-query worker bound (both needed to read
+	// throughput numbers across differently provisioned hosts).
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	gauge("repro_runtime_gomaxprocs", "scheduler parallelism (GOMAXPROCS)", uint64(runtime.GOMAXPROCS(0)))
+	gauge("repro_runtime_num_cpu", "logical CPUs visible to the process", uint64(runtime.NumCPU()))
+	gauge("repro_engine_query_workers", "effective per-query worker bound for parallel algorithm execution", uint64(s.e.Workers()))
 	gauge("repro_runtime_goroutines", "live goroutines", uint64(runtime.NumGoroutine()))
 	gauge("repro_runtime_heap_alloc_bytes", "bytes of allocated heap objects", ms.HeapAlloc)
 	gauge("repro_runtime_heap_sys_bytes", "bytes of heap obtained from the OS", ms.HeapSys)

@@ -198,6 +198,8 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 		"repro_engine_hit_seconds", "repro_engine_compute_seconds",
 		"repro_http_request_seconds", "repro_http_requests_total",
 		"repro_runtime_goroutines", "repro_traces_finished_total",
+		"repro_runtime_gomaxprocs", "repro_runtime_num_cpu",
+		"repro_engine_query_workers",
 	} {
 		if types[want] == "" {
 			t.Errorf("family %s missing from exposition", want)
