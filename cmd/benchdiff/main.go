@@ -19,7 +19,10 @@
 // Baselines record the GOMAXPROCS they were captured under; when the two
 // files disagree, benchdiff prints a warning (stderr in -json mode) but
 // never fails on it — a 1-CPU baseline against a 4-CPU run measures the
-// machine, not the change, and the reader should know that.
+// machine, not the change, and the reader should know that. Rows mixing
+// GOMAXPROCS *within* one file are segregated by (name, gomaxprocs) and
+// reported as separate "name [gomaxprocs=N]" entries rather than averaged
+// into a mean nobody measured.
 //
 // Usage:
 //
@@ -72,9 +75,14 @@ func (r *record) hasRate() bool { return r.rateRuns > 0 }
 func (r *record) hasP99() bool  { return r.p99Runs > 0 }
 
 // loadBaseline parses a bench_baseline.sh JSON file, averaging repeated
-// entries for the same benchmark name (COUNT > 1 runs). The second return
-// is the sorted set of distinct gomaxprocs values the rows were captured
-// under (empty for baselines predating that field).
+// entries for the same benchmark (COUNT > 1 runs). Rows are segregated by
+// (name, gomaxprocs) before averaging: a 1-CPU row and a 4-CPU row for the
+// same benchmark measure different machines, and folding them into one
+// mean would fabricate a number nobody ran. When a name appears under a
+// single gomaxprocs, it keys the result map as-is; under several, each
+// group gets a "name [gomaxprocs=N]" key so the groups diff independently.
+// The second return is the sorted set of distinct gomaxprocs values the
+// rows were captured under (empty for baselines predating that field).
 func loadBaseline(path string) (map[string]*record, []int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -84,8 +92,13 @@ func loadBaseline(path string) (map[string]*record, []int, error) {
 	if err := json.Unmarshal(data, &rows); err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
+	type rowKey struct {
+		name string
+		gmp  int
+	}
 	gset := make(map[int]bool)
-	out := make(map[string]*record)
+	gmpsOf := make(map[string]map[int]bool)
+	agg := make(map[rowKey]*record)
 	for i, row := range rows {
 		name, ok := row["name"].(string)
 		if !ok {
@@ -95,13 +108,19 @@ func loadBaseline(path string) (map[string]*record, []int, error) {
 		if !ok {
 			return nil, nil, fmt.Errorf("%s: %s has no ns_per_op", path, name)
 		}
+		gmp := 0
 		if g, ok := row["gomaxprocs"].(float64); ok && g > 0 {
-			gset[int(g)] = true
+			gmp = int(g)
+			gset[gmp] = true
 		}
-		r := out[name]
+		if gmpsOf[name] == nil {
+			gmpsOf[name] = make(map[int]bool)
+		}
+		gmpsOf[name][gmp] = true
+		r := agg[rowKey{name, gmp}]
 		if r == nil {
 			r = &record{}
-			out[name] = r
+			agg[rowKey{name, gmp}] = r
 		}
 		r.nsPerOp += ns
 		if b, ok := row["B_per_op"].(float64); ok {
@@ -121,7 +140,8 @@ func loadBaseline(path string) (map[string]*record, []int, error) {
 		}
 		r.runs++
 	}
-	for _, r := range out {
+	out := make(map[string]*record, len(agg))
+	for k, r := range agg {
 		r.nsPerOp /= float64(r.runs)
 		if r.memRuns > 0 {
 			r.bPerOp /= float64(r.memRuns)
@@ -133,6 +153,11 @@ func loadBaseline(path string) (map[string]*record, []int, error) {
 		if r.p99Runs > 0 {
 			r.p99Ns /= float64(r.p99Runs)
 		}
+		key := k.name
+		if len(gmpsOf[k.name]) > 1 {
+			key = fmt.Sprintf("%s [gomaxprocs=%d]", k.name, k.gmp)
+		}
+		out[key] = r
 	}
 	gmp := make([]int, 0, len(gset))
 	for g := range gset {

@@ -93,6 +93,35 @@ func TestAveragesRepeatedRuns(t *testing.T) {
 	}
 }
 
+func TestMixedGomaxprocsRowsAreSegregated(t *testing.T) {
+	dir := t.TempDir()
+	// One baseline holding rows captured under different GOMAXPROCS: these
+	// measure different machine shapes and must not melt into one mean.
+	o := writeBaseline(t, dir, "old.json", `[
+        {"rev": "a", "gomaxprocs": 1, "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 1000},
+        {"rev": "a", "gomaxprocs": 4, "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 100}
+    ]`)
+	n := writeBaseline(t, dir, "new.json", `[
+        {"rev": "b", "gomaxprocs": 1, "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 1000},
+        {"rev": "b", "gomaxprocs": 4, "name": "BenchmarkFoo-8", "iterations": 1, "ns_per_op": 200}
+    ]`)
+	// The 4-CPU group doubled (100 -> 200). Blended means would show
+	// 550 -> 600 (+9%), sliding under the default 10% gate.
+	var out strings.Builder
+	reg, err := run([]string{o, n}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 1 {
+		t.Fatalf("want the gomaxprocs=4 regression caught, got %d:\n%s", reg, out.String())
+	}
+	for _, want := range []string{"[gomaxprocs=1]", "[gomaxprocs=4]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing segregated group %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestMemAverageIgnoresRowsWithoutMemFields(t *testing.T) {
 	dir := t.TempDir()
 	// One -benchmem row (B/op 512) and one plain row: the average must be

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/graph/gen"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// startProcess launches this test binary as a real serve process (via the
+// TestServeCrashHelper re-exec hook) with the given CLI args, and waits
+// for it to announce its listen address ("at http://...").
+func startProcess(t *testing.T, args string) (*exec.Cmd, string, *syncWriter) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestServeCrashHelper$")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"=1", "SERVE_CRASH_ARGS="+args)
+	out := &syncWriter{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "at http://") {
+			line := s[strings.Index(s, "at http://")+len("at "):]
+			return cmd, strings.TrimSpace(strings.SplitN(line, "\n", 2)[0]), out
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("process never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterSmoke is the end-to-end cluster exercise: a router and three
+// backend nodes as real subprocesses, a churn workload driven through the
+// router, one backend SIGKILLed mid-run. The run must complete, the
+// router must record the failovers/fallbacks it absorbed, and the cluster
+// must stay in lockstep with a reference store replaying the same op
+// stream — fingerprints, epochs, and changli results bit-identical.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kill -9s real server processes")
+	}
+	backends := make([]*exec.Cmd, 3)
+	urls := make([]string, 3)
+	for i := range backends {
+		cmd, base, _ := startProcess(t, "-gen cycle -n 32 -http 127.0.0.1:0")
+		backends[i] = cmd
+		urls[i] = base
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	}
+	router, routerBase, _ := startProcess(t,
+		"-cluster -nodes "+strings.Join(urls, ",")+" -replicas 3 -hedge-after 200us -http 127.0.0.1:0")
+	t.Cleanup(func() { router.Process.Kill(); router.Wait() })
+
+	ctx := context.Background()
+	cl := server.NewClient(routerBase, nil).WithRetry(server.RetryPolicy{MaxAttempts: 3})
+	waitHealthy(t, cl)
+
+	const (
+		family = "gnp"
+		n      = 96
+		seed   = 5
+	)
+	info, err := cl.Generate(ctx, family, n, seed)
+	if err != nil {
+		t.Fatalf("generate through router: %v", err)
+	}
+	g, err := gen.Family(family, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := store.New(g)
+	refEngine := engine.New(engine.Options{})
+	refHandle := refEngine.RegisterStore(ref)
+	if fp := ref.Fingerprint().String(); fp != info.Fingerprint {
+		t.Fatalf("fingerprints diverge at creation: %s vs %s", fp, info.Fingerprint)
+	}
+
+	checkRun := func(t *testing.T) {
+		t.Helper()
+		got, err := cl.Run(ctx, info.ID, server.RunRequest{Algo: "changli", Q: "eps=0.3 seed=2"})
+		if err != nil {
+			t.Fatalf("run through router: %v", err)
+		}
+		want, err := refEngine.Run(ctx, refHandle, "changli", algo.Params{"eps": "0.3", "seed": "2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Snapshot != want.Snapshot || got.NumClusters != want.NumClusters ||
+			!slices.Equal(got.ClusterOf, want.ClusterOf) {
+			t.Fatalf("cluster and reference diverged: %d clusters on %s, want %d on %s",
+				got.NumClusters, got.Snapshot, want.NumClusters, want.Snapshot)
+		}
+	}
+
+	// Serial churn through the router, mirrored onto the reference store.
+	// Backend 1 is SIGKILLed a third of the way in; every op afterwards
+	// must still be acknowledged (the router fails over internally) and
+	// must still match the reference exactly.
+	const ops = 150
+	for i := range ops {
+		u := (i * 13) % n
+		v := (u + 1 + i%7) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		if i == 60 {
+			backends[1].Process.Kill()
+			backends[1].Wait()
+		}
+		var resp *server.MutateResponse
+		var applied bool
+		if i%3 == 0 {
+			resp, err = cl.DeleteEdge(ctx, info.ID, u, v)
+			applied = ref.DeleteEdge(u, v)
+		} else {
+			resp, err = cl.AddEdge(ctx, info.ID, u, v)
+			applied = ref.AddEdge(u, v)
+		}
+		if err != nil {
+			var diag string
+			if mresp, merr := http.Get(routerBase + "/metrics"); merr == nil {
+				b, _ := io.ReadAll(mresp.Body)
+				mresp.Body.Close()
+				diag = string(b)
+			}
+			t.Fatalf("op %d: %v\nrouter metrics:\n%s", i, err, diag)
+		}
+		if resp.Applied != applied || resp.Epoch != ref.Epoch() || resp.Fingerprint != ref.Fingerprint().String() {
+			t.Fatalf("op %d diverged from reference: got applied=%v epoch=%d fp=%s, want applied=%v epoch=%d fp=%s",
+				i, resp.Applied, resp.Epoch, resp.Fingerprint, applied, ref.Epoch(), ref.Fingerprint().String())
+		}
+		if i%25 == 24 {
+			checkRun(t)
+		}
+	}
+
+	// Reads keep rotating over the survivors; all must agree with the
+	// reference after the dust settles.
+	for range 3 {
+		checkRun(t)
+	}
+	final, err := cl.GraphInfo(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Fingerprint != ref.Fingerprint().String() || final.Epoch != ref.Epoch() {
+		t.Fatalf("final state diverged: %s@%d vs reference %s@%d",
+			final.Fingerprint, final.Epoch, ref.Fingerprint().String(), ref.Epoch())
+	}
+
+	// The router's own metrics must show what happened: the killed node
+	// down, and the kill absorbed as read fallbacks and/or mutation
+	// failovers rather than client-visible errors.
+	resp, err := http.Get(routerBase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	if !strings.Contains(metrics, `repro_cluster_node_up{node="1"} 0`) {
+		t.Fatalf("metrics do not show node 1 down:\n%s", metrics)
+	}
+	for _, family := range []string{
+		"repro_cluster_reads_total", "repro_cluster_mutations_total",
+		"repro_cluster_hedged_requests_total", "repro_cluster_hedge_wins_total",
+		"repro_cluster_read_fallbacks_total", "repro_cluster_mutation_failovers_total",
+		"repro_cluster_resyncs_total", "repro_cluster_replication_push_seconds",
+		"repro_cluster_replica_behind_deltas",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Fatalf("metrics missing family %s:\n%s", family, metrics)
+		}
+	}
+	absorbed := false
+	for _, line := range strings.Split(metrics, "\n") {
+		if (strings.HasPrefix(line, "repro_cluster_read_fallbacks_total ") ||
+			strings.HasPrefix(line, "repro_cluster_mutation_failovers_total ")) &&
+			!strings.HasSuffix(line, " 0") {
+			absorbed = true
+		}
+	}
+	if !absorbed {
+		t.Fatalf("router absorbed no fallbacks/failovers despite the kill:\n%s", metrics)
+	}
+}

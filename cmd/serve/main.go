@@ -75,6 +75,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
@@ -129,59 +130,59 @@ func (r request) name() string {
 }
 
 // issue executes the request against the engine (reads) or the store
-// (writes).
-func (r request) issue(ctx context.Context, e *engine.Engine, h engine.StoreHandle) error {
+// (writes). noop reports a mutation that found nothing to do — the edge
+// was already present (addedge) or already gone (deledge, typically lost
+// to a concurrent delete of the same sampled edge).
+func (r request) issue(ctx context.Context, e *engine.Engine, h engine.StoreHandle) (noop bool, err error) {
 	switch r.op {
 	case "algo":
 		_, err := e.Run(ctx, h, r.algo, r.params)
-		return err
+		return false, err
 	case "cluster":
 		_, err := e.ClusterOf(ctx, h, r.cl, []int32{r.vertex})
-		return err
+		return false, err
 	case "ball":
 		_, err := e.Balls(ctx, h, []int32{r.vertex}, r.radius, 1)
-		return err
+		return false, err
 	case "addedge":
-		h.Store().AddEdge(int(r.u), int(r.v)) // duplicate inserts are no-ops
-		return nil
+		return !h.Store().AddEdge(int(r.u), int(r.v)), nil
 	case "deledge":
-		h.Store().DeleteEdge(int(r.u), int(r.v)) // absent edges are no-ops
-		return nil
+		return !h.Store().DeleteEdge(int(r.u), int(r.v)), nil
 	case "compact":
 		_, err := h.Store().Compact()
-		return err
+		return false, err
 	default:
-		return fmt.Errorf("unknown op %q", r.op)
+		return false, fmt.Errorf("unknown op %q", r.op)
 	}
 }
 
 // issueHTTP executes the request against a remote serving layer through
 // the typed client, mirroring issue's op mapping onto the HTTP API.
-func (r request) issueHTTP(ctx context.Context, c *server.Client, id string) error {
+func (r request) issueHTTP(ctx context.Context, c *server.Client, id string) (noop bool, err error) {
 	switch r.op {
 	case "algo":
 		_, err := c.Run(ctx, id, server.RunRequest{Algo: r.algo, Params: r.params})
-		return err
+		return false, err
 	case "cluster":
 		_, err := c.Query(ctx, id, server.QueryRequest{
 			Op: "cluster", Vertices: []int32{r.vertex},
 			Eps: r.cl.Epsilon, Scale: r.cl.Scale, Seed: r.cl.Seed, Skip2: r.cl.SkipPhase2,
 		})
-		return err
+		return false, err
 	case "ball":
 		_, err := c.Query(ctx, id, server.QueryRequest{Op: "ball", Vertices: []int32{r.vertex}, Radius: r.radius})
-		return err
+		return false, err
 	case "addedge":
-		_, err := c.AddEdge(ctx, id, int(r.u), int(r.v))
-		return err
+		mr, err := c.AddEdge(ctx, id, int(r.u), int(r.v))
+		return err == nil && !mr.Applied, err
 	case "deledge":
-		_, err := c.DeleteEdge(ctx, id, int(r.u), int(r.v))
-		return err
+		mr, err := c.DeleteEdge(ctx, id, int(r.u), int(r.v))
+		return err == nil && !mr.Applied, err
 	case "compact":
 		_, err := c.Compact(ctx, id)
-		return err
+		return false, err
 	default:
-		return fmt.Errorf("unknown op %q", r.op)
+		return false, fmt.Errorf("unknown op %q", r.op)
 	}
 }
 
@@ -430,6 +431,10 @@ func run(args []string, w io.Writer) error {
 	churn := fs.Float64("churn", 0, "fraction of synthetic requests that mutate the graph (0 = read-only)")
 	compactEvery := fs.Int("compactevery", 0, "fold the delta overlay into a fresh CSR every N writes (0 = never)")
 	httpAddr := fs.String("http", "", "serve the graph over HTTP at this address (e.g. :8080) instead of replaying a workload; SIGINT/SIGTERM drains gracefully")
+	clusterMode := fs.Bool("cluster", false, "router mode: consistent-hash graphs across -nodes backends and serve the /v1 surface at -http (delta-log replication, hedged reads)")
+	nodes := fs.String("nodes", "", "with -cluster: comma-separated backend base URLs (e.g. http://127.0.0.1:9001,http://127.0.0.1:9002)")
+	replicas := fs.Int("replicas", 0, "with -cluster: members per graph, owner included (0 = min(2, nodes))")
+	hedgeAfter := fs.Duration("hedge-after", 0, "with -cluster: launch a hedged read on the next replica after this long (0 = 2ms default, negative disables)")
 	connect := fs.String("connect", "", "drive a remote serving layer at this base URL (e.g. http://host:8080) instead of the in-process engine")
 	graphID := fs.String("graphid", "", "with -connect: drive this existing server-side graph instead of uploading/generating one")
 	maxInflight := fs.Int("maxinflight", 0, "with -http: admission gate size; excess requests shed with 503 (0 = default)")
@@ -483,6 +488,25 @@ func run(args []string, w io.Writer) error {
 			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
 		})
 		fmt.Fprintf(w, "slowlog: %s (threshold %dms)\n", *slowlogPath, *slowMS)
+	}
+
+	if *clusterMode {
+		if *httpAddr == "" {
+			return errors.New("-cluster needs -http to listen on")
+		}
+		if *datadir != "" {
+			return errors.New("-datadir applies to backend nodes, not the router")
+		}
+		var list []string
+		for _, s := range strings.Split(*nodes, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				list = append(list, s)
+			}
+		}
+		if len(list) == 0 {
+			return errors.New("-cluster needs -nodes with at least one backend URL")
+		}
+		return serveCluster(w, *httpAddr, list, *replicas, *hedgeAfter, *drainTimeout)
 	}
 
 	if *connect != "" {
@@ -562,7 +586,7 @@ func run(args []string, w io.Writer) error {
 	if *warm && *trace == "" {
 		t0 := time.Now()
 		for _, r := range sp.decomp {
-			if err := r.issue(context.Background(), e, h); err != nil {
+			if _, err := r.issue(context.Background(), e, h); err != nil {
 				return err
 			}
 		}
@@ -574,7 +598,7 @@ func run(args []string, w io.Writer) error {
 		total = len(work)
 	}
 	errs := make([]error, *concurrency)
-	var timeouts, reads, writes atomic.Uint64
+	var timeouts, reads, writes, noops atomic.Uint64
 	var lat obs.Histogram // per-request closed-loop latency
 	t0 := time.Now()
 	par.ForEach(*concurrency, *concurrency, func(_, client int) {
@@ -607,7 +631,7 @@ func run(args []string, w io.Writer) error {
 				ctx, cancel = context.WithTimeout(ctx, *timeout)
 			}
 			tq := time.Now()
-			err := r.issue(ctx, e, h)
+			noop, err := r.issue(ctx, e, h)
 			lat.Observe(time.Since(tq))
 			tr.Finish(0) // nil-safe; emits the slow-log event if over threshold
 			cancel()
@@ -618,6 +642,9 @@ func run(args []string, w io.Writer) error {
 				}
 				errs[client] = err
 				return
+			}
+			if noop {
+				noops.Add(1)
 			}
 		}
 	})
@@ -641,9 +668,9 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "served %d requests in %v with %d clients: %.0f req/s\n",
 		total, elapsed.Round(time.Microsecond), *concurrency,
 		float64(total)/elapsed.Seconds())
-	fmt.Fprintf(w, "mix: %d reads (%.0f/s), %d writes (%.0f/s)\n",
+	fmt.Fprintf(w, "mix: %d reads (%.0f/s), %d writes (%.0f/s, %d no-ops)\n",
 		reads.Load(), float64(reads.Load())/elapsed.Seconds(),
-		writes.Load(), float64(writes.Load())/elapsed.Seconds())
+		writes.Load(), float64(writes.Load())/elapsed.Seconds(), noops.Load())
 	fmt.Fprintf(w, "cache: %d hits, %d dedup joins, %d misses (hit rate %.1f%%), %d computations, %d evictions, %d batch queries\n",
 		est.Hits, est.Dedup, est.Misses, 100*hitRate, est.Computations, est.Evictions, est.Queries)
 	if *repairK > 0 {
@@ -766,6 +793,45 @@ func serveHTTP(w io.Writer, st *store.Store, addr string, eopts engine.Options, 
 	return nil
 }
 
+// serveCluster runs the coordinator tier: an internal/cluster router
+// listening at addr, consistent-hashing graphs across the backend nodes.
+// The router is stateless beyond its routing table, so draining is just a
+// connection-level shutdown — backends hold the graphs.
+func serveCluster(w io.Writer, addr string, nodes []string, replicas int, hedgeAfter, drainTimeout time.Duration) error {
+	rt, err := cluster.New(cluster.Options{Nodes: nodes, Replicas: replicas, HedgeAfter: hedgeAfter})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cluster: routing across %d nodes at http://%s\n", len(nodes), ln.Addr())
+	for i, n := range rt.Nodes() {
+		fmt.Fprintf(w, "cluster: node %d = %s\n", i, n)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: rt}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintln(w, "cluster: ready")
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(w, "cluster: signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintf(w, "cluster: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(w, "cluster: drained")
+	return nil
+}
+
 // httpDriveConfig carries the workload flags into the -connect client mode.
 type httpDriveConfig struct {
 	base, graphID, load, genKind, trace string
@@ -811,7 +877,13 @@ func formatString(path string) (string, error) {
 // graph is resolved in order of preference: an existing server-side id
 // (-graphid), an uploaded file (-load), or a server-side generate (-gen).
 func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
-	c := server.NewClient(cfg.base, nil)
+	// Hinted 503 sheds (the admission gate's "overloaded, come back" with a
+	// Retry-After) are retried inside the client with bounded jittered
+	// backoff; only sheds that survive the budget — or carry no hint, i.e.
+	// the server is draining — reach the classification switch below.
+	c := server.NewClient(cfg.base, nil).WithRetry(server.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second,
+	})
 	ctx := context.Background()
 
 	var info *server.GraphInfo
@@ -855,7 +927,7 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 	if cfg.warm && cfg.trace == "" {
 		t0 := time.Now()
 		for _, r := range sp.decomp {
-			if err := r.issueHTTP(ctx, c, info.ID); err != nil {
+			if _, err := r.issueHTTP(ctx, c, info.ID); err != nil {
 				return err
 			}
 		}
@@ -877,7 +949,7 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 		total = len(work)
 	}
 	errs := make([]error, cfg.concurrency)
-	var timeouts, shed, reads, writes atomic.Uint64
+	var timeouts, shed, reads, writes, noops atomic.Uint64
 	var lat obs.Histogram // over-the-wire closed-loop latency
 	t0 := time.Now()
 	par.ForEach(cfg.concurrency, cfg.concurrency, func(_, client int) {
@@ -905,18 +977,26 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 				rctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 			}
 			tq := time.Now()
-			err := r.issueHTTP(rctx, c, info.ID)
+			noop, err := r.issueHTTP(rctx, c, info.ID)
 			lat.Observe(time.Since(tq))
 			cancel()
 			switch {
 			case err == nil:
+				// A mutation that found nothing to do (edge already there,
+				// or already deleted by a concurrent client) is a no-op,
+				// not an error and not an effective write.
+				if noop {
+					noops.Add(1)
+				}
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
 				server.IsStatus(err, http.StatusGatewayTimeout):
 				// Client-side deadline (the server sees the disconnect and
 				// cancels the compute) or server-side 504.
 				timeouts.Add(1)
 			case server.IsStatus(err, http.StatusServiceUnavailable):
-				shed.Add(1) // admission gate under overload: shed, not fatal
+				// A shed that survived the client's hinted-retry budget, or
+				// a drain shed (no hint, never retried).
+				shed.Add(1)
 			default:
 				errs[client] = err
 				return
@@ -933,10 +1013,10 @@ func driveHTTP(w io.Writer, cfg httpDriveConfig) error {
 	fmt.Fprintf(w, "served %d requests in %v with %d clients over HTTP: %.0f req/s\n",
 		total, elapsed.Round(time.Microsecond), cfg.concurrency,
 		float64(total)/elapsed.Seconds())
-	fmt.Fprintf(w, "mix: %d reads (%.0f/s), %d writes (%.0f/s), %d timeouts, %d shed\n",
+	fmt.Fprintf(w, "mix: %d reads (%.0f/s), %d writes (%.0f/s, %d no-ops), %d timeouts, %d shed, %d shed retries\n",
 		reads.Load(), float64(reads.Load())/elapsed.Seconds(),
-		writes.Load(), float64(writes.Load())/elapsed.Seconds(),
-		timeouts.Load(), shed.Load())
+		writes.Load(), float64(writes.Load())/elapsed.Seconds(), noops.Load(),
+		timeouts.Load(), shed.Load(), c.Retries())
 	printLatency(w, &lat)
 	if info, err = c.GraphInfo(ctx, info.ID); err == nil {
 		fmt.Fprintf(w, "store: epoch %d (%d adds, %d dels, %d compactions), %d pending deltas, graph now n=%d m=%d\n",

@@ -68,6 +68,19 @@
 // cmd/serve brackets it from both sides: -http serves a graph, -connect
 // replays the seeded workloads against a remote server over real sockets.
 //
+// The serving layer scales past one process with internal/cluster:
+// serve -cluster routes the same /v1 surface across N backend nodes,
+// placing each graph by rendezvous-hashing its fingerprint (a
+// deterministic owner plus -replicas members, no routing state to
+// replicate), hedging slow reads across replicas, and forwarding
+// mutations to the acting owner before fanning them out synchronously
+// as epoch-chained delta-log entries — replicas verify the fingerprint
+// chain on apply and recover by delta catch-up or full checkpoint
+// resync. Unreachable nodes fail over along the rendezvous succession
+// and are probed back in after a probation window; an equivalence suite
+// pins that a 3-node cluster answers bit-identically to a single engine
+// through an owner kill, a rejoin, and a compaction.
+//
 // The store is durable when opened with a directory (-datadir): every
 // mutation is appended to a CRC32C-framed write-ahead log (internal/wal,
 // group-commit fsync) before it touches memory, Compact doubles as an

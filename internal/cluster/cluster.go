@@ -1,0 +1,269 @@
+// Package cluster is the coordinator tier that turns N single-process
+// serving nodes (internal/server) into one logical service: a Router is an
+// http.Handler exposing the same /v1 surface as a node, consistent-hashing
+// each graph's fingerprint across the backends and keeping a configurable
+// number of replicas in lockstep through the store's delta-log replication
+// plane.
+//
+// Placement. Every graph's routing key is its canonical content
+// fingerprint at creation time. Rendezvous (highest-random-weight) hashing
+// orders the nodes per key; the first Replicas live nodes in that order are
+// the graph's member set, the first member its owner. Rendezvous hashing
+// means node failure only reshuffles the keys that lived on the failed
+// node — there is no ring state to rebalance.
+//
+// Writes. Mutations are serialized per graph: the router forwards the edge
+// op to the owning node, then replicates the resulting delta — epoch,
+// normalized edge, and the fingerprint the owner's chain reached — to the
+// other members synchronously before acknowledging. Replicas verify the
+// fingerprint chain on apply (internal/store.ApplyReplicated), so every
+// member holds a bit-identical graph at every acknowledged epoch, and
+// results computed anywhere in the member set carry the same snapshot
+// stamp. A member that falls behind (it was down, it missed pushes) is
+// caught up from the owner's delta window, or — when compaction has folded
+// the window past its cursor — resynced from a full checkpoint.
+//
+// Reads. Run/query requests fan out over the in-sync members round-robin.
+// A request that dawdles past the hedge threshold launches a second copy
+// on the next member and takes whichever answers first — the slow-replica
+// tail becomes the fast replica's latency. Transport failures fail over to
+// the next member and mark the node down; a down node is retried
+// half-open after a probation interval, and a node that rejoins with empty
+// state is rebuilt by checkpoint resync.
+//
+// The router is deliberately a single process with no consensus: one
+// router owns the op order for its graphs (mutations serialize on its
+// per-graph lock). What the design buys is read scale-out, fault-tolerant
+// serving, and deterministic replication; what it does not attempt is
+// multi-router coordination.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graphio"
+	"repro/internal/server"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Nodes are the backend base URLs (e.g. "http://127.0.0.1:9001").
+	// At least one is required.
+	Nodes []string
+	// Replicas is how many members serve each graph (owner included).
+	// Clamped to [1, len(Nodes)]; 0 means min(2, len(Nodes)).
+	Replicas int
+	// HedgeAfter is how long a read may dawdle before a second copy is
+	// launched on the next member. 0 means the default (2ms); < 0 disables
+	// hedging.
+	HedgeAfter time.Duration
+	// Probation is how long a down node sits out before a half-open
+	// retry. 0 means the default (500ms).
+	Probation time.Duration
+	// MaxBodyBytes bounds buffered request bodies (reads are replayed
+	// across members, so the router must buffer them). <= 0 means 64 MiB.
+	MaxBodyBytes int64
+	// Retry configures each per-node client's handling of hinted 503
+	// sheds. The zero policy applies a small default (3 attempts) so a
+	// momentarily saturated backend does not bubble a 503 through the
+	// router.
+	Retry server.RetryPolicy
+	// HTTPClient is the transport for all backend traffic; nil means
+	// http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (o Options) replicas() int {
+	r := o.Replicas
+	if r == 0 {
+		r = 2
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > len(o.Nodes) {
+		r = len(o.Nodes)
+	}
+	return r
+}
+
+func (o Options) hedgeAfter() time.Duration {
+	if o.HedgeAfter == 0 {
+		return 2 * time.Millisecond
+	}
+	return o.HedgeAfter
+}
+
+func (o Options) probation() time.Duration {
+	if o.Probation <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.Probation
+}
+
+func (o Options) maxBodyBytes() int64 {
+	if o.MaxBodyBytes <= 0 {
+		return 64 << 20
+	}
+	return o.MaxBodyBytes
+}
+
+func (o Options) retry() server.RetryPolicy {
+	if o.Retry.MaxAttempts == 0 {
+		return server.RetryPolicy{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+	}
+	return o.Retry
+}
+
+// node is one backend: a typed client plus health state. gen increments on
+// every rejoin, so per-graph replica state installed under an older
+// incarnation is recognizably stale.
+type node struct {
+	mu     sync.Mutex
+	base   string
+	c      *server.Client
+	up     bool
+	downAt time.Time
+	gen    uint64
+}
+
+func (n *node) client() *server.Client {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.c
+}
+
+// usable reports whether the node should be offered traffic: up, or down
+// long enough that a half-open probe is due (the probe is the traffic).
+func (n *node) usable(probation time.Duration) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up || time.Since(n.downAt) >= probation
+}
+
+func (n *node) isUp() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+func (n *node) generation() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gen
+}
+
+// markDown records a transport failure; markUp records any successful
+// round trip.
+func (n *node) markDown() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.up {
+		n.up = false
+	}
+	n.downAt = time.Now()
+}
+
+func (n *node) markUp() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.up = true
+}
+
+// replicaState is one member's copy of one graph.
+type replicaState struct {
+	remoteID string // the graph's id on that node
+	epoch    uint64 // last epoch the router knows the member applied
+	gen      uint64 // node incarnation the copy was installed under
+	ok       bool   // in sync and serving; false = needs catch-up/resync
+}
+
+// routedGraph is one logical graph: its routing identity, its member set
+// (node indexes, rendezvous order, owner first), and per-member replica
+// state. mu serializes mutations, compactions, and resyncs — the router is
+// the single writer that defines the op order — while reads only touch the
+// member list and states under the lock briefly.
+type routedGraph struct {
+	id  string
+	fp  graphio.Fingerprint
+	n   int
+	mu  sync.Mutex
+	mem []int
+	rep map[int]*replicaState
+	rr  atomic.Uint64 // read fan-out cursor
+}
+
+// Router consistent-hashes graphs across backend nodes and serves the
+// /v1 surface over the member sets. Construct with New; a Router is an
+// http.Handler, safe for concurrent use.
+type Router struct {
+	opts  Options
+	nodes []*node
+	mux   *http.ServeMux
+	m     *metrics
+	start time.Time
+
+	mu     sync.Mutex
+	graphs map[string]*routedGraph
+	seq    uint64
+}
+
+// New builds a router over the given backends. The backends are assumed
+// empty of graphs (the router creates every graph it serves); they are
+// probed lazily as traffic arrives.
+func New(opts Options) (*Router, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no backend nodes")
+	}
+	r := &Router{
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		m:      newMetrics(len(opts.Nodes)),
+		start:  time.Now(),
+		graphs: make(map[string]*routedGraph),
+	}
+	for _, base := range opts.Nodes {
+		c := server.NewClient(base, opts.HTTPClient).WithRetry(opts.retry())
+		r.nodes = append(r.nodes, &node{base: strings.TrimRight(base, "/"), c: c, up: true})
+	}
+	r.routes()
+	return r, nil
+}
+
+// Nodes returns the configured backend base URLs.
+func (r *Router) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	for i, n := range r.nodes {
+		n.mu.Lock()
+		out[i] = n.base
+		n.mu.Unlock()
+	}
+	return out
+}
+
+func (r *Router) graphByID(id string) (*routedGraph, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	return rg, ok
+}
+
+func (r *Router) graphList() []*routedGraph {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*routedGraph, 0, len(r.graphs))
+	for _, rg := range r.graphs {
+		out = append(out, rg)
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}

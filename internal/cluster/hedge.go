@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// proxyResult is one replica's answer to a proxied read.
+type proxyResult struct {
+	idx         int
+	status      int
+	contentType string
+	body        []byte
+	err         error
+	ok          bool // a semantic answer: relay it, don't fail over
+	hedged      bool // launched by the hedge timer, not first in line
+}
+
+// semanticStatus reports whether a backend status is an answer the router
+// relays as-is. 2xx obviously; the listed non-2xx are judgments about the
+// request (bad body, unknown vertex, cancelled/timed-out work) that every
+// replica would repeat — failing over on them would just burn a second
+// replica on the same answer. Everything else (5xx, sheds) is grounds to
+// try the next member.
+func semanticStatus(code int) bool {
+	if code >= 200 && code < 300 {
+		return true
+	}
+	switch code {
+	case http.StatusBadRequest, http.StatusNotFound, http.StatusUnprocessableEntity,
+		499, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// readAttempt proxies the buffered read body to member i and classifies
+// the outcome. Transport failures mark the node down; any completed round
+// trip marks it up. A failure after ctx was cancelled is NOT held against
+// the node: hedge cancels the losers once a winner answers, and treating
+// that cancellation as a transport error would mark healthy replicas down
+// on every hedged read.
+func (r *Router) readAttempt(ctx context.Context, i int, remoteID, tail string, body []byte) proxyResult {
+	n := r.nodes[i]
+	n.mu.Lock()
+	base := n.base
+	n.mu.Unlock()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/graphs/"+remoteID+tail, bytes.NewReader(body))
+	if err != nil {
+		return proxyResult{idx: i, err: err}
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	resp, err := r.httpClient().Do(preq)
+	if err != nil {
+		if ctx.Err() == nil {
+			n.markDown()
+		}
+		return proxyResult{idx: i, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() == nil {
+			n.markDown()
+		}
+		return proxyResult{idx: i, err: err}
+	}
+	n.markUp()
+	return proxyResult{
+		idx:         i,
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        data,
+		ok:          semanticStatus(resp.StatusCode),
+	}
+}
+
+// hedge races the read across cands (already rotated by readCandidates).
+// The first candidate is launched immediately; each time the hedge
+// threshold passes without an answer, the next candidate is launched too,
+// and the first semantic answer wins. A candidate that fails outright
+// (transport error, 5xx) triggers the next launch immediately — that is
+// failover, counted separately from hedging. When every candidate has
+// failed, the last failure is relayed.
+func (r *Router) hedge(ctx context.Context, rg *routedGraph, cands []int, tail string, body []byte) proxyResult {
+	rg.mu.Lock()
+	ids := make([]string, len(cands))
+	for k, i := range cands {
+		ids[k] = rg.rep[i].remoteID
+	}
+	rg.mu.Unlock()
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // releases the losers once a winner returns
+
+	ch := make(chan proxyResult, len(cands))
+	next, outstanding := 0, 0
+	launch := func(hedged bool) {
+		k := next
+		next++
+		outstanding++
+		if hedged {
+			r.m.hedged.Add(1)
+		}
+		go func() {
+			res := r.readAttempt(hctx, cands[k], ids[k], tail, body)
+			res.hedged = hedged
+			ch <- res
+		}()
+	}
+	launch(false)
+
+	ha := r.opts.hedgeAfter()
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if ha > 0 {
+		timer = time.NewTimer(ha)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	var last proxyResult
+	for {
+		select {
+		case <-ctx.Done():
+			return proxyResult{err: ctx.Err()}
+		case <-timerC:
+			if next < len(cands) {
+				launch(true)
+				timer.Reset(ha)
+			} else {
+				timerC = nil
+			}
+		case res := <-ch:
+			outstanding--
+			if res.ok {
+				if res.hedged {
+					r.m.hedgeWins.Add(1)
+				}
+				return res
+			}
+			last = res
+			r.m.fallbacks.Add(1)
+			if next < len(cands) {
+				launch(false)
+			} else if outstanding == 0 {
+				return last
+			}
+		}
+	}
+}

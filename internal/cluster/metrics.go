@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics is the router's own counter set — distinct from the per-node
+// serving metrics, which each backend exposes itself. The families here
+// describe routing decisions: how often reads hedged, how often hedges
+// won, how often a member had to be failed over or rebuilt.
+type metrics struct {
+	reads     atomic.Uint64 // run/query/batch requests routed
+	mutations atomic.Uint64 // addedge/deledge ops applied through an owner
+	hedged    atomic.Uint64 // extra read copies launched by the hedge timer
+	hedgeWins atomic.Uint64 // hedged copies that answered first
+	fallbacks atomic.Uint64 // read attempts that failed and moved on
+	failovers atomic.Uint64 // mutations re-forwarded past a dead owner
+	resyncs   atomic.Uint64 // full checkpoint rebuilds of a member copy
+	noReplica atomic.Uint64 // requests refused: no in-sync replica at all
+	replPush  obs.Histogram // synchronous replication fan-out latency
+}
+
+func newMetrics(_ int) *metrics { return &metrics{} }
+
+// unavailable refuses a request because no in-sync replica could take it,
+// and counts the refusal.
+func (r *Router) unavailable(w http.ResponseWriter, msg string) {
+	r.m.noReplica.Add(1)
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// handleMetrics serves the router's Prometheus exposition. Families are
+// stable: every counter is emitted on every scrape, zero or not, so
+// dashboards never see series blink in and out.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	obs.WriteHeader(w, "repro_cluster_nodes", "gauge", "Configured backend nodes.")
+	obs.WriteUintSample(w, "repro_cluster_nodes", "", uint64(len(r.nodes)))
+
+	obs.WriteHeader(w, "repro_cluster_node_up", "gauge",
+		"Whether the router currently considers each backend up (1) or down (0).")
+	for i, n := range r.nodes {
+		v := uint64(0)
+		if n.isUp() {
+			v = 1
+		}
+		obs.WriteUintSample(w, "repro_cluster_node_up", fmt.Sprintf(`node="%d"`, i), v)
+	}
+
+	r.mu.Lock()
+	graphs := uint64(len(r.graphs))
+	r.mu.Unlock()
+	obs.WriteHeader(w, "repro_cluster_graphs", "gauge", "Graphs currently routed.")
+	obs.WriteUintSample(w, "repro_cluster_graphs", "", graphs)
+
+	obs.WriteHeader(w, "repro_cluster_reads_total", "counter",
+		"Run/query/batch requests routed to a replica.")
+	obs.WriteUintSample(w, "repro_cluster_reads_total", "", r.m.reads.Load())
+
+	obs.WriteHeader(w, "repro_cluster_mutations_total", "counter",
+		"Edge mutations applied through an acting owner.")
+	obs.WriteUintSample(w, "repro_cluster_mutations_total", "", r.m.mutations.Load())
+
+	obs.WriteHeader(w, "repro_cluster_hedged_requests_total", "counter",
+		"Extra read copies launched because the first replica passed the hedge threshold.")
+	obs.WriteUintSample(w, "repro_cluster_hedged_requests_total", "", r.m.hedged.Load())
+
+	obs.WriteHeader(w, "repro_cluster_hedge_wins_total", "counter",
+		"Hedged read copies that answered before the original.")
+	obs.WriteUintSample(w, "repro_cluster_hedge_wins_total", "", r.m.hedgeWins.Load())
+
+	obs.WriteHeader(w, "repro_cluster_read_fallbacks_total", "counter",
+		"Read attempts that failed (transport error or 5xx) and fell through to the next replica.")
+	obs.WriteUintSample(w, "repro_cluster_read_fallbacks_total", "", r.m.fallbacks.Load())
+
+	obs.WriteHeader(w, "repro_cluster_mutation_failovers_total", "counter",
+		"Mutations re-forwarded past an unreachable owner to the next in-sync member.")
+	obs.WriteUintSample(w, "repro_cluster_mutation_failovers_total", "", r.m.failovers.Load())
+
+	obs.WriteHeader(w, "repro_cluster_resyncs_total", "counter",
+		"Member copies rebuilt from a full checkpoint.")
+	obs.WriteUintSample(w, "repro_cluster_resyncs_total", "", r.m.resyncs.Load())
+
+	obs.WriteHeader(w, "repro_cluster_unavailable_total", "counter",
+		"Requests refused because no in-sync replica was available.")
+	obs.WriteUintSample(w, "repro_cluster_unavailable_total", "", r.m.noReplica.Load())
+
+	obs.WriteHeader(w, "repro_cluster_replication_push_seconds", "histogram",
+		"Synchronous delta fan-out latency per acknowledged mutation.")
+	s := r.m.replPush.Snapshot()
+	obs.WriteDurationSeries(w, "repro_cluster_replication_push_seconds", "", &s)
+
+	// Replication lag, summed per node across the graphs it serves: how
+	// many acknowledged deltas the router knows the node has not applied.
+	// Nonzero values are transient (a push in flight) or a symptom (a
+	// member knocked out of sync awaiting repair).
+	lag := make([]uint64, len(r.nodes))
+	for _, rg := range r.graphList() {
+		rg.mu.Lock()
+		if owner := r.actingOwner(rg); owner >= 0 {
+			oe := rg.rep[owner].epoch
+			for _, i := range rg.mem {
+				if st := rg.rep[i]; i != owner && oe > st.epoch {
+					lag[i] += oe - st.epoch
+				}
+			}
+		}
+		rg.mu.Unlock()
+	}
+	obs.WriteHeader(w, "repro_cluster_replica_behind_deltas", "gauge",
+		"Acknowledged deltas not yet applied by each node, summed over its graphs.")
+	for i, l := range lag {
+		obs.WriteUintSample(w, "repro_cluster_replica_behind_deltas", fmt.Sprintf(`node="%d"`, i), l)
+	}
+
+	var retries uint64
+	for _, n := range r.nodes {
+		retries += n.client().Retries()
+	}
+	obs.WriteHeader(w, "repro_cluster_client_retries_total", "counter",
+		"Hinted 503 sheds retried by the router's backend clients.")
+	obs.WriteUintSample(w, "repro_cluster_client_retries_total", "", retries)
+
+	obs.WriteHeader(w, "repro_cluster_uptime_seconds", "gauge", "Seconds since the router started.")
+	obs.WriteSample(w, "repro_cluster_uptime_seconds", "", time.Since(r.start).Seconds())
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// isTransport reports whether err is a transport-level failure (dial,
+// reset, timeout) as opposed to an HTTP response the node produced.
+// Transport failures mark the node down; API errors never do.
+func isTransport(err error) bool {
+	var ae *server.APIError
+	return err != nil && !errors.As(err, &ae)
+}
+
+// replicateTo brings member j up to date after the acting owner applied
+// new deltas. entries is the just-applied batch (what an in-sync replica
+// needs); a member that is behind is caught up from the owner's delta
+// window, and one beyond the window (or diverged, or freshly rejoined) is
+// resynced from a checkpoint. Caller holds rg.mu.
+func (r *Router) replicateTo(ctx context.Context, rg *routedGraph, j, owner int, entries []server.WireDelta) error {
+	n := r.nodes[j]
+	st := rg.rep[j]
+	if !n.usable(r.opts.probation()) {
+		st.ok = false
+		return fmt.Errorf("cluster: node %d down", j)
+	}
+	if !st.ok || st.gen != n.generation() {
+		return r.resyncMember(ctx, rg, j, owner)
+	}
+	resp, err := n.client().PushDeltas(ctx, st.remoteID, entries)
+	if err == nil {
+		st.epoch = resp.Epoch
+		n.markUp()
+		return nil
+	}
+	if isTransport(err) {
+		n.markDown()
+		st.ok = false
+		return err
+	}
+	if server.IsStatus(err, http.StatusConflict) && resp != nil {
+		// Epoch gap: the member missed earlier deltas. Pull the missing
+		// range from the acting owner's window and replay it.
+		return r.catchUp(ctx, rg, j, owner, resp.Epoch)
+	}
+	// Divergence (422), a missing remote graph (404), or anything else the
+	// member refused: rebuild the copy from a checkpoint.
+	return r.resyncMember(ctx, rg, j, owner)
+}
+
+// catchUp streams the owner's deltas after the member's cursor onto the
+// member. Falls back to a checkpoint resync when the owner's window no
+// longer covers the cursor. Caller holds rg.mu.
+func (r *Router) catchUp(ctx context.Context, rg *routedGraph, j, owner int, cursor uint64) error {
+	st := rg.rep[j]
+	ownerSt := rg.rep[owner]
+	dl, err := r.nodes[owner].client().Deltas(ctx, ownerSt.remoteID, cursor)
+	if err != nil {
+		if isTransport(err) {
+			r.nodes[owner].markDown()
+		}
+		st.ok = false
+		return err
+	}
+	if dl.Resync {
+		return r.resyncMember(ctx, rg, j, owner)
+	}
+	resp, err := r.nodes[j].client().PushDeltas(ctx, st.remoteID, dl.Entries)
+	if err != nil {
+		if isTransport(err) {
+			r.nodes[j].markDown()
+			st.ok = false
+			return err
+		}
+		return r.resyncMember(ctx, rg, j, owner)
+	}
+	st.epoch = resp.Epoch
+	st.ok = true
+	return nil
+}
+
+// resyncMember rebuilds member j's copy of the graph from a checkpoint of
+// the acting owner's current snapshot: export, install (positioned at the
+// owner's epoch and chain fingerprint), and retire the member's previous
+// copy if it still has one. Caller holds rg.mu.
+func (r *Router) resyncMember(ctx context.Context, rg *routedGraph, j, owner int) error {
+	st := rg.rep[j]
+	st.ok = false
+	data, epoch, fp, err := r.nodes[owner].client().Export(ctx, rg.rep[owner].remoteID)
+	if err != nil {
+		if isTransport(err) {
+			r.nodes[owner].markDown()
+		}
+		return fmt.Errorf("cluster: export from node %d: %w", owner, err)
+	}
+	nc := r.nodes[j].client()
+	if st.remoteID != "" {
+		// Best effort: the node may have restarted without the graph, or be
+		// holding a stale copy worth the delete.
+		dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		_ = nc.DeleteGraph(dctx, st.remoteID)
+		cancel()
+	}
+	info, err := nc.Install(ctx, fp, data)
+	if err != nil {
+		if isTransport(err) {
+			r.nodes[j].markDown()
+		}
+		return fmt.Errorf("cluster: install on node %d: %w", j, err)
+	}
+	rg.rep[j] = &replicaState{remoteID: info.ID, epoch: epoch, gen: r.nodes[j].generation(), ok: true}
+	r.nodes[j].markUp()
+	r.m.resyncs.Add(1)
+	return nil
+}
+
+// actingOwner returns the first member that is in sync on a usable node —
+// the node mutations are forwarded to. Rendezvous order makes this the
+// true owner while it is healthy and a deterministic successor otherwise.
+// Caller holds rg.mu; returns -1 when no member qualifies.
+func (r *Router) actingOwner(rg *routedGraph) int {
+	for _, i := range rg.mem {
+		st := rg.rep[i]
+		if st.ok && st.gen == r.nodes[i].generation() && r.nodes[i].usable(r.opts.probation()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rejoin replaces node i with a (possibly fresh) process at base — the
+// operational "bring the node back" hook. The node's generation advances,
+// so every replica copy installed under the old incarnation reads as
+// stale, and each graph the node is a member of is rebuilt immediately by
+// checkpoint resync from its acting owner. Graphs whose resync fails stay
+// excluded from reads until a later mutation repairs them.
+func (r *Router) Rejoin(ctx context.Context, i int, base string) error {
+	if i < 0 || i >= len(r.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	n := r.nodes[i]
+	n.mu.Lock()
+	n.base = strings.TrimRight(base, "/")
+	n.c = server.NewClient(n.base, r.opts.HTTPClient).WithRetry(r.opts.retry())
+	n.gen++
+	n.up = true
+	n.mu.Unlock()
+	var errs []error
+	for _, rg := range r.graphList() {
+		rg.mu.Lock()
+		member := false
+		for _, m := range rg.mem {
+			if m == i {
+				member = true
+				break
+			}
+		}
+		if member {
+			if owner := r.actingOwner(rg); owner >= 0 && owner != i {
+				if err := r.resyncMember(ctx, rg, i, owner); err != nil {
+					errs = append(errs, fmt.Errorf("graph %s: %w", rg.id, err))
+				}
+			}
+		}
+		rg.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}

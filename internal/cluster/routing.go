@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/graphio"
+)
+
+// rendezvousOrder ranks the n nodes for a routing key by
+// highest-random-weight hashing: node i's weight is a hash of (key, i),
+// and the ranking is the descending weight order. Each key gets an
+// effectively independent permutation of the nodes, so removing one node
+// only re-homes the keys it owned (they slide to their next-ranked node)
+// — no ring state, no rebalancing of unaffected keys. FNV-64a is stable
+// across processes and platforms, so a restarted router reproduces the
+// same placement from the same node list.
+func rendezvousOrder(key graphio.Fingerprint, n int) []int {
+	type ranked struct {
+		w uint64
+		i int
+	}
+	rs := make([]ranked, n)
+	for i := range rs {
+		h := fnv.New64a()
+		h.Write(key[:])
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(i))
+		h.Write(b[:])
+		rs[i] = ranked{h.Sum64(), i}
+	}
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].w != rs[b].w {
+			return rs[a].w > rs[b].w
+		}
+		return rs[a].i < rs[b].i
+	})
+	out := make([]int, n)
+	for i, r := range rs {
+		out[i] = r.i
+	}
+	return out
+}
+
+// placeMembers picks the member set for a new graph: the first Replicas
+// usable nodes in rendezvous order (owner first). Down nodes are skipped
+// at placement time — the graph must be creatable now — which preserves
+// the rendezvous property for every node that was up.
+func (r *Router) placeMembers(key graphio.Fingerprint) []int {
+	want := r.opts.replicas()
+	var members []int
+	for _, i := range rendezvousOrder(key, len(r.nodes)) {
+		if !r.nodes[i].usable(r.opts.probation()) {
+			continue
+		}
+		members = append(members, i)
+		if len(members) == want {
+			break
+		}
+	}
+	return members
+}
+
+// readCandidates returns the node indexes a read may be served from:
+// in-sync members on usable nodes, rotated by the per-graph fan-out
+// cursor so consecutive reads spread across the replica set.
+func (r *Router) readCandidates(rg *routedGraph) []int {
+	rg.mu.Lock()
+	eligible := make([]int, 0, len(rg.mem))
+	for _, i := range rg.mem {
+		st := rg.rep[i]
+		if st.ok && st.gen == r.nodes[i].generation() && r.nodes[i].usable(r.opts.probation()) {
+			eligible = append(eligible, i)
+		}
+	}
+	rg.mu.Unlock()
+	if len(eligible) <= 1 {
+		return eligible
+	}
+	off := int(rg.rr.Add(1)-1) % len(eligible)
+	out := make([]int, 0, len(eligible))
+	out = append(out, eligible[off:]...)
+	out = append(out, eligible[:off]...)
+	return out
+}

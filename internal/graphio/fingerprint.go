@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 
 	"repro/internal/graph"
 )
@@ -19,6 +20,22 @@ func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 
 // Short returns the first 12 hex digits, for log lines.
 func (f Fingerprint) Short() string { return f.String()[:12] }
+
+// ParseFingerprint parses the lowercase-hex form produced by String. It is
+// the wire decoder for replication streams, where fingerprints travel as
+// JSON strings.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("graphio: bad fingerprint %q: %w", s, err)
+	}
+	if len(b) != len(f) {
+		return f, fmt.Errorf("graphio: fingerprint must be %d bytes, got %d", len(f), len(b))
+	}
+	copy(f[:], b)
+	return f, nil
+}
 
 // FingerprintOf hashes g's CSR (a domain-separation tag, the vertex count,
 // the offsets array, and the adjacency array, all little-endian) with

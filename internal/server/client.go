@@ -8,14 +8,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // APIError is a non-2xx response decoded from the server's error envelope.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's parsed Retry-After hint (0 when absent).
+	// The admission gate attaches it to load sheds that are worth retrying;
+	// drain sheds deliberately omit it, so a terminating server is never
+	// hammered by well-behaved clients.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -28,16 +37,73 @@ func IsStatus(err error, status int) bool {
 	return errors.As(err, &ae) && ae.Status == status
 }
 
+// RetryPolicy bounds the Client's automatic retry of 503 load sheds. A
+// shed is only retried when the server attached a Retry-After hint — the
+// admission gate's "overloaded, come back" signal — never on drain sheds
+// (no hint: the server is going away). The wait before attempt k is
+// max(BaseDelay<<k, hint) capped at MaxDelay, with jitter on the upper
+// half so a fleet of retrying clients does not re-arrive in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// <= 1 disables retries (the zero policy is a no-retry policy).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps every wait, including the server's hint (default 1s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 25 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return time.Second
+	}
+	return p.MaxDelay
+}
+
+// delay computes the jittered wait before retry number attempt (0-based),
+// honoring the server's hint up to the policy cap.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // shift guard; MaxAttempts bounds this long before
+	}
+	d := p.base() << attempt
+	if hint > d {
+		d = hint
+	}
+	if m := p.cap(); d > m {
+		d = m
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
 // Client is a typed client for the HTTP serving layer: the load generator's
-// network mode (cmd/serve -connect) and the end-to-end tests drive the
-// server through it.
+// network mode (cmd/serve -connect), the cluster router, and the end-to-end
+// tests drive servers through it.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	retries atomic.Uint64
 }
 
 // NewClient returns a client for the server at base (e.g.
-// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient. The
+// client does not retry; see WithRetry.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
@@ -45,35 +111,80 @@ func NewClient(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
-// do runs one JSON round trip; out may be nil to discard the body.
+// WithRetry enables bounded retry of hinted 503 sheds on every
+// re-sendable path (run, query, mutate, batch, replication — everything
+// except streamed uploads) and returns c. Not safe to call concurrently
+// with requests.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p
+	return c
+}
+
+// Retries reports how many shed requests this client has retried over its
+// lifetime (each wait-and-resend counts once).
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// shouldRetry reports whether err is a retryable shed given that attempt
+// tries have already happened, and if so waits out the backoff (bounded by
+// ctx — a dead context turns the answer into no).
+func (c *Client) shouldRetry(ctx context.Context, err error, attempt int) bool {
+	if attempt+1 >= c.retry.attempts() {
+		return false
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.RetryAfter <= 0 {
+		return false
+	}
+	t := time.NewTimer(c.retry.delay(attempt, ae.RetryAfter))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		c.retries.Add(1)
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// do runs one JSON round trip (re-sending shed requests per the retry
+// policy); out may be nil to discard the body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
-	var contentType string
+	var payload []byte
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
-		contentType = "application/json"
+		payload = buf
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		err = func() error {
+			defer resp.Body.Close()
+			return decodeResponse(resp, out)
+		}()
+		if !c.shouldRetry(ctx, err, attempt) {
+			return err
+		}
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
 }
 
-// decodeResponse maps non-2xx responses onto APIError and decodes 2xx
-// bodies into out.
+// decodeResponse maps non-2xx responses onto APIError (capturing any
+// Retry-After hint) and decodes 2xx bodies into out.
 func decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode/100 != 2 {
 		var eb errorBody
@@ -81,13 +192,27 @@ func decodeResponse(resp *http.Response, out any) error {
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil {
 			msg = eb.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{Status: resp.StatusCode, Message: msg, RetryAfter: retryAfter(resp)}
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryAfter parses the delay-seconds form of the Retry-After header (the
+// only form this server emits). Absent or unparseable hints are 0.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Generate asks the server to build a named topology (gen.Family) and serve
@@ -198,19 +323,29 @@ func (c *Client) Batch(ctx context.Context, id string, reqs []RunRequest) ([]Bat
 			return nil, err
 		}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/graphs/"+id+"/batch", &buf)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/graphs/"+id+"/batch", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err = c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode/100 == 2 {
+			break
+		}
+		// A shed happens before the server starts streaming, so re-sending
+		// the buffered batch is safe.
+		err = decodeResponse(resp, nil)
+		resp.Body.Close()
+		if !c.shouldRetry(ctx, err, attempt) {
+			return nil, err
+		}
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return nil, decodeResponse(resp, nil)
-	}
 	var out []BatchLine
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), batchLineLimit)
@@ -252,4 +387,116 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(b))}
 	}
 	return string(b), nil
+}
+
+// Deltas pulls the owner-side delta export for id after the since cursor.
+// A response with Resync=true means the window cannot serve the cursor and
+// the caller must reposition via Export + Install.
+func (c *Client) Deltas(ctx context.Context, id string, since uint64) (*DeltasResponse, error) {
+	var out DeltasResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs/"+id+"/deltas?since="+strconv.FormatUint(since, 10), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PushDeltas applies a batch of owner deltas to the node's replica of id.
+// On a refused entry (409 epoch gap, 422 divergence) the returned response
+// is still populated with the replica's position and the error carries the
+// HTTP status, so the caller can decide between catch-up and resync.
+func (c *Client) PushDeltas(ctx context.Context, id string, entries []WireDelta) (*ReplicateResponse, error) {
+	payload, err := json.Marshal(ReplicateRequest{Entries: entries})
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/graphs/"+id+"/deltas", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusConflict, http.StatusUnprocessableEntity:
+			var rr ReplicateResponse
+			err := json.NewDecoder(resp.Body).Decode(&rr)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return &rr, &APIError{Status: resp.StatusCode, Message: rr.Error}
+			}
+			return &rr, nil
+		}
+		err = decodeResponse(resp, nil)
+		resp.Body.Close()
+		if !c.shouldRetry(ctx, err, attempt) {
+			return nil, err
+		}
+	}
+}
+
+// Export fetches a checkpoint of id's current snapshot: the raw checkpoint
+// bytes plus the epoch and chain fingerprint they were taken at.
+func (c *Client) Export(ctx context.Context, id string) (data []byte, epoch uint64, fingerprint string, err error) {
+	for attempt := 0; ; attempt++ {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/graphs/"+id+"/export", nil)
+		if rerr != nil {
+			return nil, 0, "", rerr
+		}
+		resp, derr := c.hc.Do(req)
+		if derr != nil {
+			return nil, 0, "", derr
+		}
+		if resp.StatusCode/100 != 2 {
+			err = decodeResponse(resp, nil)
+			resp.Body.Close()
+			if !c.shouldRetry(ctx, err, attempt) {
+				return nil, 0, "", err
+			}
+			continue
+		}
+		data, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, 0, "", err
+		}
+		epoch, err = strconv.ParseUint(resp.Header.Get("X-Repro-Epoch"), 10, 64)
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("bad X-Repro-Epoch: %w", err)
+		}
+		return data, epoch, resp.Header.Get("X-Repro-Fingerprint"), nil
+	}
+}
+
+// Install creates a served graph from exported checkpoint bytes positioned
+// at the given chain fingerprint — the resync half of replication.
+func (c *Client) Install(ctx context.Context, fingerprint string, checkpoint []byte) (*GraphInfo, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.base+"/v1/graphs/install?fingerprint="+fingerprint, bytes.NewReader(checkpoint))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		var info GraphInfo
+		err = func() error {
+			defer resp.Body.Close()
+			return decodeResponse(resp, &info)
+		}()
+		if err == nil {
+			return &info, nil
+		}
+		if !c.shouldRetry(ctx, err, attempt) {
+			return nil, err
+		}
+	}
 }

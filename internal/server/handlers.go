@@ -34,6 +34,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/graphs/{id}/deledge", s.handleEdge(false))
 	s.mux.HandleFunc("POST /v1/graphs/{id}/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /v1/graphs/{id}/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/deltas", s.handleDeltasGet)
+	s.mux.HandleFunc("POST /v1/graphs/{id}/deltas", s.handleDeltasApply)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/export", s.handleExport)
+	s.mux.HandleFunc("POST /v1/graphs/install", s.handleInstall)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	// The standard pprof handlers; /debug/pprof/ itself serves the index
 	// and the named profiles (heap, goroutine, block, ...).

@@ -20,6 +20,7 @@ var httpEndpoints = []string{
 	"healthz", "metrics", "pprof", "traces",
 	"algorithms", "graphs.list", "graphs.create", "graph.info", "graph.delete",
 	"run", "query", "addedge", "deledge", "compact", "batch",
+	"deltas", "export", "install",
 	"other",
 }
 
@@ -40,6 +41,8 @@ func classifyEndpoint(r *http.Request) string {
 			return "graphs.create"
 		}
 		return "graphs.list"
+	case "/v1/graphs/install":
+		return "install"
 	}
 	if strings.HasPrefix(p, "/debug/pprof") {
 		return "pprof"
@@ -47,7 +50,7 @@ func classifyEndpoint(r *http.Request) string {
 	if rest, ok := strings.CutPrefix(p, "/v1/graphs/"); ok {
 		if i := strings.IndexByte(rest, '/'); i >= 0 {
 			switch rest[i+1:] {
-			case "run", "query", "addedge", "deledge", "compact", "batch":
+			case "run", "query", "addedge", "deledge", "compact", "batch", "deltas", "export":
 				return rest[i+1:]
 			}
 			return "other"
@@ -266,6 +269,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.WriteUintSample(w, "repro_http_requests_total",
 			fmt.Sprintf(`endpoint=%q,status="%d"`, sc.endpoint, sc.code), sc.n)
 	}
+
+	// Replication plane (cluster delta streaming; see replication.go).
+	counter("repro_replication_deltas_served_total", "delta entries exported to replicas", s.deltasServed.Load())
+	counter("repro_replication_deltas_applied_total", "replicated delta entries applied to local stores", s.deltasApplied.Load())
+	counter("repro_replication_installs_total", "checkpoint installs (replica resyncs) accepted", s.installs.Load())
 
 	// Tracer and slow log.
 	if t := s.tracer; t != nil {

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/graphio"
+	"repro/internal/store"
+)
+
+// Replication plane: the endpoints a cluster router uses to keep replicas
+// of a graph in lockstep with its owner. The owner side exports pending
+// deltas (GET deltas) or a full checkpoint (GET export); the replica side
+// applies delta batches (POST deltas) or installs a checkpoint as a new
+// served graph positioned mid-chain (POST install). All of it rides the
+// normal admission gate — replication traffic is traffic.
+//
+//	GET  /v1/graphs/{id}/deltas?since=E  export deltas with epochs in
+//	                                     (E, current]; resync=true when E
+//	                                     predates the pending window
+//	POST /v1/graphs/{id}/deltas          apply a batch of owner deltas
+//	                                     (409 on epoch gap, 422 on
+//	                                     divergence; prefix may apply)
+//	GET  /v1/graphs/{id}/export          checkpoint of the current snapshot
+//	                                     (graphio checkpoint bytes; the
+//	                                     chain fingerprint travels in the
+//	                                     X-Repro-Fingerprint header)
+//	POST /v1/graphs/install?fingerprint= install a checkpoint as a replica
+//	                                     positioned at its epoch + chain
+//	                                     fingerprint
+
+// handleDeltasGet exports the owner's pending deltas after the cursor.
+func (s *Server) handleDeltasGet(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	since := uint64(0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad since: %v", err))
+			return
+		}
+		since = n
+	}
+	entries, ok := sg.st.DeltasSince(since)
+	st := sg.st.Stats()
+	resp := DeltasResponse{Since: since, Epoch: st.Epoch, Fingerprint: st.Fingerprint.String()}
+	if !ok {
+		resp.Resync = true
+	} else {
+		resp.Entries = wireDeltas(entries)
+		s.deltasServed.Add(uint64(len(entries)))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDeltasApply applies a batch of owner deltas to this node's replica
+// of the graph. Entries apply in order; the first refusal stops the batch
+// and reports the replica's position, so the router can pull the missing
+// range (409, epoch gap) or trigger a checkpoint resync (422, divergence).
+func (s *Server) handleDeltasApply(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	var rq ReplicateRequest
+	if err := decodeJSON(r.Body, &rq); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	applied := 0
+	position := func() ReplicateResponse {
+		st := sg.st.Stats()
+		return ReplicateResponse{Applied: applied, Epoch: st.Epoch, Fingerprint: st.Fingerprint.String(), M: st.M}
+	}
+	for _, wd := range rq.Entries {
+		e, err := wd.toStore()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := sg.st.ApplyReplicated(e); err != nil {
+			status := http.StatusUnprocessableEntity
+			var gap *store.EpochGapError
+			if errors.As(err, &gap) {
+				status = http.StatusConflict
+			}
+			resp := position()
+			resp.Error = err.Error()
+			writeJSON(w, status, resp)
+			return
+		}
+		applied++
+	}
+	s.deltasApplied.Add(uint64(applied))
+	writeJSON(w, http.StatusOK, position())
+}
+
+// handleExport streams a checkpoint of the graph's current snapshot. The
+// checkpoint format embeds the epoch and the canonical content
+// fingerprint; the chain fingerprint (which an importer cannot re-derive
+// mid-window) travels in the X-Repro-Fingerprint header.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	snap := sg.st.Snapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Repro-Epoch", strconv.FormatUint(snap.Epoch(), 10))
+	w.Header().Set("X-Repro-Fingerprint", snap.Fingerprint().String())
+	if err := graphio.WriteCheckpoint(w, snap.Graph(), snap.Epoch()); err != nil {
+		// The header is out; all we can do is truncate the stream (the
+		// checkpoint CRC makes the truncation visible to the importer).
+		return
+	}
+}
+
+// handleInstall creates a served graph from an exported checkpoint,
+// positioned at the checkpoint's epoch and the chain fingerprint named by
+// ?fingerprint= — the resync half of replication, used when a (re)joining
+// node is too far behind the owner's delta window to stream.
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	fpHex := r.URL.Query().Get("fingerprint")
+	if fpHex == "" {
+		writeError(w, http.StatusBadRequest, "install needs ?fingerprint= (the owner's chain fingerprint)")
+		return
+	}
+	fp, err := graphio.ParseFingerprint(fpHex)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g, epoch, _, err := graphio.ReadCheckpoint(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading checkpoint: %v", err))
+		return
+	}
+	if g.N() == 0 {
+		writeError(w, http.StatusBadRequest, "empty graph")
+		return
+	}
+	id, _ := s.AddStore(store.NewReplicaAt(g, epoch, fp))
+	s.installs.Add(1)
+	sg, _ := s.graphByID(id)
+	writeJSON(w, http.StatusCreated, graphInfo(sg))
+}

@@ -196,6 +196,13 @@ type Server struct {
 	admitted atomic.Uint64 // /v1 requests admitted past the gate
 	shed     atomic.Uint64 // /v1 requests rejected 503 (overload or drain)
 
+	// Replication plane counters (see replication.go): deltas this node
+	// served to replicas, deltas it applied as a replica, and checkpoint
+	// installs (resyncs) it accepted.
+	deltasServed  atomic.Uint64
+	deltasApplied atomic.Uint64
+	installs      atomic.Uint64
+
 	// replaying is the boot-time readiness latch: while set, /healthz
 	// reports "replaying" (503) and /v1 requests are shed, so a load
 	// balancer never routes traffic to a process still recovering its

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/graphio"
 	"repro/internal/store"
 )
 
@@ -288,4 +289,65 @@ type AlgorithmParam struct {
 // errorBody is the uniform error envelope.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// WireDelta is one replicated store mutation on the wire: the delta plus
+// the fingerprint the owner's chain reached after applying it (replicas
+// re-derive the link and refuse the entry on mismatch).
+type WireDelta struct {
+	Op          byte   `json:"op"`
+	U           int32  `json:"u"`
+	V           int32  `json:"v"`
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func wireDeltas(entries []store.DeltaEntry) []WireDelta {
+	out := make([]WireDelta, len(entries))
+	for i, e := range entries {
+		out[i] = WireDelta{
+			Op: byte(e.Op), U: e.U, V: e.V, Epoch: e.Epoch,
+			Fingerprint: e.Fingerprint.String(),
+		}
+	}
+	return out
+}
+
+func (d WireDelta) toStore() (store.DeltaEntry, error) {
+	fp, err := graphio.ParseFingerprint(d.Fingerprint)
+	if err != nil {
+		return store.DeltaEntry{}, err
+	}
+	return store.DeltaEntry{Op: store.Op(d.Op), U: d.U, V: d.V, Epoch: d.Epoch, Fingerprint: fp}, nil
+}
+
+// ReplicateRequest ships owner deltas to a replica (POST
+// /v1/graphs/{id}/deltas). Entries must be consecutive epochs extending the
+// replica's current position.
+type ReplicateRequest struct {
+	Entries []WireDelta `json:"entries"`
+}
+
+// ReplicateResponse reports the replica's position after an apply attempt.
+// On a refused entry the response carries a non-2xx status (409 for an
+// epoch gap, 422 for divergence) with Applied counting the prefix that did
+// apply and Error naming the first refusal.
+type ReplicateResponse struct {
+	Applied     int    `json:"applied"`
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	M           int    `json:"m"`
+	Error       string `json:"error,omitempty"`
+}
+
+// DeltasResponse is the owner-side delta export (GET
+// /v1/graphs/{id}/deltas?since=E). Resync=true means the cursor fell
+// outside the pending window (compaction folded it away): the caller must
+// reposition from a checkpoint (GET export) instead of streaming.
+type DeltasResponse struct {
+	Since       uint64      `json:"since"`
+	Epoch       uint64      `json:"epoch"`
+	Fingerprint string      `json:"fingerprint"`
+	Resync      bool        `json:"resync,omitempty"`
+	Entries     []WireDelta `json:"entries,omitempty"`
 }

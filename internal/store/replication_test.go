@@ -1,0 +1,217 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/graphio"
+	"repro/internal/xrand"
+)
+
+// churnOwner applies k random effective mutations to st (tracking them in
+// ref so every call is an applied delta, never a no-op).
+func churnOwner(t *testing.T, st *Store, ref edgeSet, n, k int, rng *xrand.RNG) {
+	t.Helper()
+	for done := 0; done < k; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		key := ref.key(u, v)
+		if ref[key] {
+			if !st.DeleteEdge(u, v) {
+				t.Fatalf("DeleteEdge(%d,%d) refused an existing edge", u, v)
+			}
+			delete(ref, key)
+		} else {
+			if !st.AddEdge(u, v) {
+				t.Fatalf("AddEdge(%d,%d) refused a new edge", u, v)
+			}
+			ref[key] = true
+		}
+		done++
+	}
+}
+
+// TestReplicationRoundTripEveryCursor streams the owner's delta log onto a
+// fresh replica starting from every possible epoch cursor and checks that
+// the replica walks the owner's exact fingerprint chain, link by link.
+func TestReplicationRoundTripEveryCursor(t *testing.T) {
+	const n, k = 80, 48
+	g := gen.GNP(n, 4.0/n, xrand.New(7))
+	owner := New(g)
+	ref := setOf(g)
+	churnOwner(t, owner, ref, n, k, xrand.New(11))
+
+	all, ok := owner.DeltasSince(0)
+	if !ok || len(all) != k {
+		t.Fatalf("DeltasSince(0) = %d entries, ok=%t; want %d, true", len(all), ok, k)
+	}
+	for cursor := uint64(0); cursor <= uint64(k); cursor++ {
+		replica := New(g)
+		// Position the replica at the cursor by replaying the prefix.
+		for _, e := range all[:cursor] {
+			if err := replica.ApplyReplicated(e); err != nil {
+				t.Fatalf("cursor %d: prefix apply at epoch %d: %v", cursor, e.Epoch, err)
+			}
+		}
+		if got := replica.Epoch(); got != cursor {
+			t.Fatalf("replica epoch = %d, want %d", got, cursor)
+		}
+		// Catch up from the cursor and verify the chain at every link.
+		rest, ok := owner.DeltasSince(cursor)
+		if !ok {
+			t.Fatalf("DeltasSince(%d) not servable from an uncompacted window", cursor)
+		}
+		if len(rest) != k-int(cursor) {
+			t.Fatalf("DeltasSince(%d) = %d entries, want %d", cursor, len(rest), k-int(cursor))
+		}
+		for _, e := range rest {
+			if err := replica.ApplyReplicated(e); err != nil {
+				t.Fatalf("cursor %d: apply epoch %d: %v", cursor, e.Epoch, err)
+			}
+			if got := replica.Fingerprint(); got != e.Fingerprint {
+				t.Fatalf("cursor %d: after epoch %d replica fp %s != owner chain %s",
+					cursor, e.Epoch, got.Short(), e.Fingerprint.Short())
+			}
+		}
+		if got, want := replica.Fingerprint(), owner.Fingerprint(); got != want {
+			t.Fatalf("cursor %d: final fp %s != owner %s", cursor, got.Short(), want.Short())
+		}
+		// The chain guarantees identical edge sets; double-check via the
+		// canonical content fingerprints of the materialized snapshots.
+		rg, og := replica.Snapshot().Graph(), owner.Snapshot().Graph()
+		if graphio.FingerprintOf(rg) != graphio.FingerprintOf(og) {
+			t.Fatalf("cursor %d: replica edge set diverged from owner", cursor)
+		}
+	}
+}
+
+// TestReplicationRefusesBadEntries pins that verification happens before
+// any state change: gaps, tampered chains, and divergent edits all leave
+// the replica untouched.
+func TestReplicationRefusesBadEntries(t *testing.T) {
+	const n = 40
+	g := gen.GNP(n, 3.0/n, xrand.New(5))
+	owner := New(g)
+	ref := setOf(g)
+	churnOwner(t, owner, ref, n, 8, xrand.New(6))
+	all, _ := owner.DeltasSince(0)
+
+	fresh := func() *Store { return New(g) }
+	unchanged := func(t *testing.T, r *Store) {
+		t.Helper()
+		if r.Epoch() != 0 || r.Fingerprint() != graphio.FingerprintOf(g) {
+			t.Fatal("refused entry mutated the replica")
+		}
+	}
+
+	t.Run("epoch gap", func(t *testing.T) {
+		r := fresh()
+		err := r.ApplyReplicated(all[1]) // skips epoch 1
+		var gap *EpochGapError
+		if !errors.As(err, &gap) {
+			t.Fatalf("want *EpochGapError, got %v", err)
+		}
+		if gap.Have != 0 || gap.Want != 2 {
+			t.Fatalf("gap = %+v, want Have=0 Want=2", gap)
+		}
+		unchanged(t, r)
+	})
+	t.Run("tampered chain", func(t *testing.T) {
+		r := fresh()
+		e := all[0]
+		e.Fingerprint[0] ^= 0xff
+		if err := r.ApplyReplicated(e); err == nil {
+			t.Fatal("tampered fingerprint accepted")
+		}
+		unchanged(t, r)
+	})
+	t.Run("cursor ahead of owner", func(t *testing.T) {
+		if _, ok := owner.DeltasSince(owner.Epoch() + 3); ok {
+			t.Fatal("cursor ahead of the owner must force a resync")
+		}
+	})
+}
+
+// TestReplicationResyncAcrossCompact pins the compaction boundary: a
+// replica whose cursor predates the owner's Compact cannot be served
+// deltas (ok=false, and a post-compact delta is an epoch gap, never a
+// silent skip) and must reposition via a checkpoint of the owner's current
+// state, after which streaming resumes on the same chain.
+func TestReplicationResyncAcrossCompact(t *testing.T) {
+	const n = 60
+	g := gen.GNP(n, 4.0/n, xrand.New(21))
+	owner := New(g)
+	ref := setOf(g)
+	rng := xrand.New(22)
+
+	// Replica keeps up through the first batch...
+	churnOwner(t, owner, ref, n, 10, rng)
+	replica := New(g)
+	firstBatch, _ := owner.DeltasSince(0)
+	for _, e := range firstBatch[:6] {
+		if err := replica.ApplyReplicated(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cursor := replica.Epoch() // 6
+
+	// ...then the owner compacts (folding epochs 1..10 away) and keeps going.
+	if _, err := owner.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	churnOwner(t, owner, ref, n, 7, rng)
+
+	// The stale cursor is not servable and a newer delta is an epoch gap.
+	if _, ok := owner.DeltasSince(cursor); ok {
+		t.Fatalf("DeltasSince(%d) served across a Compact boundary", cursor)
+	}
+	post, ok := owner.DeltasSince(10)
+	if !ok || len(post) != 7 {
+		t.Fatalf("DeltasSince(compact epoch) = %d entries, ok=%t; want 7, true", len(post), ok)
+	}
+	var gap *EpochGapError
+	if err := replica.ApplyReplicated(post[0]); !errors.As(err, &gap) {
+		t.Fatalf("post-compact delta on a stale replica: want *EpochGapError, got %v", err)
+	}
+
+	// Resync: checkpoint the owner's current snapshot, ship it, and
+	// reposition a fresh replica at (epoch, chain fingerprint).
+	snap := owner.Snapshot()
+	var buf bytes.Buffer
+	if err := graphio.WriteCheckpoint(&buf, snap.Graph(), snap.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	rg, epoch, _, err := graphio.ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != snap.Epoch() {
+		t.Fatalf("checkpoint epoch = %d, want %d", epoch, snap.Epoch())
+	}
+	replica = NewReplicaAt(rg, epoch, snap.Fingerprint())
+	if replica.Fingerprint() != owner.Fingerprint() || replica.Epoch() != owner.Epoch() {
+		t.Fatal("resynced replica not positioned at the owner's version")
+	}
+
+	// Streaming resumes on the same chain after the resync.
+	churnOwner(t, owner, ref, n, 9, rng)
+	rest, ok := owner.DeltasSince(epoch)
+	if !ok {
+		t.Fatalf("DeltasSince(%d) after resync not servable", epoch)
+	}
+	for _, e := range rest {
+		if err := replica.ApplyReplicated(e); err != nil {
+			t.Fatalf("apply epoch %d after resync: %v", e.Epoch, err)
+		}
+		if replica.Fingerprint() != e.Fingerprint {
+			t.Fatalf("chain diverged at epoch %d after resync", e.Epoch)
+		}
+	}
+	if replica.Fingerprint() != owner.Fingerprint() {
+		t.Fatal("replica fp != owner fp after resync + catch-up")
+	}
+}
